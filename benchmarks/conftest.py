@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark prints the table rows it regenerates (the paper's
+evaluation artifacts) in addition to pytest-benchmark's timing summary.
+Scale knobs live here so CI-sized runs stay in minutes; raise them to
+approach the paper's sweep sizes.
+"""
+
+import pytest
+
+# Instances per suite for Tables 1 and 2 (the paper used thousands; the
+# pure-Python substrate trades count for per-instance coverage).
+TABLE_COUNT = 8
+# Per-instance timeout for Tables 1 and 2 (paper: 10 s).
+TABLE_TIMEOUT = 10.0
+# Largest Luhn instance and its timeout for Table 3 (paper: 12 / 120 s).
+LUHN_MAX = 10
+LUHN_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="session")
+def table_scale():
+    return {"count": TABLE_COUNT, "timeout": TABLE_TIMEOUT,
+            "luhn_max": LUHN_MAX, "luhn_timeout": LUHN_TIMEOUT}

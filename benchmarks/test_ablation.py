@@ -1,0 +1,46 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from repro.bench import ablation
+from repro.bench.tables import format_table
+
+
+def test_overapprox_ablation(benchmark, table_scale):
+    results = benchmark.pedantic(
+        lambda: ablation.overapprox_ablation(
+            count=table_scale["count"], timeout=table_scale["timeout"]),
+        rounds=1, iterations=1)
+    print()
+    print(format_table("Ablation A: over-approximation on/off",
+                       results, ["with-oa", "without-oa"]))
+    summary = results[0][1]
+    # The over-approximation phase is the cheaper UNSAT engine; without it
+    # only the lossless-restriction fallback can refute, so the with-OA
+    # configuration proves at least as many UNSATs.
+    assert summary["with-oa"]["UNSAT"] >= summary["without-oa"]["UNSAT"]
+    assert summary["with-oa"]["UNSAT"] > 0
+
+
+def test_static_analysis_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablation.static_analysis_ablation(max_loops=5, timeout=30.0),
+        rounds=1, iterations=1)
+    print()
+    for label, k, status, seconds in rows:
+        print("  %-10s luhn-%02d  %-8s %6.2fs" % (label, k, status, seconds))
+    with_hints = {k: status for label, k, status, _ in rows
+                  if label == "hints-on"}
+    assert all(status == "sat" for status in with_hints.values())
+
+
+def test_hint_ablation_conversions(benchmark, table_scale):
+    results = benchmark.pedantic(
+        lambda: ablation.numeric_pfa_ablation(
+            count=table_scale["count"], timeout=table_scale["timeout"]),
+        rounds=1, iterations=1)
+    print()
+    print(format_table("Ablation B: static length hints on/off",
+                       results, ["full", "no-hints"]))
+    summary = results[0][1]
+    solved_full = summary["full"]["SAT"] + summary["full"]["UNSAT"]
+    solved_bare = summary["no-hints"]["SAT"] + summary["no-hints"]["UNSAT"]
+    assert solved_full >= solved_bare

@@ -1,0 +1,34 @@
+"""Regenerates Table 1: basic string constraints, five suites.
+
+The assertion encodes the paper's headline for this table: the PFA solver
+is competitive with the best baseline on basic constraints (it solves at
+least as many instances as either baseline)."""
+
+from repro.bench import table1
+from repro.bench.runner import SOLVERS
+from repro.bench.tables import format_table
+
+
+def _solved(summary, solver):
+    counts = summary.get(solver, {})
+    return counts.get("SAT", 0) + counts.get("UNSAT", 0)
+
+
+def test_table1(benchmark, table_scale):
+    results = benchmark.pedantic(
+        lambda: table1.run(count=table_scale["count"],
+                           timeout=table_scale["timeout"]),
+        rounds=1, iterations=1)
+    print()
+    print(format_table("Table 1: basic string constraints",
+                       results, list(SOLVERS)))
+    total_pfa = sum(_solved(summary, "pfa") for _, summary in results)
+    total_split = sum(_solved(summary, "splitting") for _, summary in results)
+    total_enum = sum(_solved(summary, "enumerative")
+                     for _, summary in results)
+    assert total_pfa >= total_split
+    assert total_pfa >= total_enum
+    # No wrong answers from the paper's procedure.
+    for _, summary in results:
+        assert summary["pfa"]["INCORRECT"] == 0
+        assert summary["pfa"]["ERROR"] == 0

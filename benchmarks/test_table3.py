@@ -1,0 +1,26 @@
+"""Regenerates Table 3: the checkLuhn ladder.
+
+The paper's shape: Z3-Trau solves every size 2..12 quickly while the
+other solvers drop out as the size grows.  We assert the PFA solver
+solves every size in the sweep and that each baseline stops keeping up
+at some point."""
+
+from repro.bench import table3
+from repro.bench.runner import SOLVERS
+from repro.bench.tables import format_per_instance
+
+
+def test_table3(benchmark, table_scale):
+    rows = benchmark.pedantic(
+        lambda: table3.run(timeout=table_scale["luhn_timeout"],
+                           max_loops=table_scale["luhn_max"]),
+        rounds=1, iterations=1)
+    print()
+    print(format_per_instance("Table 3: checkLuhn ladder", rows,
+                              list(SOLVERS)))
+    pfa_solved = [by["pfa"].classification == "SAT" for _, by in rows]
+    assert all(pfa_solved)
+    for baseline in ("splitting", "enumerative"):
+        solved = sum(1 for _, by in rows
+                     if by[baseline].classification == "SAT")
+        assert solved < len(rows)

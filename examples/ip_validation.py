@@ -1,0 +1,67 @@
+"""Synthesizing inputs for an IP-address validator (LeetCode suite).
+
+Two formulations of the same question — "give me a valid dotted-quad
+string" — exercising different solver features:
+
+1. the *path constraint* formulation a symbolic executor produces
+   (split into four octet variables, each converted with toNum and
+   range-checked), including an UNSAT variant (an octet forced > 255);
+2. the *pure membership* formulation (one regex).
+
+Run:  python examples/ip_validation.py
+"""
+
+from repro import ProblemBuilder, TrauSolver, str_len
+from repro.logic import conj, eq, ge, le, var
+
+
+def path_constraint_formulation(widths, sat=True):
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    segments = []
+    for i, width in enumerate(widths):
+        seg = b.str_var("seg%d" % i)
+        b.member(seg, "[0-9]{%d}" % width)
+        if width > 1:
+            b.member(seg, "[1-9][0-9]*")    # no leading zeros
+        n = b.to_num(seg)
+        b.require_int(conj(ge(var(n), 0), le(var(n), 255)))
+        if not sat and i == 2:
+            b.require_int(ge(var(n), 256))
+        segments.append(seg)
+    b.equal((s,), (segments[0], ".", segments[1], ".",
+                   segments[2], ".", segments[3]))
+    return b
+
+
+def membership_formulation():
+    octet = "(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9][0-9]|[0-9])"
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "%s(\\.%s){3}" % (octet, octet))
+    b.require_int(eq(str_len(s), 13))
+    return b
+
+
+def main():
+    solver = TrauSolver()
+
+    b = path_constraint_formulation([3, 2, 1, 3])
+    result = solver.solve(b, timeout=60)
+    print("path constraints (3.2.1.3 digits):", result.status)
+    if result.status == "sat":
+        print("   s =", result.model["s"])
+
+    b = path_constraint_formulation([3, 2, 1, 3], sat=False)
+    result = solver.solve(b, timeout=60)
+    print("octet forced above 255:", result.status, "(expected unsat)")
+
+    b = membership_formulation()
+    result = solver.solve(b, timeout=60)
+    print("regex membership, |s| = 13:", result.status)
+    if result.status == "sat":
+        print("   s =", result.model["s"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""JavaScript array-index semantics (paper Section 1).
+
+JavaScript array indices are strings: ``x[3]``, ``x[03]`` and ``x["3"]``
+alias the same cell, but ``x["03"]`` is a different property, and
+``x["03"]-1`` silently converts string -> number -> string.  A faithful
+symbolic executor therefore needs string-number conversion for ordinary
+array code.  This example asks the solver two questions:
+
+1. Find an index string that does NOT alias its numeric form
+   (expected shape: something with a leading zero, like "03").
+2. Verify that canonical numerals that convert to equal numbers are
+   identical (the aliasing soundness property) — expected UNSAT.
+
+Run:  python examples/js_arrays.py
+"""
+
+from repro import ProblemBuilder, TrauSolver, str_len
+from repro.logic import eq, ge, le, var
+
+
+def find_noncanonical_index():
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "[0-9]+")
+    b.require_int(le(str_len(s), 6))
+    n = b.to_num(s)                 # n = toNum(s)
+    canonical = b.to_str(n)         # canonical = toStr(n)
+    b.diseq((s,), (canonical,))     # s != toStr(toNum(s))
+
+    result = TrauSolver().solve(b, timeout=60)
+    print("1) non-canonical index:", result.status)
+    if result.status == "sat":
+        print("   s = %r, toStr(toNum(s)) = %r  -> x[s] is its own cell"
+              % (result.model["s"], result.model[canonical.name]))
+    return result
+
+
+def check_canonical_aliasing():
+    b = ProblemBuilder()
+    s1, s2 = b.str_var("s1"), b.str_var("s2")
+    for s in (s1, s2):
+        b.member(s, "0|[1-9][0-9]*")    # canonical numerals
+        b.require_int(le(str_len(s), 5))
+    n1, n2 = b.to_num(s1), b.to_num(s2)
+    b.require_int(eq(var(n1), var(n2)))
+    b.require_int(ge(var(n1), 0))
+    b.diseq((s1,), (s2,))               # ... and yet different strings?
+
+    result = TrauSolver().solve(b, timeout=60)
+    print("2) distinct canonical aliases:", result.status,
+          "(unsat = aliasing is sound)")
+    return result
+
+
+def index_arithmetic():
+    """The x["03"-1] = 2 example: "03" - 1 evaluates to the cell "2"."""
+    b = ProblemBuilder()
+    s = b.str_var("s")              # the index literal in the program
+    b.member(s, "[0-9]+")
+    b.require_int(le(str_len(s), 4))
+    n = b.to_num(s)                 # implicit conversion by '-'
+    j = b.fresh_int("j")
+    b.require_int(eq(var(j), var(n) - 1))
+    b.require_int(ge(var(j), 0))
+    cell = b.to_str(j)              # converted back to a property key
+    b.equal((cell,), ("2",))        # must land on cell "2"
+    b.diseq((s,), ("3",))           # ... but s is not the literal "3"
+
+    result = TrauSolver().solve(b, timeout=60)
+    print("3) index arithmetic:", result.status)
+    if result.status == "sat":
+        print('   s = %r: x[s]-1 writes x["2"]' % result.model["s"])
+    return result
+
+
+if __name__ == "__main__":
+    find_noncanonical_index()
+    check_canonical_aliasing()
+    index_arithmetic()

@@ -1,0 +1,43 @@
+"""Quickstart: solve the paper's running example (Section 1).
+
+    Phi = { "0"x = x"0",  toNum(x) = toNum(y),  |y| > |x| > 1,  |y| > 1000 }
+
+The paper reports that Z3, CVC4 and Z3Str3 all fail on this formula within
+10 minutes, while the PFA-based procedure solves it in seconds — the model
+has to combine a word-equation insight (x is all zeros), a conversion
+insight (toNum(x) = 0, so y is also all zeros... or is it?) and a length
+constraint pushing |y| past 1000.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProblemBuilder, TrauSolver, str_len
+from repro.logic import eq, gt, var
+
+
+def main():
+    b = ProblemBuilder()
+    x, y = b.str_var("x"), b.str_var("y")
+
+    b.equal(("0", x), (x, "0"))             # "0" . x = x . "0"
+    nx = b.to_num(x)                        # nx = toNum(x)
+    ny = b.to_num(y)                        # ny = toNum(y)
+    b.require_int(eq(var(nx), var(ny)))     # toNum(x) = toNum(y)
+    b.require_int(gt(str_len(y), str_len(x)))   # |y| > |x|
+    b.require_int(gt(str_len(x), 1))            # |x| > 1
+    b.require_int(gt(str_len(y), 1000))         # |y| > 1000
+
+    solver = TrauSolver()
+    result = solver.solve(b, timeout=120)
+
+    print("status:", result.status)
+    if result.status == "sat":
+        model = result.model
+        print("x =", repr(model["x"]))
+        print("y = %r... (%d characters)" % (model["y"][:16],
+                                             len(model["y"])))
+        print("toNum(x) =", model[nx], " toNum(y) =", model[ny])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Numeric character encoding (paper Section 3).
+
+The paper fixes a finite alphabet that is a subset of the natural numbers:
+the digit characters ``'0'..'9'`` map to the numbers 0..9, and every other
+character is assigned a unique code >= 10.  The empty word marker epsilon is
+encoded as a number outside the alphabet; we use -1, matching the paper's own
+use of ``v_{k+1} = -1`` in the Psi_last formula of Section 8.
+
+The digits-first layout is load bearing: the NaN test of the numeric PFA is
+the linear atom ``v > 9``, which is only correct because every non-digit
+character has a code strictly greater than 9.
+"""
+
+from repro.errors import EncodingError
+
+EPSILON = -1
+"""Numeric code of the empty word marker, [[epsilon]]."""
+
+_DIGITS = "0123456789"
+
+# Printable non-digit characters in a stable order.  ASCII 32..126 minus the
+# digits, so codes are deterministic across runs and processes.
+_OTHER = "".join(chr(c) for c in range(32, 127) if chr(c) not in _DIGITS)
+
+_DEFAULT_CHARS = _DIGITS + _OTHER
+
+
+class Alphabet:
+    """A bijection between characters and their numeric codes.
+
+    Digits always occupy codes 0..9.  Additional characters are assigned
+    consecutive codes starting at 10, in the order given.
+    """
+
+    def __init__(self, extra_chars=_OTHER):
+        self._char_to_code = {}
+        self._code_to_char = {}
+        for code, char in enumerate(_DIGITS):
+            self._char_to_code[char] = code
+            self._code_to_char[code] = char
+        code = 10
+        for char in extra_chars:
+            if char in self._char_to_code:
+                continue
+            self._char_to_code[char] = code
+            self._code_to_char[code] = char
+            code += 1
+
+    def __len__(self):
+        return len(self._char_to_code)
+
+    def __contains__(self, char):
+        return char in self._char_to_code
+
+    @property
+    def max_code(self):
+        """Largest character code in the alphabet."""
+        return len(self._char_to_code) - 1
+
+    def chars(self):
+        """All characters, in code order."""
+        return [self._code_to_char[c] for c in range(len(self))]
+
+    def codes(self):
+        """All codes, ascending."""
+        return range(len(self))
+
+    def code(self, char):
+        """Numeric code of *char* ([[c]] in the paper)."""
+        try:
+            return self._char_to_code[char]
+        except KeyError:
+            raise EncodingError("character %r is not in the alphabet" % char)
+
+    def char(self, code):
+        """Character with numeric *code* (inverse of :meth:`code`)."""
+        try:
+            return self._code_to_char[code]
+        except KeyError:
+            raise EncodingError("code %r does not name a character" % (code,))
+
+    def encode_word(self, word):
+        """Map a string to its list of character codes."""
+        return [self.code(c) for c in word]
+
+    def decode_word(self, codes):
+        """Map a list of character codes back to a string.
+
+        Epsilon codes are dropped: a parametric word interpreted with some
+        characters set to epsilon contracts to the remaining characters.
+        """
+        return "".join(self.char(c) for c in codes if c != EPSILON)
+
+    def is_digit_code(self, code):
+        """True if *code* encodes one of '0'..'9'."""
+        return 0 <= code <= 9
+
+
+DEFAULT_ALPHABET = Alphabet()
+"""Module-level default alphabet: digits plus printable ASCII."""

@@ -1,0 +1,15 @@
+"""Finite automata, regular expressions, and Parikh-image encodings.
+
+Automata operate over numeric symbols (character codes from
+:mod:`repro.alphabet`).  The Parikh module produces linear formulas whose
+models are exactly the Parikh images of an automaton's language (Lemma 2.1
+of the paper) — the workhorse behind the synchronization formulas of
+Section 7.
+"""
+
+from repro.automata.nfa import NFA, EPS
+from repro.automata.regex import Regex, parse_regex, regex_to_nfa
+from repro.automata.parikh import parikh_formula
+
+__all__ = ["NFA", "EPS", "Regex", "parse_regex", "regex_to_nfa",
+           "parikh_formula"]

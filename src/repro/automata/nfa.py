@@ -1,0 +1,371 @@
+"""Nondeterministic finite automata over numeric symbols.
+
+States are integers ``0..n-1``; symbols are arbitrary hashable values
+(character codes for concrete automata, character-variable names inside
+parametric automata).  ``EPS`` (``None``) marks epsilon transitions, which
+Thompson constructions introduce and :meth:`NFA.without_epsilon` removes.
+
+The class is immutable by convention: every operation returns a new NFA.
+"""
+
+from collections import deque
+
+from repro.errors import SolverError
+
+EPS = None
+"""Epsilon transition label."""
+
+
+class NFA:
+    """An NFA with one initial state and a set of final states."""
+
+    __slots__ = ("num_states", "transitions", "initial", "finals", "_adj")
+
+    def __init__(self, num_states, transitions, initial, finals):
+        self.num_states = num_states
+        self.transitions = tuple(transitions)
+        self.initial = initial
+        self.finals = frozenset(finals)
+        adj = [[] for _ in range(num_states)]
+        for src, sym, dst in self.transitions:
+            if not (0 <= src < num_states and 0 <= dst < num_states):
+                raise SolverError("transition out of range")
+            adj[src].append((sym, dst))
+        self._adj = adj
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def empty():
+        """The automaton accepting the empty language."""
+        return NFA(1, [], 0, [])
+
+    @staticmethod
+    def epsilon():
+        """The automaton accepting only the empty word."""
+        return NFA(1, [], 0, [0])
+
+    @staticmethod
+    def from_word(codes):
+        """Accepts exactly the given sequence of symbols."""
+        transitions = [(i, sym, i + 1) for i, sym in enumerate(codes)]
+        return NFA(len(codes) + 1, transitions, 0, [len(codes)])
+
+    @staticmethod
+    def from_symbols(symbols):
+        """Accepts exactly the one-symbol words over *symbols*."""
+        transitions = [(0, s, 1) for s in symbols]
+        return NFA(2, transitions, 0, [1])
+
+    # -- basic structure ---------------------------------------------------------
+
+    def alphabet(self):
+        """All non-epsilon symbols on transitions."""
+        return {sym for _, sym, _ in self.transitions if sym is not EPS}
+
+    def out_edges(self, state):
+        return self._adj[state]
+
+    def is_epsilon_free(self):
+        return all(sym is not EPS for _, sym, _ in self.transitions)
+
+    # -- language operations -------------------------------------------------------
+
+    def union(self, other):
+        offset_self, offset_other = 1, 1 + self.num_states
+        transitions = [(0, EPS, offset_self + self.initial),
+                       (0, EPS, offset_other + other.initial)]
+        transitions += [(s + offset_self, a, t + offset_self)
+                        for s, a, t in self.transitions]
+        transitions += [(s + offset_other, a, t + offset_other)
+                        for s, a, t in other.transitions]
+        finals = [f + offset_self for f in self.finals]
+        finals += [f + offset_other for f in other.finals]
+        return NFA(1 + self.num_states + other.num_states,
+                   transitions, 0, finals)
+
+    def concat(self, other):
+        offset = self.num_states
+        transitions = list(self.transitions)
+        transitions += [(s + offset, a, t + offset)
+                        for s, a, t in other.transitions]
+        transitions += [(f, EPS, offset + other.initial) for f in self.finals]
+        return NFA(self.num_states + other.num_states, transitions,
+                   self.initial, [f + offset for f in other.finals])
+
+    def star(self):
+        offset = 1
+        transitions = [(0, EPS, offset + self.initial)]
+        transitions += [(s + offset, a, t + offset)
+                        for s, a, t in self.transitions]
+        transitions += [(f + offset, EPS, 0) for f in self.finals]
+        return NFA(1 + self.num_states, transitions, 0, [0])
+
+    def plus(self):
+        return self.concat(self.star())
+
+    def optional(self):
+        return self.union(NFA.epsilon())
+
+    def repeat(self, low, high=None):
+        """Between *low* and *high* copies (high=None means unbounded)."""
+        result = NFA.epsilon()
+        for _ in range(low):
+            result = result.concat(self)
+        if high is None:
+            return result.concat(self.star())
+        for _ in range(high - low):
+            result = result.concat(self.optional())
+        return result
+
+    # -- epsilon removal / determinization ------------------------------------------
+
+    def _eps_closure(self, states):
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for sym, t in self._adj[s]:
+                if sym is EPS and t not in closure:
+                    closure.add(t)
+                    stack.append(t)
+        return closure
+
+    def without_epsilon(self):
+        """Equivalent epsilon-free NFA (same state space)."""
+        if self.is_epsilon_free():
+            return self
+        closures = [self._eps_closure([s]) for s in range(self.num_states)]
+        transitions = set()
+        finals = set()
+        for s in range(self.num_states):
+            reach = closures[s]
+            if reach & self.finals:
+                finals.add(s)
+            for r in reach:
+                for sym, t in self._adj[r]:
+                    if sym is not EPS:
+                        transitions.add((s, sym, t))
+        return NFA(self.num_states, sorted(transitions, key=_trans_key),
+                   self.initial, finals).trim()
+
+    def determinize(self, alphabet=None):
+        """Subset construction; result is a complete DFA over *alphabet*."""
+        base = self.without_epsilon()
+        if alphabet is None:
+            alphabet = sorted(base.alphabet(), key=_sym_key)
+        else:
+            alphabet = sorted(set(alphabet), key=_sym_key)
+        start = frozenset([base.initial])
+        index = {start: 0}
+        worklist = deque([start])
+        transitions = []
+        finals = set()
+        while worklist:
+            current = worklist.popleft()
+            ci = index[current]
+            if current & base.finals:
+                finals.add(ci)
+            for sym in alphabet:
+                nxt = frozenset(t for s in current
+                                for a, t in base._adj[s] if a == sym)
+                if nxt not in index:
+                    index[nxt] = len(index)
+                    worklist.append(nxt)
+                transitions.append((ci, sym, index[nxt]))
+        return NFA(len(index), transitions, 0, finals)
+
+    def complement(self, alphabet):
+        """Automaton for the complement language over *alphabet*."""
+        dfa = self.determinize(alphabet)
+        finals = set(range(dfa.num_states)) - set(dfa.finals)
+        return NFA(dfa.num_states, dfa.transitions, dfa.initial, finals)
+
+    def intersect(self, other):
+        """Product automaton for the language intersection."""
+        a = self.without_epsilon()
+        b = other.without_epsilon()
+        index = {}
+        transitions = []
+        finals = []
+
+        def state_of(p, q):
+            if (p, q) not in index:
+                index[(p, q)] = len(index)
+            return index[(p, q)]
+
+        start = state_of(a.initial, b.initial)
+        worklist = deque([(a.initial, b.initial)])
+        visited = {(a.initial, b.initial)}
+        b_by_sym = [dict() for _ in range(b.num_states)]
+        for s in range(b.num_states):
+            for sym, t in b._adj[s]:
+                b_by_sym[s].setdefault(sym, []).append(t)
+        while worklist:
+            p, q = worklist.popleft()
+            if p in a.finals and q in b.finals:
+                finals.append(index[(p, q)])
+            for sym, pt in a._adj[p]:
+                for qt in b_by_sym[q].get(sym, ()):
+                    if (pt, qt) not in visited:
+                        visited.add((pt, qt))
+                        state_of(pt, qt)
+                        worklist.append((pt, qt))
+                    transitions.append((index[(p, q)], sym, index[(pt, qt)]))
+        if not index:
+            return NFA.empty()
+        return NFA(len(index), transitions, start, finals).trim()
+
+    # -- structural cleanup -----------------------------------------------------------
+
+    def trim(self):
+        """Restrict to states both reachable and co-reachable."""
+        forward = self._reach_from({self.initial}, self._adj)
+        rev = [[] for _ in range(self.num_states)]
+        for s, a, t in self.transitions:
+            rev[t].append((a, s))
+        backward = self._reach_from(set(self.finals), rev)
+        keep = forward & backward
+        if self.initial not in keep:
+            return NFA.empty()
+        index = {}
+        for s in sorted(keep):
+            index[s] = len(index)
+        transitions = [(index[s], a, index[t]) for s, a, t in self.transitions
+                       if s in keep and t in keep]
+        finals = [index[f] for f in self.finals if f in keep]
+        return NFA(len(index), transitions, index[self.initial], finals)
+
+    @staticmethod
+    def _reach_from(seeds, adjacency):
+        seen = set(seeds)
+        stack = list(seeds)
+        while stack:
+            s = stack.pop()
+            for _, t in adjacency[s]:
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return seen
+
+    def minimize(self, alphabet=None):
+        """Hopcroft minimization of the determinized automaton."""
+        dfa = self.determinize(alphabet)
+        dfa = dfa.trim()
+        if dfa.num_states == 0:
+            return NFA.empty()
+        symbols = sorted(dfa.alphabet(), key=_sym_key)
+        delta = {}
+        preimage = {}
+        for s, a, t in dfa.transitions:
+            delta[(s, a)] = t
+            preimage.setdefault((t, a), set()).add(s)
+        finals = set(dfa.finals)
+        non_finals = set(range(dfa.num_states)) - finals
+        partition = [blk for blk in (finals, non_finals) if blk]
+        worklist = [blk for blk in partition]
+        while worklist:
+            splitter = worklist.pop()
+            for a in symbols:
+                x = set()
+                for t in splitter:
+                    x |= preimage.get((t, a), set())
+                new_partition = []
+                for block in partition:
+                    inter = block & x
+                    diff = block - x
+                    if inter and diff:
+                        new_partition.extend([inter, diff])
+                        if block in worklist:
+                            worklist.remove(block)
+                            worklist.extend([inter, diff])
+                        else:
+                            worklist.append(min(inter, diff, key=len))
+                    else:
+                        new_partition.append(block)
+                partition = new_partition
+        block_of = {}
+        for i, block in enumerate(partition):
+            for s in block:
+                block_of[s] = i
+        transitions = sorted({(block_of[s], a, block_of[t])
+                              for (s, a), t in delta.items()}, key=_trans_key)
+        finals = sorted({block_of[f] for f in dfa.finals})
+        return NFA(len(partition), transitions,
+                   block_of[dfa.initial], finals).trim()
+
+    # -- queries ------------------------------------------------------------------------
+
+    def is_empty(self):
+        return self.trim().num_states == 0 or not self.trim().finals
+
+    def accepts(self, word):
+        """Membership test for a sequence of symbols."""
+        current = self._eps_closure([self.initial])
+        for sym in word:
+            nxt = set()
+            for s in current:
+                for a, t in self._adj[s]:
+                    if a == sym:
+                        nxt.add(t)
+            if not nxt:
+                return False
+            current = self._eps_closure(nxt)
+        return bool(current & self.finals)
+
+    def enumerate_words(self, max_length):
+        """All accepted words of length <= max_length (tests only)."""
+        base = self.without_epsilon()
+        results = []
+        frontier = [(base.initial, ())]
+        for _ in range(max_length + 1):
+            next_frontier = []
+            for state, word in frontier:
+                if state in base.finals:
+                    results.append(word)
+                for sym, t in base._adj[state]:
+                    next_frontier.append((t, word + (sym,)))
+            frontier = next_frontier
+        # States can repeat, so deduplicate words.
+        return sorted(set(results), key=lambda w: (len(w), w))
+
+    def shortest_word(self):
+        """A shortest accepted word, or None if the language is empty."""
+        base = self.without_epsilon()
+        if base.num_states == 0:
+            return None
+        visited = {base.initial: ()}
+        queue = deque([base.initial])
+        if base.initial in base.finals:
+            return ()
+        while queue:
+            s = queue.popleft()
+            for sym, t in base._adj[s]:
+                if t not in visited:
+                    visited[t] = visited[s] + (sym,)
+                    if t in base.finals:
+                        return visited[t]
+                    queue.append(t)
+        return None
+
+    def single_final(self):
+        """Equivalent NFA with exactly one final state (may add epsilons)."""
+        if len(self.finals) == 1:
+            return self
+        sink = self.num_states
+        transitions = list(self.transitions)
+        transitions += [(f, EPS, sink) for f in self.finals]
+        return NFA(self.num_states + 1, transitions, self.initial, [sink])
+
+    def __repr__(self):
+        return "NFA(states=%d, transitions=%d, finals=%d)" % (
+            self.num_states, len(self.transitions), len(self.finals))
+
+
+def _sym_key(sym):
+    return (0, sym, "") if isinstance(sym, int) else (1, 0, str(sym))
+
+
+def _trans_key(transition):
+    src, sym, dst = transition
+    return (src, _sym_key(sym), dst)

@@ -1,0 +1,157 @@
+"""Linear-arithmetic characterization of Parikh images (Lemma 2.1).
+
+Implements the Verma-Seidl-Schwentick encoding: a word's Parikh image is a
+model of a flow problem on the automaton graph.  For every transition ``t``
+a counter ``y_t`` gives how often ``t`` is taken; flow conservation links
+the counters to the initial/final states, and per-state distance variables
+``z_q`` force the support of ``y`` to be connected to the initial state
+(ruling out "floating cycles").
+
+The formula is linear and of size O(|Q| + |T| + sum of in-degrees), matching
+the paper's claim that Parikh images of regular languages have linear-sized
+linear-formula characterizations.
+"""
+
+from repro.automata.nfa import EPS
+from repro.logic.formula import FALSE, conj, disj, eq, ge, le
+from repro.logic.terms import const, var
+
+_END = object()
+"""Internal fresh symbol used to merge multiple final states."""
+
+
+def parikh_formula(nfa, count_var, prefix, counter_bound=None):
+    """Formula whose models project to the Parikh images of ``L(nfa)``.
+
+    ``count_var`` maps each alphabet symbol to the name of its Parikh
+    variable; ``prefix`` namespaces the auxiliary flow/distance variables
+    so several Parikh formulas can coexist in one constraint.
+    *counter_bound*, when given, caps every transition flow so the integer
+    search space is bounded (see DESIGN.md Section 5).
+
+    The automaton must be epsilon-free.  It is trimmed internally; an empty
+    language yields ``FALSE``.
+    """
+    original_symbols = nfa.alphabet()
+    base = nfa.without_epsilon().trim()
+    if base.num_states == 0 or not base.finals:
+        return FALSE
+
+    transitions = list(base.transitions)
+    finals = set(base.finals)
+    if len(finals) > 1:
+        # Merge finals through a hidden end-marker transition so the flow
+        # problem has a single sink.  The marker count is fixed to one and
+        # never exposed through `count_var`.
+        sink = base.num_states
+        num_states = base.num_states + 1
+        for f in finals:
+            transitions.append((f, _END, sink))
+        final = sink
+    else:
+        num_states = base.num_states
+        final = next(iter(finals))
+    initial = base.initial
+
+    def flow_var(t_index):
+        return var("%s_y%d" % (prefix, t_index))
+
+    def dist_var(state):
+        return var("%s_z%d" % (prefix, state))
+
+    incoming = [[] for _ in range(num_states)]
+    outgoing = [[] for _ in range(num_states)]
+    for i, (src, sym, dst) in enumerate(transitions):
+        outgoing[src].append(i)
+        incoming[dst].append(i)
+
+    # In an acyclic automaton every nonnegative flow with unit demand
+    # decomposes into source-sink paths, so the connectivity (distance)
+    # constraints are redundant and omitted.
+    acyclic = _is_acyclic(num_states, transitions)
+
+    parts = []
+    for i in range(len(transitions)):
+        parts.append(ge(flow_var(i), 0))
+        if counter_bound is not None and not acyclic:
+            parts.append(le(flow_var(i), counter_bound))
+        elif acyclic:
+            parts.append(le(flow_var(i), 1))
+
+    # Flow conservation: inflow - outflow = [q = final] - [q = initial].
+    for q in range(num_states):
+        demand = (1 if q == final else 0) - (1 if q == initial else 0)
+        balance = const(0)
+        for i in incoming[q]:
+            balance = balance + flow_var(i)
+        for i in outgoing[q]:
+            balance = balance - flow_var(i)
+        parts.append(eq(balance, demand))
+
+    # Connectivity: z_initial = 1; every other state is either untouched
+    # (distance 0, no adjacent flow) or entered by some used transition
+    # from a state with a smaller positive distance.
+    for q in range(num_states) if not acyclic else ():
+        if q == initial:
+            parts.append(eq(dist_var(initial), 1))
+            continue
+        untouched = [eq(dist_var(q), 0)]
+        for i in incoming[q]:
+            untouched.append(eq(flow_var(i), 0))
+        for i in outgoing[q]:
+            untouched.append(eq(flow_var(i), 0))
+        options = [conj(*untouched)]
+        for i in incoming[q]:
+            src = transitions[i][0]
+            options.append(conj(
+                ge(flow_var(i), 1),
+                ge(dist_var(src), 1),
+                eq(dist_var(q), dist_var(src) + 1)))
+        parts.append(disj(*options))
+
+    # Tie the Parikh count variables to the flows.
+    by_symbol = {}
+    for i, (_, sym, _) in enumerate(transitions):
+        by_symbol.setdefault(sym, []).append(i)
+    for sym, indices in by_symbol.items():
+        total = const(0)
+        for i in indices:
+            total = total + flow_var(i)
+        if sym is _END:
+            parts.append(eq(total, 1))
+        else:
+            parts.append(eq(var(count_var(sym)), total))
+
+    # Symbols trimmed away with dead states can never occur.
+    for sym in original_symbols:
+        if sym is not EPS and sym not in by_symbol:
+            parts.append(eq(var(count_var(sym)), 0))
+
+    return conj(*parts)
+
+
+def _is_acyclic(num_states, transitions):
+    """Topological-order check over the transition graph."""
+    adjacency = [[] for _ in range(num_states)]
+    indegree = [0] * num_states
+    for src, _, dst in transitions:
+        adjacency[src].append(dst)
+        indegree[dst] += 1
+    queue = [q for q in range(num_states) if indegree[q] == 0]
+    seen = 0
+    while queue:
+        q = queue.pop()
+        seen += 1
+        for t in adjacency[q]:
+            indegree[t] -= 1
+            if indegree[t] == 0:
+                queue.append(t)
+    return seen == num_states
+
+
+def parikh_image_of_word(word):
+    """Concrete Parikh image of a word: symbol -> count (for tests)."""
+    image = {}
+    for sym in word:
+        image[sym] = image.get(sym, 0) + 1
+    return image

@@ -1,0 +1,18 @@
+"""Baseline solvers playing the comparison roles of the paper's tables.
+
+* :class:`EnumerativeSolver` — naive bounded search (the Z3Str3-ish role in
+  our tables): enumerate candidate strings by increasing total length and
+  check concretely, discharging residual integer constraints with the SMT
+  core.
+* :class:`SplittingSolver` — DPLL-style word-equation splitting with length
+  reasoning (the CVC4/Z3 family's strategy): Levi's-lemma case splits,
+  automata derivatives for membership, weak string-number support.
+
+Both implement ``solve(problem, timeout) -> SolveResult``, the same
+interface as :class:`repro.core.solver.TrauSolver`.
+"""
+
+from repro.baselines.enumerative import EnumerativeSolver
+from repro.baselines.splitter import SplittingSolver
+
+__all__ = ["EnumerativeSolver", "SplittingSolver"]

@@ -1,0 +1,209 @@
+"""Naive bounded-search baseline.
+
+Enumerates assignments of concrete strings to the string variables in
+order of increasing total length, pruning per-variable candidates with the
+regular constraints, and for each full string assignment discharges the
+remaining integer constraints with the SMT core.
+
+The solver answers UNSAT only when sound length bounds (from interval
+propagation over the length abstraction) make the finished search
+exhaustive; otherwise an exhausted budget yields UNKNOWN.  This mirrors the
+behaviour of bounded solvers in the paper's comparison: fine on tiny
+instances, hopeless as lengths grow.
+"""
+
+from math import inf
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.config import Deadline
+from repro.core.overapprox import length_abstraction
+from repro.core.solver import SolveResult
+from repro.logic.formula import conj, eq, substitute
+from repro.logic.intervals import propagate_intervals
+from repro.smt import solve_formula
+from repro.strings.ast import (
+    IntConstraint, RegularConstraint, ToNum, WordEquation, length_var,
+)
+from repro.strings.eval import evaluate_constraint, to_num_value
+
+
+class EnumerativeSolver:
+    """Brute-force baseline with concrete evaluation."""
+
+    def __init__(self, alphabet=DEFAULT_ALPHABET, max_total_length=8,
+                 max_candidates_per_var=20000):
+        self.alphabet = alphabet
+        self.max_total_length = max_total_length
+        self.max_candidates = max_candidates_per_var
+
+    def solve(self, problem, timeout=None):
+        deadline = Deadline(timeout)
+        string_vars = sorted(v.name for v in problem.string_vars())
+        bounds = self._length_bounds(problem)
+        if bounds is None:
+            return SolveResult("unsat")
+        alphabet_chars = self._candidate_chars(problem)
+
+        if not string_vars:
+            return self._finish(problem, {}, deadline)
+
+        per_var_max = {}
+        exhaustive = True
+        for name in string_vars:
+            hi = bounds.get(name, inf)
+            if hi is inf or hi > self.max_total_length:
+                per_var_max[name] = self.max_total_length
+                exhaustive = False
+            else:
+                per_var_max[name] = int(hi)
+
+        candidates = {}
+        for name in string_vars:
+            words, truncated = self._candidates_for(
+                problem, name, per_var_max[name], alphabet_chars, deadline)
+            if words is None:
+                return SolveResult("unknown")
+            if truncated:
+                exhaustive = False
+            if not words:
+                if not truncated and self._var_bounded(problem, name,
+                                                       bounds):
+                    return SolveResult("unsat")
+                return SolveResult("unknown")
+            candidates[name] = words
+
+        assignment = {}
+        outcome = self._search(problem, string_vars, 0, candidates,
+                               assignment, deadline)
+        if outcome is not None:
+            return outcome
+        if deadline.expired():
+            return SolveResult("unknown")
+        return SolveResult("unsat" if exhaustive else "unknown")
+
+    # -- candidate generation -------------------------------------------------
+
+    def _candidate_chars(self, problem):
+        chars = set("a0")
+        for constraint in problem:
+            if isinstance(constraint, WordEquation):
+                for element in constraint.lhs + constraint.rhs:
+                    if isinstance(element, str):
+                        chars.update(element)
+            elif isinstance(constraint, RegularConstraint):
+                for code in constraint.nfa.alphabet():
+                    chars.add(self.alphabet.char(code))
+            elif isinstance(constraint, ToNum):
+                chars.update("0123456789")
+        return sorted(chars)
+
+    def _candidates_for(self, problem, name, max_len, chars, deadline):
+        """Words up to *max_len* consistent with the var's automata.
+
+        Returns ``(words, truncated)``; truncation (by the candidate cap)
+        makes any later exhaustion claim invalid.  A deadline hit returns
+        ``(None, True)``.
+        """
+        nfas = [c.nfa for c in problem.by_kind(RegularConstraint)
+                if c.var.name == name]
+        combined = None
+        for nfa in nfas:
+            combined = nfa if combined is None else combined.intersect(nfa)
+        words = [""]
+        frontier = [""]
+        truncated = False
+        for _ in range(max_len):
+            if deadline.expired():
+                return None, True
+            nxt = []
+            for w in frontier:
+                for c in chars:
+                    nxt.append(w + c)
+            words.extend(nxt)
+            frontier = nxt
+            if len(words) > self.max_candidates:
+                words = words[: self.max_candidates]
+                truncated = True
+                break
+        if combined is not None:
+            words = [w for w in words
+                     if combined.accepts(self.alphabet.encode_word(w))]
+        return words, truncated
+
+    def _var_bounded(self, problem, name, bounds):
+        return bounds.get(name, inf) is not inf
+
+    def _length_bounds(self, problem):
+        """Sound upper bounds per variable; None when the abstraction is
+        already infeasible (the instance is UNSAT outright)."""
+        formula = length_abstraction(problem, self.alphabet)
+        state = propagate_intervals(formula)
+        if not state.feasible:
+            return None
+        out = {}
+        for v in problem.string_vars():
+            out[v.name] = state.upper(length_var(v.name))
+        return out
+
+    # -- search ------------------------------------------------------------------
+
+    def _search(self, problem, names, index, candidates, assignment,
+                deadline):
+        if deadline.expired():
+            return SolveResult("unknown")
+        if index == len(names):
+            return self._try_assignment(problem, assignment, deadline)
+        name = names[index]
+        for word in candidates[name]:
+            assignment[name] = word
+            if not self._consistent_so_far(problem, assignment):
+                continue
+            outcome = self._search(problem, names, index + 1, candidates,
+                                   assignment, deadline)
+            if outcome is not None and outcome.status != "unsat":
+                return outcome
+            if deadline.expired():
+                return SolveResult("unknown")
+        assignment.pop(name, None)
+        return None
+
+    def _consistent_so_far(self, problem, assignment):
+        """Check constraints whose string variables are all assigned."""
+        for constraint in problem:
+            if isinstance(constraint, (IntConstraint, ToNum)):
+                continue
+            names = {v.name for v in constraint.string_vars()}
+            if not names.issubset(assignment):
+                continue
+            if not evaluate_constraint(constraint, assignment,
+                                       self.alphabet):
+                return False
+        return True
+
+    def _try_assignment(self, problem, assignment, deadline):
+        """Strings fixed: discharge the integer residue with the SMT core."""
+        substitution = {}
+        parts = []
+        for constraint in problem:
+            if isinstance(constraint, IntConstraint):
+                parts.append(constraint.formula)
+            elif isinstance(constraint, ToNum):
+                value = to_num_value(assignment[constraint.var.name])
+                parts.append(eq(constraint.result, value))
+            elif not evaluate_constraint(constraint, assignment,
+                                         self.alphabet):
+                return None
+        for name, word in assignment.items():
+            substitution[length_var(name)] = len(word)
+        formula = substitute(conj(*parts), substitution)
+        result = solve_formula(formula, deadline=deadline)
+        if result.status != "sat":
+            return None if result.status == "unsat" else SolveResult("unknown")
+        model = dict(assignment)
+        for name in problem.int_vars():
+            model[name] = result.model.get(name, 0)
+        return SolveResult("sat", model=model)
+
+    def _finish(self, problem, assignment, deadline):
+        outcome = self._try_assignment(problem, assignment, deadline)
+        return outcome if outcome is not None else SolveResult("unsat")

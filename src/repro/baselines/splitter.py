@@ -1,0 +1,499 @@
+"""DPLL-style word-equation splitting baseline.
+
+This implements the strategy of the DPLL(T) string solvers the paper
+compares against (CVC4, Z3's seq theory): recursively case-split word
+equations with Levi's lemma, propagate memberships through automata
+derivatives, keep length/integer constraints as an LIA side condition, and
+concretize at the leaves.
+
+String-number conversion gets the historically weak treatment those
+solvers exhibited in 2020: conversions are relaxed to length/value
+brackets during the search and only checked concretely at leaves, with a
+bounded number of leaf repair attempts — so conversion-heavy instances
+routinely exhaust the budget, reproducing the Table 2/3 behaviour.
+
+UNSAT is reported only when every branch closed without hitting a depth or
+resource bound ("incomplete flag" discipline, like Z3's)."""
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.config import Deadline
+from repro.core.overapprox import tonum_relaxation
+from repro.core.solver import SolveResult
+from repro.logic.formula import conj, eq, ge, le, ne
+from repro.logic.terms import var as int_var
+from repro.smt import solve_formula
+from repro.strings.ast import (
+    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
+    length_var, str_len,
+)
+from repro.strings.eval import check_model, to_num_value
+
+
+class _State:
+    """One node of the splitting search tree."""
+
+    __slots__ = ("equations", "memberships", "int_parts", "tonums",
+                 "charneqs", "bindings")
+
+    def __init__(self, equations, memberships, int_parts, tonums, charneqs,
+                 bindings):
+        self.equations = equations          # list of (lhs tuple, rhs tuple)
+        self.memberships = memberships      # var name -> NFA
+        self.int_parts = int_parts          # list of logic formulas
+        self.tonums = tonums                # list of (int name, var name)
+        self.charneqs = charneqs            # list of (var name, var name)
+        self.bindings = bindings            # var name -> term (items tuple)
+
+    def copy(self):
+        return _State(list(self.equations), dict(self.memberships),
+                      list(self.int_parts), list(self.tonums),
+                      list(self.charneqs), dict(self.bindings))
+
+
+class SplittingSolver:
+    """Levi's-lemma case splitting with LIA length reasoning."""
+
+    def __init__(self, alphabet=DEFAULT_ALPHABET, max_depth=28,
+                 max_leaf_attempts=6, max_fresh=400):
+        self.alphabet = alphabet
+        self.max_depth = max_depth
+        self.max_leaf_attempts = max_leaf_attempts
+        self.max_fresh = max_fresh
+
+    def solve(self, problem, timeout=None):
+        deadline = Deadline(timeout)
+        state = self._initial_state(problem)
+        if state is None:
+            return SolveResult("unsat")
+        self._fresh = 0
+        self._incomplete = False
+        self._problem = problem
+        outcome = self._split(state, 0, deadline)
+        if outcome is not None:
+            return outcome
+        if self._incomplete or deadline.expired():
+            return SolveResult("unknown")
+        return SolveResult("unsat")
+
+    # -- setup ------------------------------------------------------------------
+
+    def _initial_state(self, problem):
+        equations = []
+        memberships = {}
+        int_parts = []
+        tonums = []
+        charneqs = []
+        for constraint in problem:
+            if isinstance(constraint, WordEquation):
+                equations.append((self._explode(constraint.lhs),
+                                  self._explode(constraint.rhs)))
+            elif isinstance(constraint, RegularConstraint):
+                name = constraint.var.name
+                if name in memberships:
+                    memberships[name] = memberships[name].intersect(
+                        constraint.nfa)
+                else:
+                    memberships[name] = constraint.nfa.without_epsilon()
+                if memberships[name].is_empty():
+                    return None
+            elif isinstance(constraint, IntConstraint):
+                int_parts.append(constraint.formula)
+            elif isinstance(constraint, ToNum):
+                tonums.append((constraint.result, constraint.var.name))
+                int_parts.append(tonum_relaxation(constraint))
+            elif isinstance(constraint, CharNeq):
+                charneqs.append((constraint.left.name,
+                                 constraint.right.name))
+                int_parts.append(le(str_len(constraint.left), 1))
+                int_parts.append(le(str_len(constraint.right), 1))
+        for v in problem.string_vars():
+            int_parts.append(ge(str_len(v), 0))
+        return _State(equations, memberships, int_parts, tonums, charneqs,
+                      {})
+
+    def _explode(self, term):
+        """Literals become single-character items."""
+        items = []
+        for element in term:
+            if isinstance(element, StrVar):
+                items.append(element)
+            else:
+                items.extend(element)
+        return tuple(items)
+
+    # -- splitting search ----------------------------------------------------------
+
+    def _split(self, state, depth, deadline):
+        if deadline.expired():
+            self._incomplete = True
+            return None
+        if depth > self.max_depth or self._fresh > self.max_fresh:
+            self._incomplete = True
+            return None
+        state = self._simplify(state)
+        if state is None:
+            return None         # branch closed
+        equation = self._pick_equation(state)
+        if equation is None:
+            return self._leaf(state, deadline)
+        lhs, rhs = equation
+        branches = self._branches(state, lhs, rhs)
+        if branches is None:
+            self._incomplete = True
+            return None
+        for branch in branches:
+            outcome = self._split(branch, depth + 1, deadline)
+            if outcome is not None:
+                return outcome
+        return None
+
+    def _simplify(self, state):
+        """Strip matched prefixes/suffixes; close on direct contradiction.
+
+        Restarts the scan after every state mutation, since substitutions
+        rewrite all equations at once.
+        """
+        progress = True
+        while progress:
+            progress = False
+            for idx, (lhs, rhs) in enumerate(state.equations):
+                stripped_lhs, stripped_rhs = self._strip(lhs, rhs)
+                if stripped_lhs is None:
+                    return None
+                if not stripped_lhs and not stripped_rhs:
+                    del state.equations[idx]
+                    progress = True
+                    break
+                if not stripped_lhs or not stripped_rhs:
+                    # One side empty: every variable on the other side is
+                    # empty and no literal may remain.
+                    other = stripped_lhs or stripped_rhs
+                    if any(not isinstance(e, StrVar) for e in other):
+                        return None
+                    del state.equations[idx]
+                    for name in {e.name for e in other}:
+                        state = self._substitute(state, name, ())
+                        if state is None:
+                            return None
+                    progress = True
+                    break
+                if (stripped_lhs, stripped_rhs) != (lhs, rhs):
+                    state.equations[idx] = (stripped_lhs, stripped_rhs)
+                    progress = True
+        return state
+
+    @staticmethod
+    def _strip(lhs, rhs):
+        """Drop equal items from both ends; None on character clash."""
+        i = 0
+        while i < len(lhs) and i < len(rhs) and lhs[i] == rhs[i]:
+            i += 1
+        lhs, rhs = lhs[i:], rhs[i:]
+        if lhs and rhs and not isinstance(lhs[0], StrVar) \
+                and not isinstance(rhs[0], StrVar):
+            return None, None
+        j = 0
+        while (j < len(lhs) and j < len(rhs)
+               and lhs[len(lhs) - 1 - j] == rhs[len(rhs) - 1 - j]):
+            j += 1
+        if j:
+            lhs, rhs = lhs[:len(lhs) - j], rhs[:len(rhs) - j]
+        if lhs and rhs and not isinstance(lhs[-1], StrVar) \
+                and not isinstance(rhs[-1], StrVar):
+            return None, None
+        return lhs, rhs
+
+    @staticmethod
+    def _pick_equation(state):
+        best = None
+        for lhs, rhs in state.equations:
+            if lhs or rhs:
+                size = len(lhs) + len(rhs)
+                if best is None or size < best[0]:
+                    best = (size, (lhs, rhs))
+        return best[1] if best else None
+
+    def _branches(self, state, lhs, rhs):
+        """Levi's lemma case split on the first items."""
+        u = lhs[0] if lhs else None
+        v = rhs[0] if rhs else None
+        if not isinstance(u, StrVar) and not isinstance(v, StrVar):
+            return []           # two literals: _strip already handled clash
+        if isinstance(u, StrVar) and not isinstance(v, StrVar):
+            return self._var_vs_char(state, u, v)
+        if isinstance(v, StrVar) and not isinstance(u, StrVar):
+            return self._var_vs_char(state, v, u)
+        # var vs var
+        x, y = u, v
+        branches = []
+        for builder in (lambda s: self._substitute(s, x.name, (y,)),
+                        lambda s: self._sub_with_fresh(s, x.name, (y,), x),
+                        lambda s: self._sub_with_fresh(s, y.name, (x,), y)):
+            out = builder(state.copy())
+            if out is not None:
+                branches.append(out)
+        return branches
+
+    def _var_vs_char(self, state, x, char):
+        branches = []
+        empty = self._substitute(state.copy(), x.name, ())
+        if empty is not None:
+            branches.append(empty)
+        starts = self._sub_with_fresh(state.copy(), x.name, (char,), x)
+        if starts is not None:
+            branches.append(starts)
+        return branches
+
+    def _sub_with_fresh(self, state, name, prefix_items, original):
+        """x := prefix . x' with a fresh tail variable."""
+        self._fresh += 1
+        if self._fresh > self.max_fresh:
+            self._incomplete = True
+            return None
+        tail = StrVar("%s'%d" % (name.split("'")[0], self._fresh))
+        state.int_parts.append(ge(str_len(tail), 0))
+        return self._substitute(state, name, tuple(prefix_items) + (tail,))
+
+    def _substitute(self, state, name, replacement):
+        """Apply x := replacement across the whole state; None to close."""
+        target = StrVar(name)
+
+        def rewrite(term):
+            out = []
+            for element in term:
+                if element == target:
+                    out.extend(replacement)
+                else:
+                    out.append(element)
+            return tuple(out)
+
+        state.equations = [(rewrite(l), rewrite(r))
+                           for l, r in state.equations]
+        state.bindings[name] = replacement
+
+        # Length bookkeeping: |x| = sum of replacement lengths.
+        total = None
+        for element in replacement:
+            piece = str_len(element.name) if isinstance(element, StrVar) \
+                else 1
+            total = piece if total is None else total + piece
+        state.int_parts.append(eq(str_len(name),
+                                  0 if total is None else total))
+
+        # Membership propagation for the shapes we handle symbolically.
+        nfa = state.memberships.pop(name, None)
+        if nfa is not None:
+            if len(replacement) == 0:
+                if not nfa.accepts(()):
+                    return None
+            elif len(replacement) == 2 and not isinstance(replacement[0],
+                                                          StrVar) \
+                    and isinstance(replacement[1], StrVar):
+                code = self.alphabet.code(replacement[0])
+                derived = self._derivative(nfa, code)
+                if derived is None:
+                    return None
+                tail = replacement[1].name
+                if tail in state.memberships:
+                    state.memberships[tail] = \
+                        state.memberships[tail].intersect(derived)
+                else:
+                    state.memberships[tail] = derived
+                if state.memberships[tail].is_empty():
+                    return None
+            elif len(replacement) == 1 and isinstance(replacement[0],
+                                                      StrVar):
+                other = replacement[0].name
+                if other in state.memberships:
+                    state.memberships[other] = \
+                        state.memberships[other].intersect(nfa)
+                else:
+                    state.memberships[other] = nfa
+                if state.memberships[other].is_empty():
+                    return None
+            else:
+                # Composite replacement: the membership becomes a leaf-time
+                # concrete check (incompleteness is flagged there if it
+                # fails).
+                state.memberships[name] = nfa
+                state.bindings.pop(name, None)
+                return self._close_composite(state, name, nfa, replacement)
+        return state
+
+    def _close_composite(self, state, name, nfa, replacement):
+        # Keep the variable and re-add an equation x = replacement so the
+        # search can keep splitting it against the automaton later.
+        state.memberships[name] = nfa
+        state.equations.append(((StrVar(name),), tuple(replacement)))
+        return state
+
+    def _derivative(self, nfa, code):
+        base = nfa.without_epsilon()
+        initial_targets = set()
+        for sym, t in base.out_edges(base.initial):
+            if sym == code:
+                initial_targets.add(t)
+        if not initial_targets:
+            return None
+        transitions = list(base.transitions)
+        fresh = base.num_states
+        finals = set(base.finals)
+        new_finals = set()
+        for t in initial_targets:
+            for sym, u in base.out_edges(t):
+                transitions.append((fresh, sym, u))
+            if t in finals:
+                new_finals.add(fresh)
+        from repro.automata.nfa import NFA
+        result = NFA(base.num_states + 1, transitions, fresh,
+                     finals | new_finals).trim()
+        return None if result.is_empty() else result
+
+    # -- leaves -------------------------------------------------------------------
+
+    def _leaf(self, state, deadline):
+        """No equations left: discharge lengths/ints, then concretize."""
+        parts = list(state.int_parts)
+        for name, nfa in state.memberships.items():
+            shortest = nfa.shortest_word()
+            if shortest is None:
+                return None
+            from repro.core.overapprox import _acyclic_length_set
+            from repro.logic.formula import disj, eq as eq_f
+            lengths = _acyclic_length_set(nfa.without_epsilon().trim())
+            if lengths is not None:
+                parts.append(disj(*[eq_f(str_len(name), L)
+                                    for L in sorted(lengths)]))
+            else:
+                parts.append(ge(str_len(name), len(shortest)))
+        formula = conj(*parts)
+        blocked = []
+        for _ in range(self.max_leaf_attempts):
+            if deadline.expired():
+                self._incomplete = True
+                return None
+            result = solve_formula(conj(formula, *blocked),
+                                   deadline=deadline)
+            if result.status == "unsat":
+                if blocked:
+                    # The blocking clauses over-prune (same lengths may
+                    # admit different words), so this is not a proof.
+                    self._incomplete = True
+                return None
+            if result.status != "sat":
+                self._incomplete = True
+                return None
+            interp = self._concretize(state, result.model)
+            if interp is not None and check_model(self._problem, interp,
+                                                  self.alphabet):
+                return SolveResult("sat", model=interp)
+            # Block this length/value combination and retry.
+            lits = []
+            for name in self._leaf_vars(state):
+                lits.append(ne(str_len(name),
+                               result.model.get(length_var(name), 0)))
+            for result_var, _ in state.tonums:
+                lits.append(ne(int_var(result_var),
+                               result.model.get(result_var, 0)))
+            if not lits:
+                self._incomplete = True
+                return None
+            from repro.logic.formula import disj
+            blocked.append(disj(*lits))
+        self._incomplete = True
+        return None
+
+    def _leaf_vars(self, state):
+        names = set()
+        for v in self._problem.string_vars():
+            names.add(v.name)
+        for name in state.memberships:
+            names.add(name)
+        for name, term in state.bindings.items():
+            names.add(name)
+            for element in term:
+                if isinstance(element, StrVar):
+                    names.add(element.name)
+        return sorted(names)
+
+    def _concretize(self, state, model):
+        """Build concrete strings from leaf lengths and numeric targets."""
+        tonum_values = {name: model.get(result, -1)
+                        for result, name in state.tonums}
+        words = {}
+        for name in self._leaf_vars(state):
+            if name in state.bindings:
+                continue
+            length = model.get(length_var(name), 0)
+            if length < 0 or length > 4000:
+                return None
+            nfa = state.memberships.get(name)
+            value = tonum_values.get(name)
+            word = self._word_for(nfa, length, value)
+            if word is None:
+                return None
+            words[name] = word
+        # Resolve bound variables bottom-up (bindings reference later vars).
+        for name in reversed(list(state.bindings)):
+            term = state.bindings[name]
+            try:
+                words[name] = "".join(
+                    words[e.name] if isinstance(e, StrVar) else e
+                    for e in term)
+            except KeyError:
+                return None
+        interp = dict(words)
+        for int_name in self._problem.int_vars():
+            interp[int_name] = model.get(int_name, 0)
+        return interp
+
+    def _word_for(self, nfa, length, value):
+        """A word of exactly *length*, in *nfa* if given, spelling *value*
+        if a conversion targets this variable."""
+        if value is not None and value >= 0:
+            digits = str(value)
+            if len(digits) > length:
+                return None
+            candidate = "0" * (length - len(digits)) + digits
+            if nfa is None or nfa.accepts(
+                    self.alphabet.encode_word(candidate)):
+                return candidate
+            return None
+        if nfa is None:
+            if value is None:
+                return "a" * length
+            # value == -1: must not be a numeral.
+            if length == 0:
+                return ""
+            return "a" * length
+        word = self._nfa_word_of_length(nfa, length)
+        if word is None:
+            return None
+        text = self.alphabet.decode_word(word)
+        if value == -1 and to_num_value(text) != -1:
+            return None
+        return text
+
+    @staticmethod
+    def _nfa_word_of_length(nfa, length):
+        base = nfa.without_epsilon()
+        layers = [{base.initial: None}]
+        for i in range(length):
+            layer = {}
+            for s in layers[-1]:
+                for sym, t in base.out_edges(s):
+                    if t not in layer:
+                        layer[t] = (s, sym)
+            if not layer:
+                return None
+            layers.append(layer)
+        goal = next((s for s in layers[-1] if s in base.finals), None)
+        if goal is None:
+            return None
+        word = []
+        state = goal
+        for i in range(length, 0, -1):
+            prev, sym = layers[i][state]
+            word.append(sym)
+            state = prev
+        return list(reversed(word))

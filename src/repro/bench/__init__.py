@@ -1,0 +1,14 @@
+"""Benchmark harness: regenerates the paper's Tables 1-3.
+
+* :mod:`repro.bench.runner` — per-instance timeout runner with result
+  validation (SAT models re-checked concretely; answers compared against
+  generator ground truth, counting INCORRECT like the paper).
+* :mod:`repro.bench.tables` — table assembly/formatting.
+* ``python -m repro.bench.table1 / table2 / table3`` — CLI entry points.
+"""
+
+from repro.bench.runner import BenchmarkRunner, RunOutcome, SOLVERS
+from repro.bench.tables import format_table, summarize
+
+__all__ = ["BenchmarkRunner", "RunOutcome", "SOLVERS", "format_table",
+           "summarize"]

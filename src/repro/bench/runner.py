@@ -1,0 +1,106 @@
+"""Per-instance benchmark execution with validation.
+
+Mirrors the paper's methodology (Section 9): each instance runs under a
+per-instance timeout; a SAT answer is validated by substituting the model
+into the constraints (their "validator"); answers are classified as
+
+* SAT / UNSAT        — solved, and consistent with ground truth,
+* UNKNOWN            — the solver gave up within the time budget,
+* TIMEOUT            — the budget expired,
+* ERROR              — the solver crashed,
+* INCORRECT          — the answer contradicts the certified ground truth
+                       or the model fails validation.
+"""
+
+import time
+import traceback
+
+from repro.baselines import EnumerativeSolver, SplittingSolver
+from repro.core.solver import TrauSolver
+from repro.strings.eval import check_model
+
+SAT, UNSAT, UNKNOWN, TIMEOUT, ERROR, INCORRECT = (
+    "SAT", "UNSAT", "UNKNOWN", "TIMEOUT", "ERROR", "INCORRECT")
+
+OUTCOME_ROWS = [SAT, UNSAT, UNKNOWN, TIMEOUT, ERROR, INCORRECT]
+
+
+def default_solvers():
+    """The comparison line-up of every table.
+
+    ``pfa`` is the paper's contribution (Z3-Trau's role); ``splitting``
+    plays the DPLL(T) splitting family (CVC4/Z3); ``enumerative`` plays
+    the naive-search role (Z3Str3's row in our tables).
+    """
+    return {
+        "pfa": TrauSolver(),
+        "splitting": SplittingSolver(),
+        "enumerative": EnumerativeSolver(),
+    }
+
+
+SOLVERS = ("pfa", "splitting", "enumerative")
+
+
+class RunOutcome:
+    """Result of one (solver, instance) execution."""
+
+    __slots__ = ("instance", "solver", "classification", "seconds", "answer")
+
+    def __init__(self, instance, solver, classification, seconds, answer):
+        self.instance = instance
+        self.solver = solver
+        self.classification = classification
+        self.seconds = seconds
+        self.answer = answer
+
+    def __repr__(self):
+        return "%s on %s: %s (%.2fs)" % (self.solver, self.instance,
+                                         self.classification, self.seconds)
+
+
+class BenchmarkRunner:
+    """Runs suites of instances against the solver line-up."""
+
+    def __init__(self, solvers=None, timeout=10.0):
+        self.solvers = solvers or default_solvers()
+        self.timeout = timeout
+
+    def run_instance(self, instance, solver_name):
+        solver = self.solvers[solver_name]
+        start = time.monotonic()
+        try:
+            result = solver.solve(instance.problem, timeout=self.timeout)
+        except Exception:
+            return RunOutcome(instance.name, solver_name, ERROR,
+                              time.monotonic() - start,
+                              traceback.format_exc(limit=3))
+        elapsed = time.monotonic() - start
+        classification = self._classify(instance, result, elapsed)
+        return RunOutcome(instance.name, solver_name, classification,
+                          elapsed, result.status)
+
+    def _classify(self, instance, result, elapsed):
+        if result.status == "unknown":
+            return TIMEOUT if elapsed >= self.timeout else UNKNOWN
+        if result.status == "sat":
+            # Concrete validation is the ground truth: a validated model
+            # proves SAT even against a mislabeled instance.
+            if result.model is None or not check_model(instance.problem,
+                                                       result.model):
+                return INCORRECT
+            return SAT
+        if result.status == "unsat":
+            if instance.expected == "sat":
+                return INCORRECT
+            return UNSAT
+        return ERROR
+
+    def run_suite(self, instances, solver_names=None):
+        """All outcomes: {solver: [RunOutcome, ...]}."""
+        solver_names = solver_names or list(self.solvers)
+        outcomes = {name: [] for name in solver_names}
+        for instance in instances:
+            for name in solver_names:
+                outcomes[name].append(self.run_instance(instance, name))
+        return outcomes

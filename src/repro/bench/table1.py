@@ -1,0 +1,51 @@
+"""Table 1: basic string constraints across five suites.
+
+Run with ``python -m repro.bench.table1 [--count N] [--timeout S]``.
+The suites mirror the paper's PyEx / LeetCode / StringFuzz / cvc4pred /
+cvc4term families (generated; see DESIGN.md Section 5 for the
+substitution rationale); instance counts default to a laptop-scale sweep.
+"""
+
+import argparse
+
+from repro.bench.runner import BenchmarkRunner, SOLVERS
+from repro.bench.tables import format_table, summarize
+from repro.symbex import cvc4, fuzz, leetcode, pyex
+
+
+def suites_for(count, seed=0):
+    """The five Table 1 suites at *count* instances each."""
+    return [
+        ("PyEx", pyex.generate(count, seed)),
+        ("LeetCode", leetcode.generate(count, seed, basic_only=True)),
+        ("StringFuzz", fuzz.generate(count, seed)),
+        ("cvc4pred", cvc4.generate(count, seed, flavor="pred")),
+        ("cvc4term", cvc4.generate(count, seed, flavor="term")),
+    ]
+
+
+def run(count=10, timeout=10.0, solver_names=SOLVERS, seed=0):
+    runner = BenchmarkRunner(timeout=timeout)
+    results = []
+    for suite_name, instances in suites_for(count, seed):
+        outcomes = runner.run_suite(instances, list(solver_names))
+        results.append((suite_name, summarize(outcomes)))
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=10,
+                        help="instances per suite")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-instance timeout (seconds)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    results = run(args.count, args.timeout, seed=args.seed)
+    print(format_table(
+        "Table 1: basic string constraint benchmarks "
+        "(pfa = Z3-Trau's procedure)", results, list(SOLVERS)))
+
+
+if __name__ == "__main__":
+    main()

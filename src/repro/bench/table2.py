@@ -1,0 +1,46 @@
+"""Table 2: string-number conversion suites.
+
+Run with ``python -m repro.bench.table2 [--count N] [--timeout S]``.
+Three suites as in the paper: LeetCode (conversion-heavy problems),
+PythonLib (int()/date/time parsing), JavaScript (array-index semantics
+plus small Luhn paths).
+"""
+
+import argparse
+
+from repro.bench.runner import BenchmarkRunner, SOLVERS
+from repro.bench.tables import format_table, summarize
+from repro.symbex import javascript, leetcode, pythonlib
+
+
+def suites_for(count, seed=0):
+    return [
+        ("Leetcode", leetcode.generate(count, seed, conversions_only=True)),
+        ("PythonLib", pythonlib.generate(count, seed)),
+        ("JavaScript", javascript.generate(max(count - 3, 1), seed)),
+    ]
+
+
+def run(count=10, timeout=10.0, solver_names=SOLVERS, seed=0):
+    runner = BenchmarkRunner(timeout=timeout)
+    results = []
+    for suite_name, instances in suites_for(count, seed):
+        outcomes = runner.run_suite(instances, list(solver_names))
+        results.append((suite_name, summarize(outcomes)))
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--count", type=int, default=10)
+    parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    results = run(args.count, args.timeout, seed=args.seed)
+    print(format_table(
+        "Table 2: string-number conversion benchmarks "
+        "(pfa = Z3-Trau's procedure)", results, list(SOLVERS)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Table 3: the checkLuhn ladder, 2 to 12 loop iterations.
+
+Run with ``python -m repro.bench.table3 [--timeout S] [--max-loops K]``.
+Per-instance outcomes and times for each solver, as in the paper (which
+used a 120 s timeout here instead of Table 1/2's 10 s).
+"""
+
+import argparse
+
+from repro.bench.runner import BenchmarkRunner, SOLVERS
+from repro.bench.tables import format_per_instance
+from repro.symbex.common import Instance
+from repro.symbex.luhn import luhn_problem
+
+
+def instances_for(max_loops=12):
+    return [Instance("luhn-%02d" % k, luhn_problem(k), "sat")
+            for k in range(2, max_loops + 1)]
+
+
+def run(timeout=120.0, max_loops=12, solver_names=SOLVERS):
+    runner = BenchmarkRunner(timeout=timeout)
+    rows = []
+    for instance in instances_for(max_loops):
+        by_solver = {}
+        for name in solver_names:
+            by_solver[name] = runner.run_instance(instance, name)
+        rows.append((instance.name, by_solver))
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument("--max-loops", type=int, default=12)
+    args = parser.parse_args(argv)
+    rows = run(args.timeout, args.max_loops)
+    print(format_per_instance(
+        "Table 3: checkLuhn with 2..%d loops (pfa = Z3-Trau's procedure)"
+        % args.max_loops, rows, list(SOLVERS)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Assembly and text rendering of the paper's result tables."""
+
+from repro.bench.runner import OUTCOME_ROWS
+
+
+def summarize(outcomes):
+    """Count classifications: {solver: {classification: count}}."""
+    summary = {}
+    for solver, runs in outcomes.items():
+        counts = {row: 0 for row in OUTCOME_ROWS}
+        for run in runs:
+            counts[run.classification] += 1
+        summary[solver] = counts
+    return summary
+
+
+def format_table(title, suites, solver_names):
+    """Render the paper's table layout.
+
+    *suites* is ``[(suite_name, summary_dict), ...]`` where each summary
+    maps solver name to classification counts.  A Total block is appended,
+    matching Tables 1 and 2.
+    """
+    lines = [title, "=" * len(title), ""]
+    header = "%-12s %-10s" % ("suite", "outcome")
+    for name in solver_names:
+        header += " %12s" % name
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    totals = {name: {row: 0 for row in OUTCOME_ROWS}
+              for name in solver_names}
+    for suite_name, summary in suites:
+        for row in OUTCOME_ROWS:
+            text = "%-12s %-10s" % (suite_name, row)
+            for name in solver_names:
+                count = summary.get(name, {}).get(row, 0)
+                totals[name][row] += count
+                text += " %12d" % count
+            lines.append(text)
+            suite_name = ""
+        lines.append("-" * len(header))
+    if len(suites) > 1:
+        label = "Total"
+        for row in OUTCOME_ROWS:
+            text = "%-12s %-10s" % (label, row)
+            for name in solver_names:
+                text += " %12d" % totals[name][row]
+            lines.append(text)
+            label = ""
+    return "\n".join(lines)
+
+
+def format_per_instance(title, rows, solver_names):
+    """Render Table 3's per-instance layout.
+
+    *rows* is ``[(label, {solver: RunOutcome})]``.
+    """
+    lines = [title, "=" * len(title), ""]
+    header = "%-12s" % "instance"
+    for name in solver_names:
+        header += " %18s" % name
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, by_solver in rows:
+        text = "%-12s" % label
+        for name in solver_names:
+            run = by_solver.get(name)
+            if run is None:
+                cell = "-"
+            elif run.classification in ("SAT", "UNSAT"):
+                cell = "%s(%.2fs)" % (run.classification, run.seconds)
+            else:
+                cell = run.classification
+            text += " %18s" % cell
+        lines.append(text)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Command-line interface: solve SMT-LIB files with the PFA solver.
+
+Usage::
+
+    python -m repro FILE.smt2 [--timeout S] [--solver pfa|splitting|enum]
+                              [--model] [--validate]
+
+Prints ``sat``/``unsat``/``unknown`` like an SMT solver; ``--model`` adds
+a ``(model ...)`` block with the string/integer assignments.
+"""
+
+import argparse
+import sys
+
+from repro.baselines import EnumerativeSolver, SplittingSolver
+from repro.core.solver import TrauSolver
+from repro.smtlib import load_problem
+from repro.strings import check_model
+
+_SOLVERS = {
+    "pfa": TrauSolver,
+    "splitting": SplittingSolver,
+    "enum": EnumerativeSolver,
+}
+
+
+def _escape(text):
+    return text.replace('"', '""')
+
+
+def format_model(problem, model):
+    lines = ["(model"]
+    for v in sorted(problem.string_vars(), key=lambda s: s.name):
+        lines.append('  (define-fun %s () String "%s")'
+                     % (v.name, _escape(model.get(v.name, ""))))
+    for name in sorted(problem.int_vars()):
+        value = model.get(name, 0)
+        rendered = str(value) if value >= 0 else "(- %d)" % -value
+        lines.append("  (define-fun %s () Int %s)" % (name, rendered))
+    lines.append(")")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PFA-based string constraint solver "
+                    "(PLDI 2020 reproduction)")
+    parser.add_argument("file", help="SMT-LIB 2 input file ('-' for stdin)")
+    parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument("--solver", choices=sorted(_SOLVERS), default="pfa")
+    parser.add_argument("--model", action="store_true",
+                        help="print a model for sat answers")
+    parser.add_argument("--validate", action="store_true",
+                        help="re-check sat models concretely and report")
+    args = parser.parse_args(argv)
+
+    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    script = load_problem(text)
+    solver = _SOLVERS[args.solver]()
+    result = solver.solve(script.problem, timeout=args.timeout)
+
+    print(result.status)
+    if result.status == "sat":
+        if args.validate:
+            ok = check_model(script.problem, result.model)
+            print("; model %s" % ("validates" if ok else "FAILS validation"))
+        if args.model:
+            print(format_model(script.problem, result.model))
+    if script.expected and result.status in ("sat", "unsat") \
+            and result.status != script.expected:
+        print("; WARNING: expected status was %s" % script.expected)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Solver configuration and resource budgets.
+
+Every long-running component takes a :class:`Deadline` so a single wall-clock
+budget can be threaded through the SAT core, the simplex, and the automata
+constructions without relying on signals (which do not compose with pytest).
+"""
+
+import time
+from dataclasses import dataclass
+
+
+class Deadline:
+    """A wall-clock deadline checked cooperatively in inner loops."""
+
+    def __init__(self, seconds=None):
+        self._expires_at = None if seconds is None else time.monotonic() + seconds
+
+    @classmethod
+    def unbounded(cls):
+        return cls(None)
+
+    def expired(self):
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def remaining(self):
+        """Seconds left, or ``None`` if unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+
+@dataclass
+class RefinementStep:
+    """One (m, p, q) point of the paper's Section 9 strategy.
+
+    ``m`` is the chain length of numeric PFAs, ``p`` the number of loops of
+    standard PFAs, and ``q`` the length of each loop.
+    """
+    numeric_m: int
+    loops: int
+    loop_length: int
+
+
+@dataclass
+class SolverConfig:
+    """Tunable options of the top-level decision procedure.
+
+    The defaults follow the paper: initial (m, p, q) = (5, 2, q0) where q0
+    comes from a static analysis, then m doubles while p and q grow by one
+    per refinement round.
+    """
+
+    initial_numeric_m: int = 5
+    initial_loops: int = 2
+    initial_loop_length: int = 2    # q0 fallback when static analysis is silent
+    max_rounds: int = 3
+    max_numeric_m: int = 40
+    max_loops: int = 5
+    max_loop_length: int = 6
+    use_overapproximation: bool = True
+    use_static_analysis: bool = True
+    # Upper bound imposed on every Parikh counter so branch-and-bound
+    # terminates on unbounded polyhedra (see DESIGN.md Section 5).
+    parikh_counter_bound: int = 10 ** 9
+    # Branch-and-bound node budget per LIA check.
+    bb_node_limit: int = 200000
+    # DPLL(T) iteration budget.
+    smt_iteration_limit: int = 100000
+
+    def schedule(self, q0=None):
+        """The sequence of refinement steps, largest-first growth per paper."""
+        q = self.initial_loop_length if q0 is None else max(q0, 1)
+        m, p = self.initial_numeric_m, self.initial_loops
+        steps = []
+        for _ in range(self.max_rounds):
+            steps.append(RefinementStep(
+                numeric_m=min(m, self.max_numeric_m),
+                loops=min(p, self.max_loops),
+                loop_length=min(q, self.max_loop_length)))
+            m, p, q = m * 2, p + 1, q + 1
+        return steps
+
+
+DEFAULT_CONFIG = SolverConfig()

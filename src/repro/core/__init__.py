@@ -1,0 +1,7 @@
+"""The paper's decision procedure: PFAs, flattening, and the solver loop."""
+
+from repro.core.pfa import PA, PFA, numeric_pfa, standard_pfa, straight_pfa, literal_pfa
+from repro.core.solver import TrauSolver, SolveResult
+
+__all__ = ["PA", "PFA", "numeric_pfa", "standard_pfa", "straight_pfa",
+           "literal_pfa", "TrauSolver", "SolveResult"]

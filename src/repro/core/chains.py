@@ -1,0 +1,186 @@
+"""Chain detection and breaking (Section 4 / the chain-free fragment [5]).
+
+A system of word equations is *chain-free* when each equation can be
+oriented — one side designated as "defined by" the other — such that
+
+1. the induced dependency graph (an edge from every variable of the
+   defined side to every variable of the defining side) is acyclic, and
+2. no variable sits on two defined sides (the single-definition
+   discipline that generalizes the straight-line fragment).
+
+The paper's ``"0"x = x"0"`` has a chain: both orientations produce the
+self-edge ``x -> x``.  Likewise ``x = ay and y = xb`` is a chain: the only
+orientations that avoid the ``x -> y -> x`` cycle define one variable
+twice.
+
+Breaking a chain replaces one occurrence of a variable on the cycle with a
+fresh variable — *without* linking the fresh variable back, which is what
+makes the result an over-approximation: every solution of the original
+extends to the relaxed system (give the fresh variable the original's
+value), but the relaxed system admits more.
+
+Orientation search is exhaustive up to :data:`MAX_EXACT_EQUATIONS`
+equations and greedy beyond (a greedy failure may report a spurious chain;
+that only costs precision, never soundness, because breaking is itself an
+over-approximation).
+"""
+
+from repro.strings.ast import StringProblem, StrVar, WordEquation
+
+MAX_EXACT_EQUATIONS = 14
+
+
+def _sides(problem):
+    """Variable-name pairs (lhs_vars, rhs_vars) per equation."""
+    out = []
+    for constraint in problem:
+        if not isinstance(constraint, WordEquation):
+            continue
+        lhs = {e.name for e in constraint.lhs if isinstance(e, StrVar)}
+        rhs = {e.name for e in constraint.rhs if isinstance(e, StrVar)}
+        out.append((lhs, rhs))
+    return out
+
+
+def _has_cycle(edges):
+    """DFS cycle detection; returns a cycle's node list or None."""
+    graph = {}
+    for src, dst in edges:
+        graph.setdefault(src, set()).add(dst)
+    color = {}
+    path = []
+
+    def dfs(node):
+        color[node] = "grey"
+        path.append(node)
+        for succ in sorted(graph.get(node, ())):
+            if color.get(succ) == "grey":
+                return path[path.index(succ):]
+            if succ not in color:
+                cycle = dfs(succ)
+                if cycle is not None:
+                    return cycle
+        path.pop()
+        color[node] = "black"
+        return None
+
+    for node in sorted(graph):
+        if node not in color:
+            cycle = dfs(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def _edges_for(sides, orientation):
+    """Edges induced by an orientation bit vector (True = lhs defined)."""
+    edges = []
+    for (lhs, rhs), lhs_defined in zip(sides, orientation):
+        defined, defining = (lhs, rhs) if lhs_defined else (rhs, lhs)
+        for u in defined:
+            for v in defining:
+                edges.append((u, v))
+    return edges
+
+
+def _orientation_valid(sides, orientation):
+    defined_seen = set()
+    for (lhs, rhs), lhs_defined in zip(sides, orientation):
+        defined = lhs if lhs_defined else rhs
+        if defined & defined_seen:
+            return False
+        defined_seen |= defined
+    return _has_cycle(_edges_for(sides, orientation)) is None
+
+
+def find_orientation(problem):
+    """A valid orientation (list of booleans per equation), or None."""
+    sides = [s for s in _sides(problem) if s[0] or s[1]]
+    if not sides:
+        return []
+    if len(sides) <= MAX_EXACT_EQUATIONS:
+        for mask in range(1 << len(sides)):
+            orientation = [bool(mask >> i & 1) for i in range(len(sides))]
+            if _orientation_valid(sides, orientation):
+                return orientation
+        return None
+    # Greedy: orient each equation to stay valid if possible.
+    orientation = []
+    for i in range(len(sides)):
+        extended = False
+        for lhs_defined in (True, False):
+            trial = orientation + [lhs_defined]
+            if _orientation_valid(sides[: i + 1], trial):
+                orientation = trial
+                extended = True
+                break
+        if not extended:
+            return None
+    return orientation
+
+
+def is_chain_free(problem):
+    return find_orientation(problem) is not None
+
+
+def find_chain(problem):
+    """Variable names on some chain, or None if chain-free.
+
+    When no acyclic orientation exists, every orientation has a cycle;
+    the one reported comes from the all-lhs-defined orientation.
+    """
+    if is_chain_free(problem):
+        return None
+    sides = [s for s in _sides(problem) if s[0] or s[1]]
+    return _has_cycle(_edges_for(sides, [True] * len(sides)))
+
+
+def break_chains(problem, names, max_rounds=1000):
+    """Chain-free over-approximation of *problem* (paper Section 4)."""
+    current = StringProblem(list(problem))
+    for _ in range(max_rounds):
+        cycle = find_chain(current)
+        if cycle is None:
+            return current
+        current = _replace_one_occurrence(current, cycle[0], names)
+    return current
+
+
+def _replace_one_occurrence(problem, var_name, names):
+    """Replace one occurrence of *var_name* (preferring an equation where
+    it occurs on both sides, the tightest kind of chain) with a fresh
+    variable."""
+    out = StringProblem()
+    replaced = False
+
+    def rewrite_side(side, fresh):
+        rewritten = []
+        done = False
+        for element in side:
+            if not done and isinstance(element, StrVar) \
+                    and element.name == var_name:
+                rewritten.append(fresh)
+                done = True
+            else:
+                rewritten.append(element)
+        return tuple(rewritten), done
+
+    for constraint in problem:
+        if replaced or not isinstance(constraint, WordEquation):
+            out.add(constraint)
+            continue
+        lhs_has = any(isinstance(e, StrVar) and e.name == var_name
+                      for e in constraint.lhs)
+        rhs_has = any(isinstance(e, StrVar) and e.name == var_name
+                      for e in constraint.rhs)
+        if not (lhs_has and rhs_has) and not (lhs_has or rhs_has):
+            out.add(constraint)
+            continue
+        fresh = StrVar(names.fresh("chain." + var_name + "."))
+        if lhs_has:
+            new_lhs, replaced = rewrite_side(constraint.lhs, fresh)
+            out.add(WordEquation(new_lhs, constraint.rhs))
+        else:
+            new_rhs, replaced = rewrite_side(constraint.rhs, fresh)
+            out.add(WordEquation(constraint.lhs, new_rhs))
+    return out

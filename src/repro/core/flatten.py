@@ -1,0 +1,436 @@
+"""Flattening string constraints to linear arithmetic (Sections 6-8).
+
+Given a *flat domain restriction* ``R`` (a PFA per string variable), every
+atomic constraint becomes a linear formula over the character variables
+``v`` and occurrence counts ``#v`` of the PFAs, such that models of the
+conjunction decode (Theorem 6.2) to exactly the solutions of the original
+constraint whose strings lie inside their PFA languages.
+
+Per constraint kind:
+
+* word equations — concatenate the PFAs of each side (Section 7.2) and emit
+  the synchronization formula of the two sides;
+* regular constraints — synchronize ``R(x)`` against the parametric-automaton
+  rendering of the concrete automaton (Section 7.1);
+* integer constraints — add length definitions ``|x| = sum lv`` where each
+  ``lv`` is 0 for epsilon-valued characters and ``#v`` otherwise
+  (Section 7.3);
+* ``n = toNum(x)`` — the numeric-PFA value formula of Section 8, extended
+  with the empty-string and all-zeros edge cases the paper's formulas elide;
+* character disequalities (internal) — a single linear disequality between
+  the two one-transition PFAs' character variables.
+"""
+
+from repro.alphabet import EPSILON
+from repro.automata.nfa import EPS
+from repro.core.pfa import PA, count_var, literal_pfa
+from repro.core.sync import synchronization_formula
+from repro.errors import SolverError, UnsupportedConstraint
+from repro.logic.formula import (
+    FALSE, TRUE, conj, disj, eq, ge, implies, le, ne,
+)
+from repro.logic.sets import member_of, not_member_of
+from repro.logic.terms import const, var as int_var
+from repro.strings.ast import (
+    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
+    length_var,
+)
+
+
+def length_aux_var(char):
+    """Name of the per-character length contribution variable ``lv``."""
+    return "l." + char
+
+
+
+
+
+class Flattener:
+    """Builds ``flatten_R(problem)`` for a fixed domain restriction."""
+
+    def __init__(self, problem, restriction, alphabet, names,
+                 counter_bound=None):
+        self.problem = problem
+        self.restriction = restriction      # var name -> PFA
+        self.alphabet = alphabet
+        self.names = names
+        self.counter_bound = counter_bound
+
+    def pfa_of(self, string_var):
+        try:
+            return self.restriction[string_var.name]
+        except KeyError:
+            raise SolverError("no domain restriction for %r" % string_var)
+
+    # -- global structure -------------------------------------------------------
+
+    def flatten(self):
+        parts = [self._global_parts()]
+        for constraint in self.problem:
+            parts.append(self.flatten_constraint(constraint))
+        return conj(*parts)
+
+    def _global_parts(self):
+        """Per-PFA structure shared by all constraints: interpretation
+        constraints, flat Parikh images, character domains, and length
+        definitions for every string variable."""
+        parts = []
+        max_code = self.alphabet.max_code
+        for name, pfa in self.restriction.items():
+            if pfa.psi is not TRUE:
+                parts.append(pfa.psi)
+            parts.append(pfa.parikh_formula(self.counter_bound))
+            for v in pfa.char_vars:
+                bound = pfa.binding_of(v)
+                if bound is not None:
+                    parts.append(eq(int_var(v), bound))
+                else:
+                    parts.append(ge(int_var(v), EPSILON))
+                    parts.append(le(int_var(v), max_code))
+            parts.append(self._length_definition(name, pfa))
+        return conj(*parts)
+
+    def _length_definition(self, name, pfa):
+        """Psi_lx of Section 7.3: |x| = sum of per-character contributions.
+
+        Straight (shifted) PFAs get the cheaper positional form instead:
+        |x| = j exactly when the non-epsilon prefix ends at position j.
+        """
+        length = int_var(length_var(name))
+        if pfa.is_straight:
+            chain = [int_var(v) for v in pfa.stem]
+            m = len(chain)
+            cases = []
+            for j in range(m + 1):
+                case = [eq(length, j)]
+                if j > 0:
+                    case.append(ge(chain[j - 1], 0))
+                if j < m:
+                    case.append(eq(chain[j], EPSILON))
+                cases.append(conj(*case))
+            return disj(*cases)
+        parts = []
+        total = const(0)
+        for v in pfa.char_vars:
+            lv = int_var(length_aux_var(v))
+            total = total + lv
+            bound = pfa.binding_of(v)
+            if bound == EPSILON:
+                parts.append(eq(lv, 0))
+            elif bound is not None:
+                parts.append(eq(lv, int_var(count_var(v))))
+            else:
+                parts.append(disj(
+                    conj(eq(int_var(v), EPSILON), eq(lv, 0)),
+                    conj(ge(int_var(v), 0), eq(lv, int_var(count_var(v))))))
+        parts.append(eq(length, total))
+        return conj(*parts)
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def flatten_constraint(self, constraint):
+        if isinstance(constraint, WordEquation):
+            return self._flatten_equation(constraint)
+        if isinstance(constraint, RegularConstraint):
+            return self._flatten_regular(constraint)
+        if isinstance(constraint, IntConstraint):
+            return constraint.formula
+        if isinstance(constraint, ToNum):
+            return self._flatten_tonum(constraint)
+        if isinstance(constraint, CharNeq):
+            return self._flatten_charneq(constraint)
+        raise UnsupportedConstraint("cannot flatten %r" % (constraint,))
+
+    # -- word equations (Section 7.2) --------------------------------------------------
+
+    def _side_pfa(self, term):
+        """Concatenation of the PFAs of one side of an equation."""
+        if not term:
+            return literal_pfa(self.names.char_namer("lit"), [])
+        pfas = []
+        for element in term:
+            if isinstance(element, StrVar):
+                pfas.append(self.pfa_of(element))
+            else:
+                codes = self.alphabet.encode_word(element)
+                pfas.append(literal_pfa(self.names.char_namer("lit"), codes))
+        combined = pfas[0]
+        for nxt in pfas[1:]:
+            combined = combined.concat(nxt, self.names.fresh("eps."))
+        return combined
+
+    def _flatten_equation(self, constraint):
+        if self._positional_applicable(constraint.lhs) \
+                and self._positional_applicable(constraint.rhs):
+            return self._flatten_equation_positional(constraint)
+        left = self._side_pfa(constraint.lhs)
+        right = self._side_pfa(constraint.rhs)
+        prefix = self.names.fresh("eq.")
+        formula = synchronization_formula(left, right, prefix,
+                                          self.counter_bound)
+        # Concatenation introduced fresh epsilon and literal variables whose
+        # interpretation constraints are local to this equation.
+        extras = [left.psi, right.psi]
+        extras.extend(self._local_structure(left, constraint.lhs))
+        extras.extend(self._local_structure(right, constraint.rhs))
+        return conj(formula, *extras)
+
+    def _local_structure(self, side_pfa, term):
+        """Parikh structure for side-local variables (literal and epsilon
+        glue characters) that no global PFA covers."""
+        covered = set()
+        for element in term:
+            if isinstance(element, StrVar):
+                covered.update(self.pfa_of(element).char_vars)
+        parts = []
+        for v in side_pfa.stem:
+            if v not in covered:
+                parts.append(eq(int_var(count_var(v)), 1))
+        for loop in side_pfa.loops:
+            for v in loop:
+                if v not in covered:
+                    head = int_var(count_var(loop[0]))
+                    parts.append(ge(head, 0))
+                    if v != loop[0]:
+                        parts.append(eq(int_var(count_var(v)), head))
+        return parts
+
+    # -- positional equations over straight PFAs ------------------------------------------
+
+    def _positional_applicable(self, term):
+        """True when every variable piece of *term* has a straight PFA."""
+        for element in term:
+            if isinstance(element, StrVar) \
+                    and not self.pfa_of(element).is_straight:
+                return False
+        return True
+
+    def _pieces(self, term):
+        """(content, length_expr, max_length) per piece of a word term.
+
+        *content(p)* is the linear expression of the piece's character at
+        1-based local position ``p`` — exactly the p-th stem variable,
+        thanks to the shift discipline of straight PFAs.
+        """
+        pieces = []
+        for element in term:
+            if isinstance(element, StrVar):
+                stem = self.pfa_of(element).stem
+                pieces.append((
+                    [int_var(v) for v in stem],
+                    int_var(length_var(element.name)),
+                    len(stem)))
+            else:
+                codes = self.alphabet.encode_word(element)
+                pieces.append((
+                    [const(code) for code in codes],
+                    const(len(codes)),
+                    len(codes)))
+        return pieces
+
+    def _flatten_equation_positional(self, constraint):
+        """Word equality by positional alignment (no automata product).
+
+        With every piece in shifted straight form, the concatenated word's
+        character at global position g comes from the unique piece whose
+        window covers g; the two sides agree iff their lengths agree and
+        every pair of overlapping windows agrees pointwise.  The window
+        conditions are linear, so when the strategy pinned exact lengths
+        the presolver folds each implication to a direct character
+        equality.
+        """
+        left = self._pieces(constraint.lhs)
+        right = self._pieces(constraint.rhs)
+        parts = []
+
+        def total_length(pieces):
+            total = const(0)
+            for _, length, _ in pieces:
+                total = total + length
+            return total
+
+        parts.append(eq(total_length(left), total_length(right)))
+
+        left_offset = const(0)
+        for content_l, length_l, max_l in left:
+            right_offset = const(0)
+            for content_r, length_r, max_r in right:
+                for p in range(1, max_l + 1):
+                    for q in range(1, max_r + 1):
+                        aligned = conj(
+                            eq(left_offset + p, right_offset + q),
+                            le(const(p), length_l),
+                            le(const(q), length_r))
+                        if aligned is FALSE:
+                            continue
+                        parts.append(implies(
+                            aligned,
+                            eq(content_l[p - 1], content_r[q - 1])))
+                right_offset = right_offset + length_r
+            left_offset = left_offset + length_l
+        return conj(*parts)
+
+    # -- regular constraints (Section 7.1) ----------------------------------------------
+
+    def _flatten_regular(self, constraint):
+        target = self.pfa_of(constraint.var)
+        if target.is_straight:
+            dfa = constraint.dfa()
+            if dfa is not None:
+                return self._membership_unrolled(target, dfa)
+        throwaway = self._pa_of_nfa(constraint.compact_nfa())
+        prefix = self.names.fresh("re.")
+        return synchronization_formula(target, throwaway, prefix,
+                                       self.counter_bound)
+
+    def _membership_unrolled(self, pfa, dfa):
+        """Membership of a straight (shifted) PFA by DFA unrolling.
+
+        One state variable per word position; each step is a disjunction
+        over the current state's outgoing character classes (with an
+        explicit dead state -1 for rejected prefixes).  No flow variables,
+        no alignment ambiguity: boolean propagation walks the chain.
+        """
+        if dfa.num_states == 0 or not dfa.finals:
+            return FALSE
+        groups = {}
+        for src, sym, dst in dfa.transitions:
+            groups.setdefault(src, {}).setdefault(dst, []).append(sym)
+
+        dead = -1
+        max_state = dfa.num_states - 1
+        prefix = self.names.fresh("dfa.")
+
+        def state_var(j):
+            return int_var("%s.st%d" % (prefix, j))
+
+        parts = [eq(state_var(0), dfa.initial)]
+        for j in range(len(pfa.stem)):
+            u = int_var(pfa.stem[j])
+            prev, here = state_var(j), state_var(j + 1)
+            parts.append(ge(here, dead))
+            parts.append(le(here, max_state))
+            options = [conj(eq(u, EPSILON), eq(here, prev)),
+                       conj(eq(prev, dead), ge(u, 0), eq(here, dead))]
+            for q in range(dfa.num_states):
+                out = groups.get(q, {})
+                covered = []
+                for dst, codes in sorted(out.items()):
+                    covered.extend(codes)
+                    options.append(conj(
+                        eq(prev, q),
+                        member_of(u, sorted(codes)),
+                        eq(here, dst)))
+                # No outgoing class matches: the run dies.
+                options.append(conj(
+                    eq(prev, q), ge(u, 0),
+                    not_member_of(u, sorted(covered),
+                                  self.alphabet.max_code),
+                    eq(here, dead)))
+            parts.append(disj(*options))
+        final_state = state_var(len(pfa.stem))
+        parts.append(disj(*[eq(final_state, f) for f in dfa.finals]))
+        return conj(*parts)
+
+    def _pa_of_nfa(self, nfa):
+        """Render a concrete automaton as a throwaway PA.
+
+        Parallel transitions between the same state pair collapse into one
+        *class variable* constrained to the set of their symbols (as a
+        disjunction of contiguous ranges), so a ``[0-9]`` edge costs one
+        product transition instead of ten.  Single-symbol classes become
+        bindings, which the product construction prunes statically.
+        """
+        single = nfa.single_final()
+        namer = self.names.char_namer("re")
+        groups = {}
+        for src, sym, dst in single.transitions:
+            groups.setdefault((src, dst), set()).add(sym)
+
+        transitions = []
+        char_vars = []
+        bindings = {}
+        never_epsilon = set()
+        classes = {}
+        for (src, dst), symbols in sorted(groups.items()):
+            v = namer()
+            char_vars.append(v)
+            transitions.append((src, v, dst))
+            if EPS in symbols:
+                symbols = {s for s in symbols if s is not EPS}
+                symbols.add(EPSILON)
+            else:
+                never_epsilon.add(v)
+            if len(symbols) == 1:
+                bindings[v] = next(iter(symbols))
+            else:
+                classes[v] = symbols
+
+        from repro.automata.nfa import NFA
+        renamed = NFA(single.num_states, transitions, single.initial,
+                      single.finals)
+        return PA(renamed, char_vars, TRUE, bindings,
+                  track_counts=False, never_epsilon=never_epsilon,
+                  classes=classes)
+
+    # -- string-number conversion (Section 8) ----------------------------------------------
+
+    def _flatten_tonum(self, constraint):
+        pfa = self.pfa_of(constraint.var)
+        chain, zero_count = self._numeric_shape(pfa)
+        n = int_var(constraint.result)
+        m = len(chain)
+
+        if m == 0:
+            # Only "0"* (or only the empty string) is representable.
+            return disj(conj(eq(zero_count, 0), eq(n, -1)),
+                        conj(ge(zero_count, 1), eq(n, 0)))
+
+        chain_vars = [int_var(v) for v in chain]
+        nan = disj(*[ge(v, 10) for v in chain_vars])
+        not_nan = conj(*[le(v, 9) for v in chain_vars])
+        all_eps = conj(*[eq(v, EPSILON) for v in chain_vars])
+
+        # Psi_toInt: the last non-epsilon chain variable is v_k and the
+        # digits v_1..v_k spell n most-significant first.
+        to_int_cases = []
+        for k in range(1, m + 1):
+            value = const(0)
+            digit_conds = []
+            for i in range(k):
+                value = value * 10 + chain_vars[i]
+                digit_conds.append(ge(chain_vars[i], 0))
+            last = TRUE if k == m else eq(chain_vars[k], EPSILON)
+            to_int_cases.append(conj(last, eq(n, value), *digit_conds))
+
+        return disj(
+            conj(nan, eq(n, -1)),
+            conj(not_nan, all_eps, eq(zero_count, 0), eq(n, -1)),
+            conj(not_nan, all_eps, ge(zero_count, 1), eq(n, 0)),
+            conj(not_nan, disj(*to_int_cases)))
+
+    def _numeric_shape(self, pfa):
+        """Chain variables and leading-zero count expression of a PFA used
+        under toNum: a numeric PFA or a plain straight line."""
+        if pfa.numeric is not None:
+            zero_var, chain = pfa.numeric
+            return chain, int_var(count_var(zero_var))
+        if any(pfa.loops[i] for i in range(len(pfa.loops))):
+            raise UnsupportedConstraint(
+                "toNum variable %r needs a numeric or straight-line PFA"
+                % (pfa,))
+        return pfa.stem, const(0)
+
+    # -- character disequality ------------------------------------------------------------
+
+    def _flatten_charneq(self, constraint):
+        left = self._single_char(constraint.left)
+        right = self._single_char(constraint.right)
+        return ne(int_var(left), int_var(right))
+
+    def _single_char(self, variable):
+        pfa = self.pfa_of(variable)
+        if len(pfa.stem) != 1 or any(pfa.loops[i] for i in range(2)):
+            raise UnsupportedConstraint(
+                "CharNeq variable %r needs a one-transition PFA" % variable)
+        return pfa.stem[0]

@@ -1,0 +1,160 @@
+"""String-level normalization: constant propagation before flattening.
+
+Symbolic-execution constraints pin many variables to literals
+(``x = "GET"``).  Substituting those through the problem shrinks every
+downstream encoding and discharges constraints that become ground:
+
+* a ground word equation folds to true (dropped) or false (UNSAT);
+* a regular constraint on a pinned variable folds by acceptance;
+* ``n = toNum("42")`` becomes the integer constraint ``n = 42``;
+* a pinned character disequality folds by comparison;
+* length occurrences of pinned variables fold to constants.
+
+The pass is iterated: substitution can expose new pins (``x = y`` with
+``y`` pinned).  Everything returned is equivalent over the remaining
+variables, and the substitution map re-extends models of the reduced
+problem to the original variables.
+"""
+
+from repro.logic.formula import FALSE, substitute as substitute_formula
+from repro.strings.ast import (
+    CharNeq, IntConstraint, RegularConstraint, StringProblem, StrVar,
+    ToNum, WordEquation, length_var,
+)
+from repro.strings.eval import to_num_value
+
+
+class NormalizedProblem:
+    """Reduced problem plus the variable pins needed to rebuild models."""
+
+    __slots__ = ("problem", "pins", "infeasible")
+
+    def __init__(self, problem, pins, infeasible):
+        self.problem = problem
+        self.pins = pins            # var name -> literal string
+        self.infeasible = infeasible
+
+    def extend_model(self, model):
+        out = dict(model)
+        for name, value in self.pins.items():
+            out.setdefault(name, value)
+        return out
+
+
+def normalize(problem, alphabet, max_passes=20):
+    """Run constant propagation to a fixpoint."""
+    pins = {}
+    current = list(problem)
+    for _ in range(max_passes):
+        new_pins = _collect_pins(current, pins)
+        if not new_pins and _is_stable(current):
+            break
+        pins.update(new_pins)
+        reduced, infeasible = _apply(current, pins, alphabet)
+        if infeasible:
+            return NormalizedProblem(StringProblem(), pins, True)
+        if reduced == current and not new_pins:
+            break
+        current = reduced
+    return NormalizedProblem(StringProblem(current), pins, False)
+
+
+def _is_stable(constraints):
+    """No ground equations left to fold."""
+    for c in constraints:
+        if isinstance(c, WordEquation) and not c.string_vars():
+            return False
+    return True
+
+
+def _collect_pins(constraints, existing):
+    pins = {}
+    for c in constraints:
+        if not isinstance(c, WordEquation):
+            continue
+        for single, other in ((c.lhs, c.rhs), (c.rhs, c.lhs)):
+            if len(single) == 1 and isinstance(single[0], StrVar) \
+                    and all(isinstance(e, str) for e in other):
+                name = single[0].name
+                if name not in existing and name not in pins:
+                    pins[name] = "".join(other)
+    return pins
+
+
+def _substitute_term(term, pins):
+    out = []
+    for element in term:
+        if isinstance(element, StrVar) and element.name in pins:
+            value = pins[element.name]
+            if value:
+                out.append(value)
+        else:
+            out.append(element)
+    # Merge adjacent literals.
+    merged = []
+    for element in out:
+        if merged and isinstance(element, str) \
+                and isinstance(merged[-1], str):
+            merged[-1] += element
+        else:
+            merged.append(element)
+    return tuple(merged)
+
+
+def _apply(constraints, pins, alphabet):
+    reduced = []
+    length_pins = {length_var(name): len(value)
+                   for name, value in pins.items()}
+    for c in constraints:
+        if isinstance(c, WordEquation):
+            lhs = _substitute_term(c.lhs, pins)
+            rhs = _substitute_term(c.rhs, pins)
+            if not any(isinstance(e, StrVar) for e in lhs + rhs):
+                if "".join(lhs) != "".join(rhs):
+                    return [], True
+                continue
+            reduced.append(WordEquation(lhs, rhs))
+        elif isinstance(c, RegularConstraint):
+            if c.var.name in pins:
+                value = pins[c.var.name]
+                if not c.nfa.accepts(alphabet.encode_word(value)):
+                    return [], True
+                continue
+            reduced.append(c)
+        elif isinstance(c, ToNum):
+            if c.var.name in pins:
+                from repro.logic.formula import eq
+                from repro.logic.terms import var as int_var
+                value = to_num_value(pins[c.var.name])
+                reduced.append(IntConstraint(eq(int_var(c.result), value)))
+                continue
+            reduced.append(c)
+        elif isinstance(c, CharNeq):
+            left_pin = pins.get(c.left.name)
+            right_pin = pins.get(c.right.name)
+            if left_pin is not None and right_pin is not None:
+                valid = (len(left_pin) <= 1 and len(right_pin) <= 1
+                         and left_pin != right_pin)
+                if not valid:
+                    return [], True
+                continue
+            reduced.append(c)
+        elif isinstance(c, IntConstraint):
+            folded = substitute_formula(c.formula, length_pins)
+            if folded is FALSE:
+                return [], True
+            from repro.logic.formula import TRUE
+            if folded is TRUE:
+                continue
+            reduced.append(IntConstraint(folded))
+        else:
+            reduced.append(c)
+    # A pinned variable surviving in some constraint (e.g. one side of a
+    # CharNeq) still needs its defining equation.
+    still_used = set()
+    for c in reduced:
+        still_used.update(v.name for v in c.string_vars())
+    for name in sorted(still_used):
+        if name in pins:
+            reduced.append(WordEquation((StrVar(name),), (pins[name],)))
+    return reduced, False

@@ -1,0 +1,237 @@
+"""Over-approximation module (Section 4): prove UNSAT cheaply when possible.
+
+The paper relaxes the input into the decidable chain-free fragment and runs
+a complete procedure for it.  Our backend relaxes further, into linear
+integer arithmetic, and decides that directly (DESIGN.md Section 5); the
+relaxation per constraint is
+
+* word equation          -> equality of side lengths,
+* regular constraint     -> per-variable automata intersection (emptiness is
+                            immediate UNSAT) plus the exact Parikh length
+                            characterization of the intersection,
+* integer constraint     -> taken verbatim,
+* ``n = toNum(x)``       -> ``n >= -1`` and the two-sided digit-count/value
+                            bracketing between ``n`` and ``|x|`` (strictly
+                            tighter than the paper's relaxation, still sound),
+* character disequality  -> the characters cannot both be empty.
+
+Every step only forgets solutions of the original constraint, so an UNSAT
+answer transfers to the original problem; a SAT answer is inconclusive and
+hands control to the under-approximation.
+"""
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.automata.nfa import NFA
+from repro.automata.parikh import parikh_formula
+from repro.config import Deadline
+from repro.logic.formula import FALSE, TRUE, conj, disj, eq, ge, implies, le
+from repro.logic.terms import const, var as int_var
+from repro.smt import solve_formula
+from repro.strings.ast import (
+    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
+    str_len,
+)
+from repro.errors import UnsupportedConstraint
+
+# toNum(x) with n >= 10^18 is out of scope for the value/length bracketing;
+# larger numbers simply lose the |x|-side constraints (still sound).
+_MAX_TRACKED_DIGITS = 18
+
+
+def length_abstraction(problem, alphabet=DEFAULT_ALPHABET, names=None,
+                       include_regular=True):
+    """A sound LIA relaxation of *problem* over lengths and integers."""
+    parts = []
+    counter = [0]
+
+    def fresh_prefix(kind):
+        counter[0] += 1
+        return "$oa.%s%d" % (kind, counter[0])
+
+    for name in {v.name for v in problem.string_vars()}:
+        parts.append(ge(str_len(name), 0))
+
+    regular_by_var = {}
+    for constraint in problem:
+        if isinstance(constraint, WordEquation):
+            parts.append(eq(_term_length(constraint.lhs),
+                            _term_length(constraint.rhs)))
+        elif isinstance(constraint, RegularConstraint):
+            regular_by_var.setdefault(constraint.var.name, []).append(
+                constraint.nfa)
+        elif isinstance(constraint, IntConstraint):
+            parts.append(constraint.formula)
+        elif isinstance(constraint, ToNum):
+            parts.append(tonum_relaxation(constraint))
+        elif isinstance(constraint, CharNeq):
+            parts.append(ge(str_len(constraint.left)
+                            + str_len(constraint.right), 1))
+        else:
+            raise UnsupportedConstraint(
+                "cannot over-approximate %r" % (constraint,))
+
+    if include_regular:
+        for name, nfas in regular_by_var.items():
+            combined = nfas[0]
+            for nfa in nfas[1:]:
+                combined = combined.intersect(nfa)
+            parts.append(_regular_length_formula(name, combined,
+                                                 fresh_prefix("re")))
+    return conj(*parts)
+
+
+def _term_length(term):
+    total = const(0)
+    for element in term:
+        if isinstance(element, StrVar):
+            total = total + str_len(element)
+        else:
+            total = total + len(element)
+    return total
+
+
+def _regular_length_formula(name, nfa, prefix):
+    """Constraint tying |x| to the length image of L(nfa).
+
+    A finite language of lengths (acyclic automaton) becomes the exact
+    disjunction ``|x| = L1 or ... or |x| = Lk`` — small and transparent to
+    interval propagation, which the static length analysis depends on.
+    Cyclic automata keep the exact Parikh characterization plus an
+    explicit minimum-length atom for the propagator.
+    """
+    trimmed = nfa.without_epsilon().trim()
+    if trimmed.num_states == 0 or not trimmed.finals:
+        return FALSE
+    lengths = _acyclic_length_set(trimmed)
+    if lengths is not None:
+        return disj(*[eq(str_len(name), L) for L in sorted(lengths)])
+    symbols = sorted(trimmed.alphabet())
+    count_names = {sym: "%s.c%d" % (prefix, i)
+                   for i, sym in enumerate(symbols)}
+    phi = parikh_formula(trimmed, lambda sym: count_names[sym], prefix + ".f")
+    total = const(0)
+    for sym in symbols:
+        total = total + int_var(count_names[sym])
+    shortest = trimmed.shortest_word()
+    minimum = TRUE if shortest is None else ge(str_len(name), len(shortest))
+    return conj(phi, eq(str_len(name), total), minimum)
+
+
+def _acyclic_length_set(nfa):
+    """Accepted word lengths when the automaton is acyclic, else None."""
+    indegree = [0] * nfa.num_states
+    for _, _, dst in nfa.transitions:
+        indegree[dst] += 1
+    queue = [q for q in range(nfa.num_states) if indegree[q] == 0]
+    topo = []
+    while queue:
+        q = queue.pop()
+        topo.append(q)
+        for _, t in nfa.out_edges(q):
+            indegree[t] -= 1
+            if indegree[t] == 0:
+                queue.append(t)
+    if len(topo) != nfa.num_states:
+        return None
+    distances = [set() for _ in range(nfa.num_states)]
+    distances[nfa.initial].add(0)
+    for q in topo:
+        for _, t in nfa.out_edges(q):
+            distances[t].update(d + 1 for d in distances[q])
+    lengths = set()
+    for f in nfa.finals:
+        lengths.update(distances[f])
+    return lengths
+
+
+def tonum_relaxation(constraint):
+    """Sound bracketing between n = toNum(x) and |x|.
+
+    ``n = -1`` (not a numeral) or ``n >= 0`` with: a numeral has at least
+    one character (``|x| >= 1``); the value fits in its length
+    (``|x| = L -> n <= 10^L - 1``); and conversely a large value needs a
+    long string (``n >= 10^L -> |x| >= L + 1``).
+    """
+    n = int_var(constraint.result)
+    length = str_len(constraint.var)
+    # The bracketing implications hold unconditionally (for a non-numeral
+    # n = -1 falsifies every antecedent about n and satisfies every bound
+    # on n), so they live at the top level where interval propagation can
+    # use them.
+    parts = [ge(n, -1),
+             disj(eq(n, -1), conj(ge(n, 0), ge(length, 1)))]
+    for digits in range(_MAX_TRACKED_DIGITS + 1):
+        power = 10 ** digits
+        parts.append(implies(ge(n, power), ge(length, digits + 1)))
+        parts.append(implies(eq(length, digits), le(n, power - 1)))
+    return conj(*parts)
+
+
+class OverapproxOutcome:
+    """Result of the over-approximation phase."""
+
+    __slots__ = ("status", "reason")
+
+    def __init__(self, status, reason=None):
+        self.status = status        # "unsat" | "inconclusive"
+        self.reason = reason
+
+    def __repr__(self):
+        return "OverapproxOutcome(%s)" % self.status
+
+
+def derived_affix_constraints(problem, alphabet):
+    """Literal prefixes/suffixes entailed by word equations.
+
+    An equation whose one side is a single variable and whose other side
+    begins (ends) with a literal forces that variable to begin (end) with
+    the literal.  Returned as automata ``p . Sigma*`` / ``Sigma* . s`` so
+    they join the per-variable membership intersection — where clashing
+    prefixes become emptiness, the paper's chain-free module's job.
+    """
+    sigma_star = NFA.from_symbols(sorted(alphabet.codes())).star()
+    derived = []
+    for constraint in problem.by_kind(WordEquation):
+        for single, other in ((constraint.lhs, constraint.rhs),
+                              (constraint.rhs, constraint.lhs)):
+            if len(single) != 1 or not isinstance(single[0], StrVar) \
+                    or not other:
+                continue
+            name = single[0].name
+            if isinstance(other[0], str):
+                prefix = NFA.from_word(alphabet.encode_word(other[0]))
+                derived.append((name, prefix.concat(sigma_star)))
+            if isinstance(other[-1], str):
+                suffix = NFA.from_word(alphabet.encode_word(other[-1]))
+                derived.append((name, sigma_star.concat(suffix)))
+    return derived
+
+
+def overapproximate(problem, alphabet=DEFAULT_ALPHABET, deadline=None,
+                    config=None):
+    """Run the over-approximation; "unsat" proves the input UNSAT."""
+    deadline = deadline or Deadline.unbounded()
+
+    # Immediate emptiness check on intersected regular constraints,
+    # strengthened by literal prefixes/suffixes the equations entail.
+    regular_by_var = {}
+    for constraint in problem.by_kind(RegularConstraint):
+        regular_by_var.setdefault(constraint.var.name, []).append(
+            constraint.nfa)
+    for name, nfa in derived_affix_constraints(problem, alphabet):
+        regular_by_var.setdefault(name, []).append(nfa)
+    for name, nfas in regular_by_var.items():
+        combined = nfas[0]
+        for nfa in nfas[1:]:
+            combined = combined.intersect(nfa)
+        if combined.is_empty():
+            return OverapproxOutcome(
+                "unsat", "regular constraints on %s are inconsistent" % name)
+
+    formula = length_abstraction(problem, alphabet)
+    if formula is TRUE:
+        return OverapproxOutcome("inconclusive")
+    result = solve_formula(formula, deadline=deadline, config=config)
+    if result.status == "unsat":
+        return OverapproxOutcome("unsat", "length abstraction is infeasible")
+    return OverapproxOutcome("inconclusive")

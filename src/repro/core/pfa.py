@@ -1,0 +1,260 @@
+"""Parametric (flat) automata — Section 5 of the paper.
+
+A *parametric automaton* (PA) is an automaton whose transitions are labeled
+with integer *character variables* plus an interpretation constraint psi
+over those variables.  A *parametric flat automaton* (PFA) additionally has
+the flat shape: a straight stem of states, each optionally carrying one
+simple cycle, and every character variable on exactly one transition.
+
+Flatness makes the Parikh image a bijective encoding of the language
+(Lemma 5.1): a word is reconstructed from the per-variable occurrence
+counts plus the variable values (:meth:`PFA.decode`).  The occurrence-count
+variable of character variable ``v`` is named ``#v`` throughout
+(:func:`count_var`).
+
+The *numeric PFA* (Figure 3) is the special shape used for variables under
+``toNum``: a ``0``-self-loop (leading zeros) followed by a plain chain, so
+the induced value constraint stays linear.
+"""
+
+from repro.alphabet import EPSILON
+from repro.logic.formula import TRUE, conj, disj, eq, ge, implies, le, ne
+from repro.logic.terms import var as int_var
+from repro.automata.nfa import NFA
+from repro.errors import SolverError
+
+
+def count_var(char_var):
+    """Name of the Parikh (occurrence-count) variable of a character var."""
+    return "#" + char_var
+
+
+class PA:
+    """A parametric automaton: NFA over character variables + constraint.
+
+    ``bindings`` records character variables whose value is a known
+    constant (used for the PA encoding of a concrete automaton); the
+    synchronization construction exploits them to prune product transitions
+    statically.  ``track_counts`` says whether the variable occurrence
+    counts of this PA are meaningful to the rest of the constraint (true
+    for domain-restriction PFAs, false for throwaway encodings of concrete
+    automata).
+    """
+
+    def __init__(self, nfa, char_vars, psi=TRUE, bindings=None,
+                 track_counts=True, never_epsilon=None, classes=None):
+        if len(nfa.finals) != 1:
+            raise SolverError("parametric automata need a single final state")
+        self.nfa = nfa
+        self.char_vars = list(char_vars)
+        self.psi = psi
+        self.bindings = dict(bindings or {})
+        self.track_counts = track_counts
+        # Class labels: a "variable" that really denotes a SET of symbols
+        # (one collapsed transition of a concrete automaton).  Each firing
+        # of a product pair against a class label may pick a different
+        # member, so the synchronization emits a set-membership constraint
+        # on the other side instead of a value equality.
+        self.classes = {v: tuple(sorted(codes))
+                        for v, codes in (classes or {}).items()}
+        # Character variables whose interpretation can never be epsilon
+        # (e.g. class variables of a concrete automaton); the product
+        # construction prunes idle pairs against them.
+        self.never_epsilon = set(never_epsilon or ())
+        for v, value in self.bindings.items():
+            if value != EPSILON:
+                self.never_epsilon.add(v)
+
+    @property
+    def initial(self):
+        return self.nfa.initial
+
+    @property
+    def final(self):
+        return next(iter(self.nfa.finals))
+
+    def binding_of(self, char):
+        """Constant value of *char* if statically known, else None."""
+        return self.bindings.get(char)
+
+    def class_of(self, char):
+        """Symbol set of a class label, or None for a real variable."""
+        return self.classes.get(char)
+
+    def __repr__(self):
+        return "PA(vars=%d, %r)" % (len(self.char_vars), self.nfa)
+
+
+class PFA(PA):
+    """A flat PA described by its stem and per-stem-state loops.
+
+    ``stem`` is the list of character variables on the straight path
+    (length m); ``loops[i]`` is the list of character variables around stem
+    state ``i`` (length m+1, possibly empty lists).  The NFA is derived:
+    stem states come first (0..m), then loop states in order.
+    """
+
+    def __init__(self, stem, loops, psi=TRUE, bindings=None, numeric=None):
+        if len(loops) != len(stem) + 1:
+            raise SolverError("need exactly one loop slot per stem state")
+        self.stem = list(stem)
+        self.loops = [list(l) for l in loops]
+        self.numeric = numeric      # (zero_var, chain_vars) for numeric PFAs
+        nfa, char_vars = self._build_nfa()
+        seen = set()
+        for v in char_vars:
+            if v in seen:
+                raise SolverError("character variable %r reused" % v)
+            seen.add(v)
+        super().__init__(nfa, char_vars, psi, bindings)
+
+    def _build_nfa(self):
+        m = len(self.stem)
+        transitions = []
+        char_vars = []
+        next_state = m + 1
+        for i, loop in enumerate(self.loops):
+            if not loop:
+                continue
+            char_vars.extend(loop)
+            if len(loop) == 1:
+                transitions.append((i, loop[0], i))
+            else:
+                prev = i
+                for v in loop[:-1]:
+                    transitions.append((prev, v, next_state))
+                    prev = next_state
+                    next_state += 1
+                transitions.append((prev, loop[-1], i))
+        for i, v in enumerate(self.stem):
+            transitions.append((i, v, i + 1))
+            char_vars.append(v)
+        nfa = NFA(next_state, transitions, 0, [m])
+        return nfa, char_vars
+
+    @property
+    def is_straight(self):
+        """True when the PFA is a pure chain (no loops at all)."""
+        return not any(self.loops)
+
+    # -- the flat-automaton Parikh image (closed form) -----------------------
+
+    def parikh_formula(self, counter_bound=None):
+        """Linear formula tying ``#v`` counts to the flat structure.
+
+        Stem variables occur exactly once; all variables of one loop share
+        a common count >= 0 (optionally capped by *counter_bound* so the
+        integer search stays bounded).
+        """
+        parts = []
+        for v in self.stem:
+            parts.append(eq(int_var(count_var(v)), 1))
+        for loop in self.loops:
+            if not loop:
+                continue
+            head = int_var(count_var(loop[0]))
+            parts.append(ge(head, 0))
+            if counter_bound is not None:
+                parts.append(le(head, counter_bound))
+            for v in loop[1:]:
+                parts.append(eq(int_var(count_var(v)), head))
+        return conj(*parts)
+
+    # -- Lemma 5.1: decoding ---------------------------------------------------
+
+    def decode(self, assignment):
+        """Reconstruct the word (list of codes) from an integer model.
+
+        *assignment* maps character variables to values and ``#v`` names to
+        occurrence counts.  Epsilon-valued characters vanish.
+        """
+        codes = []
+
+        def emit(value):
+            if value != EPSILON:
+                codes.append(value)
+
+        for i, loop in enumerate(self.loops + [[]]):
+            if loop:
+                repeats = assignment[count_var(loop[0])]
+                for _ in range(repeats):
+                    for v in loop:
+                        emit(assignment[v])
+            if i < len(self.stem):
+                emit(assignment[self.stem[i]])
+        return codes
+
+    def concat(self, other, eps_var):
+        """``P · P'`` (Section 7): join final to initial through a fresh
+        variable forced to epsilon."""
+        stem = self.stem + [eps_var] + other.stem
+        loops = self.loops + other.loops
+        psi = conj(self.psi, other.psi,
+                   eq(int_var(eps_var), EPSILON))
+        bindings = dict(self.bindings)
+        bindings.update(other.bindings)
+        bindings[eps_var] = EPSILON
+        return PFA(stem, loops, psi, bindings)
+
+    def __repr__(self):
+        return "PFA(stem=%d, loops=%s%s)" % (
+            len(self.stem), [len(l) for l in self.loops],
+            ", numeric" if self.numeric else "")
+
+
+# -- canonical PFA shapes -------------------------------------------------------
+
+
+def straight_pfa(namer, length):
+    """Straight-line PFA of *length* transitions: all words of length <= m.
+
+    Shorter words use epsilon-valued variables; the shift constraint (the
+    Psi_shift discipline of Section 8, applied here to every straight PFA)
+    forces all epsilons behind the non-epsilon prefix.  This costs no
+    language coverage and makes the k-th character of the word equal the
+    k-th stem variable — the property the positional flattening of word
+    equations relies on.
+    """
+    stem = [namer() for _ in range(length)]
+    shift = conj(*[implies(ne(int_var(stem[i]), EPSILON),
+                           ne(int_var(stem[i - 1]), EPSILON))
+                   for i in range(1, length)])
+    return PFA(stem, [[] for _ in range(length + 1)], shift)
+
+
+def standard_pfa(namer, num_loops, loop_length):
+    """The paper's general pattern (Figure 1): *num_loops* stem states each
+    carrying a simple cycle of *loop_length* character variables."""
+    num_loops = max(num_loops, 1)
+    stem = [namer() for _ in range(num_loops - 1)]
+    loops = [[namer() for _ in range(loop_length)] for _ in range(num_loops)]
+    return PFA(stem, loops)
+
+
+def literal_pfa(namer, codes):
+    """PFA accepting exactly one concrete word (for word-term literals)."""
+    stem = [namer() for _ in codes]
+    psi = conj(*[eq(int_var(v), code) for v, code in zip(stem, codes)])
+    bindings = {v: code for v, code in zip(stem, codes)}
+    return PFA(stem, [[] for _ in range(len(stem) + 1)], psi, bindings)
+
+
+def numeric_pfa(namer, m):
+    """The numeric PFA (A^m, psi^m) of Section 8.
+
+    A ``0``-self-loop on the initial state followed by a chain of ``m``
+    character variables.  psi^m = Psi_NaN or (v0 = 0 and Psi_shift):
+    either some chain variable is a non-digit (the string is not a
+    numeral), or the loop contributes leading zeros and all epsilon-valued
+    chain variables are shifted behind the last significant digit.
+    """
+    zero_var = namer()
+    chain = [namer() for _ in range(m)]
+    loops = [[zero_var]] + [[] for _ in range(m)]
+
+    nan = disj(*[ge(int_var(v), 10) for v in chain])
+    shift = conj(*[implies(ne(int_var(chain[i]), EPSILON),
+                           ne(int_var(chain[i - 1]), EPSILON))
+                   for i in range(1, m)])
+    psi = disj(nan, conj(eq(int_var(zero_var), 0), shift))
+    return PFA(chain, loops, psi, numeric=(zero_var, chain))

@@ -1,0 +1,44 @@
+"""Input normalization ahead of flattening.
+
+Section 7.2 assumes every variable occurs at most once per word equation
+(counting both sides together); repeated occurrences are replaced by fresh
+variables linked with auxiliary equations ``x = x'``.  This module performs
+that expansion on a copy of the problem.
+"""
+
+from repro.strings.ast import StringProblem, StrVar, WordEquation
+
+
+def expand_duplicates(problem, names):
+    """Copy of *problem* where no word equation repeats a variable.
+
+    Every repeated occurrence is replaced by a fresh variable, and a new
+    two-variable equation ties the fresh variable back to the original.
+    The auxiliary equations themselves satisfy the single-occurrence
+    invariant by construction.
+    """
+    out = StringProblem()
+    extra = []
+    for constraint in problem:
+        if not isinstance(constraint, WordEquation):
+            out.add(constraint)
+            continue
+        seen = set()
+
+        def rewrite(term):
+            rewritten = []
+            for element in term:
+                if isinstance(element, StrVar):
+                    if element in seen:
+                        fresh = StrVar(names.fresh("dup." + element.name + "."))
+                        extra.append(WordEquation((element,), (fresh,)))
+                        element = fresh
+                    else:
+                        seen.add(element)
+                rewritten.append(element)
+            return tuple(rewritten)
+
+        out.add(WordEquation(rewrite(constraint.lhs),
+                             rewrite(constraint.rhs)))
+    out.extend(extra)
+    return out

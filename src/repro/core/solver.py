@@ -1,0 +1,136 @@
+"""The top-level decision procedure (Section 4 + Section 9 strategy).
+
+``TrauSolver.solve`` runs the two-phase loop of the paper:
+
+1. **Over-approximation** — a sound LIA relaxation; UNSAT here is UNSAT of
+   the input.
+2. **Under-approximation** — pick a flat domain restriction (PFA per string
+   variable), flatten the whole problem to a linear formula, and hand it to
+   the SMT core.  A model decodes to strings (Lemma 5.1) and is re-checked
+   by the concrete evaluator before being returned.  No model means the
+   restriction was too small: the next refinement round retries with larger
+   PFAs, and after the schedule is exhausted the solver answers UNKNOWN.
+"""
+
+import time
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.config import DEFAULT_CONFIG, Deadline
+from repro.core.flatten import Flattener
+from repro.core.names import NameFactory
+from repro.core.normalize import normalize
+from repro.core.overapprox import overapproximate
+from repro.core.preprocess import expand_duplicates
+from repro.core.strategy import (
+    analyze_lengths, build_restriction, loop_length_hint,
+)
+from repro.errors import SolverError
+from repro.smt import solve_formula
+from repro.strings.ast import StringProblem
+from repro.strings.eval import check_model, failing_constraints
+from repro.strings.ops import ProblemBuilder
+
+
+class SolveResult:
+    """Outcome of a string-constraint query."""
+
+    __slots__ = ("status", "model", "stats")
+
+    def __init__(self, status, model=None, stats=None):
+        self.status = status        # "sat" | "unsat" | "unknown"
+        self.model = model          # var name -> str (strings) / int
+        self.stats = stats or {}
+
+    def __repr__(self):
+        return "SolveResult(%s)" % self.status
+
+
+class TrauSolver:
+    """PFA-based string constraint solver (the paper's Z3-Trau)."""
+
+    def __init__(self, config=None, alphabet=DEFAULT_ALPHABET,
+                 validate=True):
+        self.config = config or DEFAULT_CONFIG
+        self.alphabet = alphabet
+        self.validate = validate
+
+    def solve(self, problem, timeout=None):
+        """Decide a :class:`StringProblem` (or a builder holding one)."""
+        if isinstance(problem, ProblemBuilder):
+            problem = problem.problem
+        if not isinstance(problem, StringProblem):
+            raise SolverError("expected a StringProblem")
+        deadline = Deadline(timeout)
+        names = NameFactory()
+        stats = {"rounds": 0, "started": time.monotonic()}
+
+        normalized = normalize(problem, self.alphabet)
+        if normalized.infeasible:
+            stats["phase"] = "normalization"
+            return SolveResult("unsat", stats=stats)
+        expanded = expand_duplicates(normalized.problem, names)
+
+        if self.config.use_overapproximation:
+            outcome = overapproximate(expanded, self.alphabet, deadline,
+                                      self.config)
+            if outcome.status == "unsat":
+                stats["phase"] = "overapproximation"
+                stats["reason"] = outcome.reason
+                return SolveResult("unsat", stats=stats)
+        if deadline.expired():
+            return SolveResult("unknown", stats=stats)
+
+        hints = {}
+        if self.config.use_static_analysis:
+            hints = analyze_lengths(expanded, self.alphabet, deadline,
+                                    self.config)
+        q0 = loop_length_hint(expanded, self.config.initial_loop_length)
+
+        for round_index, step in enumerate(self.config.schedule(q0)):
+            if deadline.expired():
+                break
+            stats["rounds"] = round_index + 1
+            restriction, complete = build_restriction(
+                expanded, step, names, self.alphabet, hints, round_index)
+            flattener = Flattener(expanded, restriction, self.alphabet,
+                                  names, self.config.parikh_counter_bound)
+            formula = flattener.flatten()
+            result = solve_formula(formula, deadline=deadline,
+                                   config=self.config)
+            if result.status == "unsat" and complete:
+                # Every variable's restriction provably covers all of its
+                # possible values (sound length bounds + straight PFAs),
+                # so the under-approximation is exact and its
+                # unsatisfiability transfers to the input.
+                stats["phase"] = "complete-underapproximation"
+                return SolveResult("unsat", stats=stats)
+            if result.status == "sat":
+                interp = self._decode(problem, normalized, restriction,
+                                      result.model)
+                if self.validate and not check_model(problem, interp,
+                                                     self.alphabet):
+                    raise SolverError(
+                        "decoded model fails validation on %r"
+                        % failing_constraints(problem, interp,
+                                              self.alphabet))
+                stats["phase"] = "underapproximation"
+                return SolveResult("sat", model=interp, stats=stats)
+            # UNSAT of the under-approximation is inconclusive; refine.
+        return SolveResult("unknown", stats=stats)
+
+    def _decode(self, problem, normalized, restriction, model):
+        """Turn an LIA model into a string/integer interpretation.
+
+        Variables eliminated by normalization come back from their pins;
+        the rest decode from their PFAs (Lemma 5.1).
+        """
+        interp = {}
+        for v in problem.string_vars():
+            if v.name in restriction:
+                codes = restriction[v.name].decode(model)
+                interp[v.name] = self.alphabet.decode_word(codes)
+            else:
+                interp[v.name] = normalized.pins.get(v.name, "")
+        for name in problem.int_vars():
+            interp[name] = model.get(name, 0)
+        return interp

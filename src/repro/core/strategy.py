@@ -1,0 +1,145 @@
+"""PFA selection strategy (Section 9).
+
+The paper: numeric PFAs for variables under string-number conversion,
+standard PFAs for the rest, with sizes (m, p, q) starting at (5, 2, q0)
+— q0 from an internal static analysis — and growing per refinement round.
+
+Our static analysis solves the length abstraction of the problem once and
+reads off a plausible length for every string variable.  Variables whose
+plausible length is small receive a straight-line PFA of that length (plus
+a little slack that grows with the refinement round); this is the
+workhorse for symbolic-execution constraints, where path conditions pin
+lengths exactly.  The hints are only heuristics: a wrong hint shrinks the
+under-approximation (still sound) and the next refinement round recovers.
+
+Variables appearing in character disequalities always get one-transition
+PFAs so the disequality flattens to a single linear atom.
+"""
+
+from math import inf
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.core.overapprox import length_abstraction
+from repro.core.pfa import numeric_pfa, standard_pfa, straight_pfa
+from repro.logic.intervals import propagate_intervals, range_of
+from repro.logic.presolve import presolve
+from repro.strings.ast import CharNeq, RegularConstraint, ToNum, length_var
+
+LENGTH_HINT_THRESHOLD = 40
+"""Hints above this length are ignored (the variable is treated as
+unbounded and covered by a loop-based PFA instead)."""
+
+
+def analyze_lengths(problem, alphabet=DEFAULT_ALPHABET, deadline=None,
+                    config=None):
+    """Sound length upper bounds: string var name -> max length.
+
+    The length abstraction is presolved (variable elimination turns the
+    per-position length chains of charAt/substr encodings into explicit
+    definitions) and interval propagation — including the branch-hull rule
+    over disjunctions — derives bounds every solution satisfies.
+    Restricting a variable to the straight-line PFA of its bound therefore
+    loses no solutions at all.
+    """
+    formula = length_abstraction(problem, alphabet)
+    # Propagate over the presolved formula (definitions make charAt-style
+    # length chains explicit) and over the original (whose direct bounds
+    # the definitions may hide), and keep the tighter of the two.
+    reduced, steps = presolve(formula)
+    state = propagate_intervals(reduced)
+    bounds = dict(state.bounds)
+    for var, expr in reversed(steps):
+        if var not in bounds:
+            bounds[var] = range_of(expr, bounds)
+    direct = propagate_intervals(formula)
+    for var, (lo, hi) in direct.bounds.items():
+        old_lo, old_hi = bounds.get(var, (lo, hi))
+        bounds[var] = (max(lo, old_lo), min(hi, old_hi))
+    hints = {}
+    for v in problem.string_vars():
+        _, hi = bounds.get(length_var(v.name), (-inf, inf))
+        if hi is not inf and 0 <= hi <= LENGTH_HINT_THRESHOLD:
+            hints[v.name] = int(hi)
+    return hints
+
+
+def classify_variables(problem):
+    """Partition string variables by the PFA shape they need."""
+    tonum = {c.var.name for c in problem.by_kind(ToNum)}
+    single_char = set()
+    for c in problem.by_kind(CharNeq):
+        single_char.add(c.left.name)
+        single_char.add(c.right.name)
+    return tonum, single_char
+
+
+def loop_length_hint(problem, default):
+    """q0 from static analysis: the longest short cycle among the
+    constraint automata, as a proxy for the period of solution words."""
+    best = default
+    for constraint in problem.by_kind(RegularConstraint):
+        cycle = _shortest_cycle_length(constraint.nfa)
+        if cycle is not None:
+            best = max(best, min(cycle, 6))
+    return best
+
+
+def _shortest_cycle_length(nfa):
+    base = nfa.without_epsilon().trim()
+    shortest = None
+    for start in range(base.num_states):
+        # BFS distance back to `start`.
+        distance = {start: 0}
+        queue = [start]
+        while queue:
+            state = queue.pop(0)
+            for _, target in base.out_edges(state):
+                if target == start:
+                    length = distance[state] + 1
+                    if shortest is None or length < shortest:
+                        shortest = length
+                    continue
+                if target not in distance:
+                    distance[target] = distance[state] + 1
+                    queue.append(target)
+    return shortest
+
+
+def build_restriction(problem, step, names, alphabet=DEFAULT_ALPHABET,
+                      length_hints=None, round_index=0):
+    """The flat domain restriction R: string var name -> PFA.
+
+    Returns ``(restriction, complete)``.  *complete* is True when every
+    variable received a straight-line PFA whose length is a *sound* upper
+    bound from the static analysis: the restriction then loses no
+    solutions, so an unsatisfiable flattening proves the input UNSAT.
+    """
+    length_hints = length_hints or {}
+    tonum_vars, single_char_vars = classify_variables(problem)
+    restriction = {}
+    complete = True
+    for v in sorted(problem.string_vars(), key=lambda s: s.name):
+        name = v.name
+        namer = names.char_namer(name)
+        hint = length_hints.get(name)
+        if name in single_char_vars:
+            restriction[name] = straight_pfa(namer, 1)
+            if hint is None or hint > 1:
+                complete = False
+        elif name in tonum_vars:
+            if hint is not None:
+                # A sound length bound makes the plain chain lossless even
+                # for conversions (leading zeros are just digit values),
+                # and keeps the variable eligible for positional equations.
+                restriction[name] = straight_pfa(
+                    namer, min(hint, LENGTH_HINT_THRESHOLD))
+            else:
+                restriction[name] = numeric_pfa(namer, step.numeric_m)
+                complete = False
+        elif hint is not None:
+            restriction[name] = straight_pfa(namer, hint)
+        else:
+            restriction[name] = standard_pfa(namer, step.loops,
+                                             step.loop_length)
+            complete = False
+    return restriction, complete

@@ -1,0 +1,30 @@
+"""Exception types shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class EncodingError(ReproError):
+    """A character or word cannot be (de)coded with the active alphabet."""
+
+
+class ParseError(ReproError):
+    """Malformed input to a parser (regex or SMT-LIB)."""
+
+    def __init__(self, message, position=None):
+        super().__init__(message if position is None
+                         else "%s (at position %d)" % (message, position))
+        self.position = position
+
+
+class SolverError(ReproError):
+    """Internal invariant violation inside a solver component."""
+
+
+class ResourceLimit(ReproError):
+    """A deadline or node budget was exhausted mid-search."""
+
+
+class UnsupportedConstraint(ReproError):
+    """A solver was given a constraint kind it does not handle."""

@@ -1,0 +1,262 @@
+"""Integer feasibility by branch-and-bound over the rational simplex.
+
+``IntegerSolver`` decides integer feasibility of conjunctions of linear
+atoms ``expr <= 0`` (each carrying an opaque tag):
+
+* atoms over a single variable become direct bounds, floored/ceiled to
+  integers immediately;
+* every other atom introduces a slack row (cached per coefficient
+  signature, so re-checking with different atom subsets reuses the
+  tableau); slack bounds are tightened to multiples of the row's
+  coefficient gcd — a slack is an integer combination of integer
+  variables, so its value is divisible by the gcd — which also catches
+  gcd-infeasible equalities such as ``2x - 2y = 1`` without search;
+* remaining fractional vertices are resolved by depth-first branching with
+  push/pop on the simplex.
+
+The solver is *incremental*: ``assert_base`` installs permanent atoms (the
+level-zero facts of the SMT search), and each ``check`` call tests a batch
+of additional atoms inside a push/pop frame — the tableau, its pivots, and
+the slack-row cache survive between calls, which is what makes the lazy
+DPLL(T) loop affordable.
+
+Infeasibility returns a conflict core: a subset of the supplied tags whose
+atoms are jointly integer-infeasible (union of leaf simplex cores across
+branches, sound because the two branch bounds are exhaustive over the
+integers).
+"""
+
+from fractions import Fraction
+from math import ceil, floor, gcd
+
+from repro.config import Deadline
+from repro.errors import ResourceLimit
+from repro.lia.simplex import Simplex
+
+
+class IntResult:
+    """Outcome of an integer feasibility check."""
+
+    __slots__ = ("status", "model", "conflict")
+
+    def __init__(self, status, model=None, conflict=None):
+        self.status = status          # "sat" | "unsat" | "unknown"
+        self.model = model            # var -> int, when sat
+        self.conflict = conflict      # list of tags, when unsat
+
+    def __repr__(self):
+        return "IntResult(%s)" % self.status
+
+
+_MISSING = object()
+
+
+def _row_key(expr):
+    """Canonical (sign-normalized) coefficient signature of an expression."""
+    items = tuple(sorted(expr.coeffs.items()))
+    sign = 1 if items[0][1] > 0 else -1
+    return tuple((v, sign * c) for v, c in items), sign
+
+
+class IntegerSolver:
+    """Incremental integer feasibility of tagged linear atoms."""
+
+    def __init__(self, node_limit=200000, deadline=None):
+        self._node_limit = node_limit
+        self._deadline = deadline or Deadline.unbounded()
+        self._simplex = Simplex()
+        self._slack_of = {}        # row signature -> (slack name, gcd)
+        self._slack_counter = 0
+        self._variables = set()
+        self._nodes = 0
+        self._prepare_cache = {}   # LinExpr -> prepared bound assertions
+
+    # -- turning atoms into bound assertions -----------------------------------
+
+    def _prepare(self, expr):
+        """Bound assertions for the atom ``expr <= 0``.
+
+        Returns a list of ``(var, is_upper, Fraction bound)``, defining
+        slack rows as a side effect.  Constant atoms return ``None`` when
+        trivially true and an empty-conflict marker when trivially false.
+        Results are cached: the lazy SMT loop re-checks the same atoms with
+        every candidate model.
+        """
+        _missing = _MISSING
+        cached = self._prepare_cache.get(expr, _missing)
+        if cached is not _missing:
+            return cached
+        prepared = self._prepare_uncached(expr)
+        self._prepare_cache[expr] = prepared
+        return prepared
+
+    def _prepare_uncached(self, expr):
+        if expr.is_constant():
+            return None if expr.constant <= 0 else "false"
+        bound = Fraction(-expr.constant)     # sum c x <= bound
+        if len(expr.coeffs) == 1:
+            (x, c), = expr.coeffs.items()
+            self._variables.add(x)
+            self._simplex.add_variable(x)
+            if c > 0:
+                return [(x, True, _floor_div(bound, c))]
+            return [(x, False, _ceil_div(bound, c))]
+        key, sign = _row_key(expr)
+        if key not in self._slack_of:
+            slack = "__s%d" % self._slack_counter
+            self._slack_counter += 1
+            coeffs = dict(key)
+            self._variables.update(coeffs)
+            g = 0
+            for c in coeffs.values():
+                g = gcd(g, abs(c))
+            self._simplex.define(slack, coeffs)
+            self._slack_of[key] = (slack, max(g, 1))
+        slack, g = self._slack_of[key]
+        if sign > 0:
+            return [(slack, True, Fraction(g * floor(Fraction(bound, g))))]
+        return [(slack, False, Fraction(g * ceil(Fraction(-bound, g))))]
+
+    def _assert(self, prepared, tag):
+        for var, is_upper, value in prepared:
+            conflict = (self._simplex.assert_upper(var, value, tag)
+                        if is_upper
+                        else self._simplex.assert_lower(var, value, tag))
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- public API ----------------------------------------------------------------
+
+    def assert_base(self, expr, tag=None):
+        """Permanently assert ``expr <= 0``; returns a conflict or None."""
+        prepared = self._prepare(expr)
+        if prepared is None:
+            return None
+        if prepared == "false":
+            return [tag] if tag is not None else []
+        return self._assert(prepared, tag)
+
+    def check(self, tagged_exprs, shrink=True, node_limit=None):
+        """Feasibility of the base atoms plus *tagged_exprs* (one frame).
+
+        An unsatisfiable answer's conflict core is greedily shrunk (each
+        candidate removal re-checked with a small budget): branch-and-bound
+        merges cores across branches, and small cores make far stronger
+        theory lemmas for the SMT loop.
+        """
+        result = self._check_once(tagged_exprs, node_limit)
+        if not shrink or result.status != "unsat":
+            return result
+        core = result.conflict
+        if not 1 < len(core) <= 25:
+            return result
+        expr_of = {tag: expr for expr, tag in tagged_exprs
+                   if tag is not None}
+        for tag in list(core):
+            if tag not in core or tag not in expr_of:
+                continue
+            trial = [(expr_of[t], t) for t in core
+                     if t != tag and t in expr_of]
+            retry = self._check_once(trial, node_limit=2000)
+            if retry.status == "unsat":
+                core = retry.conflict
+        return IntResult("unsat", conflict=core)
+
+    def _check_once(self, tagged_exprs, node_limit=None):
+        self._simplex.push()
+        try:
+            for expr, tag in tagged_exprs:
+                prepared = self._prepare(expr)
+                if prepared is None:
+                    continue
+                if prepared == "false":
+                    return IntResult("unsat",
+                                     conflict=[tag] if tag is not None else [])
+                conflict = self._assert(prepared, tag)
+                if conflict is not None:
+                    return IntResult("unsat", conflict=conflict)
+            self._nodes = 0
+            if node_limit is not None:
+                self._nodes = max(0, self._node_limit - node_limit)
+            try:
+                return self._search(0)
+            except ResourceLimit:
+                return IntResult("unknown")
+        finally:
+            self._simplex.pop()
+
+    def solve(self):
+        """One-shot feasibility of the base atoms alone."""
+        return self.check([])
+
+    # -- branch and bound --------------------------------------------------------------
+
+    def _search(self, depth):
+        self._nodes += 1
+        if self._nodes > self._node_limit or depth > 600:
+            raise ResourceLimit("branch-and-bound budget exhausted")
+        if self._deadline.expired():
+            raise ResourceLimit("deadline expired")
+        status = self._simplex.check(self._deadline)
+        if status == "unsat":
+            core = [t for t in self._simplex.conflict if t is not None]
+            return IntResult("unsat", conflict=core)
+        branch_var = None
+        branch_val = None
+        for var in sorted(self._variables):
+            value = self._simplex.value(var)
+            if value.denominator != 1:
+                branch_var, branch_val = var, value
+                break
+        if branch_var is None:
+            model = {var: int(self._simplex.value(var))
+                     for var in self._variables if not var.startswith("__")}
+            return IntResult("sat", model=model)
+
+        lo = floor(branch_val)
+        cores = []
+        for is_upper, bound in ((True, Fraction(lo)), (False, Fraction(lo + 1))):
+            self._simplex.push()
+            conflict = (self._simplex.assert_upper(branch_var, bound, None)
+                        if is_upper
+                        else self._simplex.assert_lower(branch_var, bound, None))
+            if conflict is not None:
+                self._simplex.pop()
+                cores.append([t for t in conflict if t is not None])
+                continue
+            result = self._search(depth + 1)
+            self._simplex.pop()
+            if result.status == "sat":
+                return result
+            if result.status == "unknown":
+                raise ResourceLimit("branch-and-bound budget exhausted")
+            cores.append(result.conflict)
+        merged = []
+        seen = set()
+        for core in cores:
+            for tag in core:
+                if tag not in seen:
+                    seen.add(tag)
+                    merged.append(tag)
+        return IntResult("unsat", conflict=merged)
+
+
+def _floor_div(a, b):
+    return Fraction(floor(Fraction(a, b)))
+
+
+def _ceil_div(a, b):
+    return Fraction(ceil(Fraction(a, b)))
+
+
+def solve_atoms(tagged_atoms, node_limit=200000, deadline=None):
+    """Convenience wrapper: integer feasibility of ``[(LinExpr, tag), ...]``."""
+    solver = IntegerSolver(node_limit=node_limit, deadline=deadline)
+    conflicts = []
+    for expr, tag in tagged_atoms:
+        conflict = solver.assert_base(expr, tag)
+        if conflict is not None:
+            conflicts = conflict
+            return IntResult("unsat", conflict=conflicts)
+    return solver.solve()

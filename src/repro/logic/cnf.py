@@ -1,0 +1,139 @@
+"""Tseitin conversion of linear-atom formulas to CNF.
+
+The formula is first brought to negation normal form, so the encoding only
+needs the one-sided (Plaisted-Greenbaum) implications: every model of the
+CNF, restricted to the atom variables, satisfies the boolean skeleton of the
+original formula.
+
+Atoms are canonicalized before being given SAT variables so that an atom and
+its integer complement (``e <= 0`` versus ``1 - e <= 0``) map to opposite
+literals of one variable.  This halves the theory's work and lets the SAT
+core see the propositional structure of comparisons.
+"""
+
+from math import gcd
+
+from repro.logic.terms import LinExpr
+from repro.logic.formula import (
+    Atom, And, Or, BoolConst, nnf,
+)
+from repro.errors import SolverError
+
+
+def _canonical(expr):
+    """Canonical key of the atom ``expr <= 0``.
+
+    Divides through by the gcd of the coefficients, tightening the constant
+    with integer floor division, so equivalent integer atoms collide.
+    Returns ``(coeff_tuple, constant)``.
+    """
+    coeffs = sorted(expr.coeffs.items())
+    g = 0
+    for _, c in coeffs:
+        g = gcd(g, abs(c))
+    if g > 1:
+        # sum c x <= -k  ==>  sum (c/g) x <= floor(-k/g)
+        bound = (-expr.constant) // g
+        coeffs = [(v, c // g) for v, c in coeffs]
+        constant = -bound
+    else:
+        constant = expr.constant
+    return tuple(coeffs), constant
+
+
+class AtomRegistry:
+    """Bidirectional map between canonical atoms and SAT literals."""
+
+    def __init__(self):
+        self._key_to_var = {}
+        self._var_to_atom = {}
+        self._next_var = 1
+        self._occurrences = set()
+
+    @property
+    def variable_count(self):
+        return self._next_var - 1
+
+    def fresh_var(self):
+        """Allocate a SAT variable with no attached atom (Tseitin label)."""
+        v = self._next_var
+        self._next_var += 1
+        return v
+
+    def literal(self, atom):
+        """SAT literal for *atom*, reusing the complement's variable."""
+        key = _canonical(atom.expr)
+        if key in self._key_to_var:
+            return self._key_to_var[key]
+        complement_key = _canonical(LinExpr.of_const(1) - atom.expr)
+        if complement_key in self._key_to_var:
+            return -self._key_to_var[complement_key]
+        v = self.fresh_var()
+        self._key_to_var[key] = v
+        self._var_to_atom[v] = atom
+        return v
+
+    def atom_of(self, variable):
+        """The Atom attached to a SAT *variable*, or ``None`` for labels."""
+        return self._var_to_atom.get(variable)
+
+    def note_occurrence(self, literal):
+        """Record that *literal* (with this polarity) occurs in the CNF."""
+        self._occurrences.add(literal)
+
+    def occurs(self, literal):
+        """Does *literal* occur anywhere with this polarity?
+
+        A theory literal that never occurs is a don't-care for the boolean
+        skeleton: the lazy SMT loop need not assert its atom.
+        """
+        return literal in self._occurrences
+
+    def theory_variables(self):
+        """All SAT variables that carry atoms."""
+        return list(self._var_to_atom)
+
+
+def tseitin(formula, registry=None):
+    """Convert *formula* to CNF clauses.
+
+    Returns ``(clauses, registry)`` where *clauses* is a list of lists of
+    non-zero integer literals and *registry* maps literals back to atoms.
+    An unsatisfiable input yields the empty clause; a valid one yields no
+    clauses.
+    """
+    if registry is None:
+        registry = AtomRegistry()
+    formula = nnf(formula)
+    if isinstance(formula, BoolConst):
+        return ([] if formula.value else [[]]), registry
+
+    clauses = []
+    cache = {}
+
+    def encode(f):
+        if f in cache:
+            return cache[f]
+        if isinstance(f, Atom):
+            lit = registry.literal(f)
+            registry.note_occurrence(lit)
+        elif isinstance(f, And):
+            lit = registry.fresh_var()
+            for arg in f.args:
+                clauses.append([-lit, encode(arg)])
+        elif isinstance(f, Or):
+            lit = registry.fresh_var()
+            clauses.append([-lit] + [encode(arg) for arg in f.args])
+        elif isinstance(f, BoolConst):
+            # Only reachable under And/Or whose smart constructors folded
+            # constants away, but guard anyway.
+            lit = registry.fresh_var()
+            clauses.append([lit] if f.value else [-lit])
+        else:
+            raise SolverError("unexpected node in NNF: %r" % (f,))
+        cache[f] = lit
+        return lit
+
+    root = encode(formula)
+    clauses.append([root])
+    return clauses, registry

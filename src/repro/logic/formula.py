@@ -1,0 +1,297 @@
+"""Boolean formula AST over linear atoms.
+
+The only atom kind is ``e <= 0`` for a :class:`~repro.logic.terms.LinExpr`
+``e``; every comparison is normalized into this form at construction time
+(integers make strict inequalities exact: ``e < 0`` is ``e + 1 <= 0``).
+Negated atoms stay atoms: ``not (e <= 0)`` is ``1 - e <= 0``.
+
+Constructors :func:`conj` and :func:`disj` fold constants and flatten nested
+connectives so the formulas handed to the CNF converter are small.
+"""
+
+from repro.logic.terms import LinExpr
+from repro.errors import SolverError
+
+
+class Formula:
+    """Base class; use the module-level builders instead of subclasses."""
+
+    __slots__ = ()
+
+    def __and__(self, other):
+        return conj(self, other)
+
+    def __or__(self, other):
+        return disj(self, other)
+
+    def __invert__(self):
+        return neg(self)
+
+
+class BoolConst(Formula):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = bool(value)
+
+    def __eq__(self, other):
+        return isinstance(other, BoolConst) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("bool", self.value))
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+class Atom(Formula):
+    """The linear atom ``expr <= 0``."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+    def negate(self):
+        """``not (e <= 0)`` is ``e >= 1`` is ``1 - e <= 0``."""
+        return Atom(LinExpr.of_const(1) - self.expr)
+
+    def __eq__(self, other):
+        return isinstance(other, Atom) and self.expr == other.expr
+
+    def __hash__(self):
+        return hash(("atom", self.expr))
+
+    def __repr__(self):
+        return "(%r <= 0)" % self.expr
+
+
+class And(Formula):
+    __slots__ = ("args",)
+
+    def __init__(self, args):
+        self.args = tuple(args)
+
+    def __eq__(self, other):
+        return isinstance(other, And) and self.args == other.args
+
+    def __hash__(self):
+        return hash(("and", self.args))
+
+    def __repr__(self):
+        return "(and %s)" % " ".join(map(repr, self.args))
+
+
+class Or(Formula):
+    __slots__ = ("args",)
+
+    def __init__(self, args):
+        self.args = tuple(args)
+
+    def __eq__(self, other):
+        return isinstance(other, Or) and self.args == other.args
+
+    def __hash__(self):
+        return hash(("or", self.args))
+
+    def __repr__(self):
+        return "(or %s)" % " ".join(map(repr, self.args))
+
+
+class Not(Formula):
+    __slots__ = ("arg",)
+
+    def __init__(self, arg):
+        self.arg = arg
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and self.arg == other.arg
+
+    def __hash__(self):
+        return hash(("not", self.arg))
+
+    def __repr__(self):
+        return "(not %r)" % self.arg
+
+
+# -- smart constructors ----------------------------------------------------
+
+def conj(*formulas):
+    """Conjunction with constant folding and flattening."""
+    flat = []
+    for f in _flatten(formulas):
+        if isinstance(f, BoolConst):
+            if not f.value:
+                return FALSE
+        elif isinstance(f, And):
+            flat.extend(f.args)
+        else:
+            flat.append(f)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def disj(*formulas):
+    """Disjunction with constant folding and flattening."""
+    flat = []
+    for f in _flatten(formulas):
+        if isinstance(f, BoolConst):
+            if f.value:
+                return TRUE
+        elif isinstance(f, Or):
+            flat.extend(f.args)
+        else:
+            flat.append(f)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(flat)
+
+
+def _flatten(formulas):
+    for f in formulas:
+        if isinstance(f, (list, tuple)):
+            for g in f:
+                yield g
+        else:
+            yield f
+
+
+def neg(formula):
+    """Negation, pushed through constants, atoms and double negation."""
+    if isinstance(formula, BoolConst):
+        return FALSE if formula.value else TRUE
+    if isinstance(formula, Atom):
+        return formula.negate()
+    if isinstance(formula, Not):
+        return formula.arg
+    return Not(formula)
+
+
+def implies(antecedent, consequent):
+    return disj(neg(antecedent), consequent)
+
+
+def iff(left, right):
+    return conj(implies(left, right), implies(right, left))
+
+
+# -- comparison builders ----------------------------------------------------
+
+def le(a, b):
+    """a <= b"""
+    diff = LinExpr.coerce(a) - LinExpr.coerce(b)
+    if diff.is_constant():
+        return TRUE if diff.constant <= 0 else FALSE
+    return Atom(diff)
+
+
+def lt(a, b):
+    """a < b (integers: a <= b - 1)"""
+    return le(LinExpr.coerce(a) + 1, b)
+
+
+def ge(a, b):
+    """a >= b"""
+    return le(b, a)
+
+
+def gt(a, b):
+    """a > b"""
+    return lt(b, a)
+
+
+def eq(a, b):
+    """a == b"""
+    return conj(le(a, b), le(b, a))
+
+
+def ne(a, b):
+    """a != b, split into the two integer half-spaces."""
+    return disj(lt(a, b), gt(a, b))
+
+
+# -- traversals --------------------------------------------------------------
+
+def atoms_of(formula):
+    """The set of distinct atoms occurring in *formula*."""
+    found = set()
+    _walk(formula, lambda f: found.add(f) if isinstance(f, Atom) else None)
+    return found
+
+
+def variables_of(formula):
+    """The set of integer variables occurring in *formula*."""
+    found = set()
+    _walk(formula, lambda f: found.update(f.expr.variables())
+          if isinstance(f, Atom) else None)
+    return found
+
+
+def _walk(formula, visit):
+    stack = [formula]
+    while stack:
+        f = stack.pop()
+        visit(f)
+        if isinstance(f, (And, Or)):
+            stack.extend(f.args)
+        elif isinstance(f, Not):
+            stack.append(f.arg)
+
+
+def evaluate(formula, assignment):
+    """Truth value of *formula* under an integer assignment."""
+    if isinstance(formula, BoolConst):
+        return formula.value
+    if isinstance(formula, Atom):
+        return formula.expr.evaluate(assignment) <= 0
+    if isinstance(formula, Not):
+        return not evaluate(formula.arg, assignment)
+    if isinstance(formula, And):
+        return all(evaluate(a, assignment) for a in formula.args)
+    if isinstance(formula, Or):
+        return any(evaluate(a, assignment) for a in formula.args)
+    raise SolverError("cannot evaluate %r" % (formula,))
+
+
+def nnf(formula, negated=False):
+    """Negation normal form (atoms absorb negation, so no Not nodes remain)."""
+    if isinstance(formula, BoolConst):
+        return neg(formula) if negated else formula
+    if isinstance(formula, Atom):
+        return formula.negate() if negated else formula
+    if isinstance(formula, Not):
+        return nnf(formula.arg, not negated)
+    if isinstance(formula, And):
+        parts = [nnf(a, negated) for a in formula.args]
+        return disj(*parts) if negated else conj(*parts)
+    if isinstance(formula, Or):
+        parts = [nnf(a, negated) for a in formula.args]
+        return conj(*parts) if negated else disj(*parts)
+    raise SolverError("cannot normalize %r" % (formula,))
+
+
+def substitute(formula, mapping):
+    """Replace integer variables by expressions throughout *formula*."""
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Atom):
+        expr = formula.expr.substitute(mapping)
+        if expr.is_constant():
+            return TRUE if expr.constant <= 0 else FALSE
+        return Atom(expr)
+    if isinstance(formula, Not):
+        return neg(substitute(formula.arg, mapping))
+    if isinstance(formula, And):
+        return conj(*[substitute(a, mapping) for a in formula.args])
+    if isinstance(formula, Or):
+        return disj(*[substitute(a, mapping) for a in formula.args])
+    raise SolverError("cannot substitute in %r" % (formula,))

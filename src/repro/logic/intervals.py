@@ -1,0 +1,185 @@
+"""Interval (bounds) propagation over linear-atom formulas.
+
+Used by the PFA-selection strategy: propagating bounds through the length
+abstraction yields *sound* upper bounds for string lengths, which in turn
+make straight-line domain restrictions lossless.
+
+Two constraint shapes participate:
+
+* top-level atoms of the conjunction — classic bounds consistency;
+* top-level disjunctions — each branch is refined locally against the
+  current intervals; infeasible branches are discarded and the variable
+  intervals of the surviving branches are hulled.  A single surviving
+  branch therefore propagates like a conjunction, which is what makes
+  implication ladders (``n >= 10^L -> |x| >= L+1``) productive.
+
+Deeper nesting is ignored (sound, just less precise).
+"""
+
+from math import inf
+
+from repro.logic.formula import And, Atom, BoolConst, Or
+
+
+class IntervalState:
+    """Result of propagation: bounds per variable plus a feasibility flag."""
+
+    __slots__ = ("bounds", "feasible")
+
+    def __init__(self, bounds, feasible):
+        self.bounds = bounds
+        self.feasible = feasible
+
+    def get(self, var):
+        return self.bounds.get(var, (-inf, inf))
+
+    def upper(self, var):
+        return self.get(var)[1]
+
+    def lower(self, var):
+        return self.get(var)[0]
+
+
+def range_of(expr, bounds):
+    """Interval of a linear expression under variable *bounds*."""
+    lo = hi = expr.constant
+    for v, c in expr.coeffs.items():
+        vlo, vhi = bounds.get(v, (-inf, inf))
+        if c > 0:
+            lo += c * vlo if vlo != -inf else -inf
+            hi += c * vhi if vhi != inf else inf
+        else:
+            lo += c * vhi if vhi != inf else -inf
+            hi += c * vlo if vlo != -inf else inf
+    return lo, hi
+
+
+def _refine_atom(atom, bounds):
+    """Tighten *bounds* in place with one atom; returns (changed, feasible)."""
+    coeffs = atom.expr.coeffs
+    k = atom.expr.constant
+    lo_e, _ = range_of(atom.expr, bounds)
+    if lo_e > 0:
+        return False, False
+    changed = False
+    for target, c in coeffs.items():
+        rest_min = 0
+        usable = True
+        for v, cv in coeffs.items():
+            if v == target:
+                continue
+            vlo, vhi = bounds.get(v, (-inf, inf))
+            bound = vlo if cv > 0 else vhi
+            if bound in (-inf, inf):
+                usable = False
+                break
+            rest_min += cv * bound
+        if not usable:
+            continue
+        budget = -k - rest_min      # c * target <= budget
+        lo, hi = bounds.get(target, (-inf, inf))
+        if c > 0:
+            new_hi = budget // c
+            if new_hi < hi:
+                hi = new_hi
+                changed = True
+        else:
+            new_lo = _ceil_div(budget, c)
+            if new_lo > lo:
+                lo = new_lo
+                changed = True
+        if lo > hi:
+            bounds[target] = (lo, hi)
+            return True, False
+        bounds[target] = (lo, hi)
+    return changed, True
+
+
+def _branch_atoms(branch):
+    if isinstance(branch, Atom):
+        return [branch]
+    if isinstance(branch, And):
+        return [a for a in branch.args if isinstance(a, Atom)]
+    return []
+
+
+def propagate_intervals(formula, max_rounds=40):
+    """Fixpoint propagation; returns an :class:`IntervalState`.
+
+    Every bound in the result is entailed by *formula*, so it is sound for
+    any of its models; ``feasible=False`` means the formula has no integer
+    model at all.
+    """
+    if isinstance(formula, BoolConst):
+        return IntervalState({}, formula.value)
+    if isinstance(formula, And):
+        conjuncts = list(formula.args)
+    else:
+        conjuncts = [formula]
+    atoms = [f for f in conjuncts if isinstance(f, Atom)]
+    disjunctions = [f for f in conjuncts if isinstance(f, Or)]
+
+    bounds = {}
+    for _ in range(max_rounds):
+        changed = False
+        for atom in atoms:
+            did, feasible = _refine_atom(atom, bounds)
+            if not feasible:
+                return IntervalState(bounds, False)
+            changed = changed or did
+
+        for disjunction in disjunctions:
+            surviving = []
+            opaque = False
+            for branch in disjunction.args:
+                if isinstance(branch, BoolConst):
+                    if branch.value:
+                        opaque = True
+                        break
+                    continue
+                branch_atoms = _branch_atoms(branch)
+                if not branch_atoms:
+                    opaque = True     # cannot analyze: assume satisfiable
+                    break
+                local = dict(bounds)
+                ok = True
+                for _ in range(2):
+                    for atom in branch_atoms:
+                        _, feasible = _refine_atom(atom, local)
+                        if not feasible:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if ok:
+                    surviving.append(local)
+            if opaque:
+                continue
+            if not surviving:
+                return IntervalState(bounds, False)
+            # Hull the branch intervals for every variable any branch
+            # touched; a variable untouched by some branch keeps its
+            # global interval there.
+            touched = set()
+            for local in surviving:
+                touched.update(local.keys())
+            for v in touched:
+                lo = min(local.get(v, bounds.get(v, (-inf, inf)))[0]
+                         for local in surviving)
+                hi = max(local.get(v, bounds.get(v, (-inf, inf)))[1]
+                         for local in surviving)
+                old = bounds.get(v, (-inf, inf))
+                new = (max(old[0], lo), min(old[1], hi))
+                if new != old:
+                    bounds[v] = new
+                    changed = True
+                    if new[0] > new[1]:
+                        return IntervalState(bounds, False)
+        if not changed:
+            break
+    return IntervalState(bounds, True)
+
+
+def _ceil_div(a, b):
+    q, r = divmod(a, b)
+    return q + (1 if r else 0)

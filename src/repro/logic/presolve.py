@@ -1,0 +1,217 @@
+"""Formula presolve: variable elimination and interval propagation.
+
+Flattened string constraints are dominated by top-level equality
+definitions (``#v = 1``, Parikh sum definitions, bound character values)
+and simple bounds.  This pass
+
+1. turns top-level equalities into substitutions (eliminating variables),
+2. collects single-variable bounds into intervals and folds every atom
+   that is decided by interval arithmetic,
+
+iterating to a fixpoint.  It returns the reduced formula together with the
+elimination steps so callers can reconstruct a full model
+(:func:`reconstruct_model`).
+"""
+
+from math import inf
+
+from repro.logic.formula import (
+    And, Atom, BoolConst, FALSE, Not, Or, TRUE, conj, disj, neg,
+)
+from repro.logic.terms import LinExpr
+
+
+def presolve(formula, max_passes=50):
+    """Simplify *formula*; returns ``(reduced, steps)``.
+
+    ``steps`` is a list of ``(var, LinExpr)`` eliminations in the order
+    they were applied.
+    """
+    steps = []
+    for _ in range(max_passes):
+        if isinstance(formula, BoolConst):
+            break
+        substitutions = _collect_substitutions(formula)
+        if substitutions:
+            formula = _apply(formula, substitutions)
+            steps.extend(substitutions.items())
+            continue
+        intervals = _collect_intervals(formula)
+        folded, changed = _fold_by_intervals(formula, intervals)
+        if not changed:
+            break
+        formula = folded
+    return formula, steps
+
+
+def reconstruct_model(model, steps):
+    """Extend *model* with the variables eliminated during presolve."""
+    model = dict(model)
+    for var, expr in reversed(steps):
+        value = expr.constant
+        for v, c in expr.coeffs.items():
+            value += c * model.get(v, 0)
+        model[var] = value
+    return model
+
+
+# -- substitution harvesting ---------------------------------------------------
+
+
+def _top_conjuncts(formula):
+    if isinstance(formula, And):
+        return list(formula.args)
+    return [formula]
+
+
+def _key(expr):
+    return (tuple(sorted(expr.coeffs.items())), expr.constant)
+
+
+def _collect_substitutions(formula):
+    """Greedy batch of variable definitions from top-level equalities.
+
+    An equality is a pair of top-level atoms ``e <= 0`` and ``-e <= 0``.
+    A variable with a unit coefficient in ``e`` becomes a definition.
+    Definitions are resolved against each other so the returned map is
+    closed (no definition references an eliminated variable), which keeps
+    one-pass substitution correct.
+    """
+    conjuncts = _top_conjuncts(formula)
+    atom_keys = set()
+    atoms = []
+    for f in conjuncts:
+        if isinstance(f, Atom):
+            atoms.append(f)
+            atom_keys.add(_key(f.expr))
+
+    pending = {}
+    # Variables appearing on the right-hand side of some definition; they
+    # must never become defined themselves, so the map stays closed (no
+    # definition mentions an eliminated variable) without a closure pass.
+    blocked = set()
+
+    def resolve(expr):
+        if not any(v in pending for v in expr.coeffs):
+            return expr
+        result = LinExpr.of_const(expr.constant)
+        for v, c in expr.coeffs.items():
+            target = pending.get(v)
+            if target is None:
+                result = result + LinExpr({v: c})
+            else:
+                result = result + target * c
+        return result
+
+    for atom in atoms:
+        if len(atom.expr.coeffs) > 16:
+            continue
+        if _key(-atom.expr) not in atom_keys:
+            continue
+        expr = resolve(atom.expr)
+        if len(expr.coeffs) > 16:
+            continue
+        # expr == 0 must hold; find a variable with a unit coefficient.
+        chosen = None
+        for v, c in sorted(expr.coeffs.items()):
+            if c in (1, -1) and v not in pending and v not in blocked:
+                chosen = (v, c)
+                break
+        if chosen is None:
+            continue
+        v, c = chosen
+        rest = LinExpr({w: k for w, k in expr.coeffs.items() if w != v},
+                       expr.constant)
+        pending[v] = rest * (-1) if c == 1 else rest
+        blocked.update(rest.coeffs)
+    return pending
+
+
+def _apply(formula, substitutions):
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Atom):
+        expr = formula.expr
+        if not any(v in substitutions for v in expr.coeffs):
+            return formula
+        expr = expr.substitute(substitutions)
+        if expr.is_constant():
+            return TRUE if expr.constant <= 0 else FALSE
+        return Atom(expr)
+    if isinstance(formula, Not):
+        return neg(_apply(formula.arg, substitutions))
+    if isinstance(formula, And):
+        return conj(*[_apply(a, substitutions) for a in formula.args])
+    if isinstance(formula, Or):
+        return disj(*[_apply(a, substitutions) for a in formula.args])
+    return formula
+
+
+# -- interval propagation ----------------------------------------------------------
+
+
+def _collect_intervals(formula):
+    """var -> (lo, hi) from single-variable top-level atoms."""
+    intervals = {}
+    for f in _top_conjuncts(formula):
+        if not isinstance(f, Atom) or len(f.expr.coeffs) != 1:
+            continue
+        (v, c), = f.expr.coeffs.items()
+        k = f.expr.constant
+        lo, hi = intervals.get(v, (-inf, inf))
+        if c > 0:       # c v + k <= 0  ->  v <= floor(-k / c)
+            hi = min(hi, (-k) // c)
+        else:           # c v + k <= 0, c < 0  ->  v >= ceil(-k / c)
+            lo = max(lo, _ceil_div(-k, c))
+        intervals[v] = (lo, hi)
+    return intervals
+
+
+def _ceil_div(a, b):
+    """ceil(a / b) for integers, b may be negative."""
+    q, r = divmod(a, b)
+    return q + (1 if r else 0)
+
+
+def _range_of(expr, intervals):
+    lo = hi = expr.constant
+    for v, c in expr.coeffs.items():
+        vlo, vhi = intervals.get(v, (-inf, inf))
+        if c > 0:
+            lo += c * vlo if vlo != -inf else -inf
+            hi += c * vhi if vhi != inf else inf
+        else:
+            lo += c * vhi if vhi != inf else -inf
+            hi += c * vlo if vlo != -inf else inf
+    return lo, hi
+
+
+def _fold_by_intervals(formula, intervals):
+    changed = [False]
+
+    def fold(f, top_level):
+        if isinstance(f, BoolConst):
+            return f
+        if isinstance(f, Atom):
+            lo, hi = _range_of(f.expr, intervals)
+            if hi <= 0:
+                # Keep top-level single-variable bounds: they carry the
+                # interval information the final model still needs.
+                if top_level and len(f.expr.coeffs) == 1:
+                    return f
+                changed[0] = True
+                return TRUE
+            if lo > 0:
+                changed[0] = True
+                return FALSE
+            return f
+        if isinstance(f, Not):
+            out = neg(fold(f.arg, False))
+            return out
+        if isinstance(f, And):
+            return conj(*[fold(a, top_level) for a in f.args])
+        if isinstance(f, Or):
+            return disj(*[fold(a, False) for a in f.args])
+        return f
+
+    return fold(formula, True), changed[0]

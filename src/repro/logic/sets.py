@@ -1,0 +1,48 @@
+"""Finite integer sets as interval constraints.
+
+Character classes are sets of numeric codes; encoding ``expr in S`` as a
+disjunction over S's maximal runs keeps class constraints tiny (``[0-9]``
+is one interval, not ten equalities).
+"""
+
+from repro.logic.formula import conj, disj, eq, ge, le
+
+
+def interval_runs(codes):
+    """Maximal runs of consecutive values in sorted *codes*."""
+    runs = []
+    start = prev = codes[0]
+    for code in codes[1:]:
+        if code == prev + 1:
+            prev = code
+            continue
+        runs.append((start, prev))
+        start = prev = code
+    runs.append((start, prev))
+    return runs
+
+
+def member_of(expr, codes):
+    """``expr`` takes one of the sorted *codes*."""
+    options = []
+    for lo, hi in interval_runs(codes):
+        if lo == hi:
+            options.append(eq(expr, lo))
+        else:
+            options.append(conj(ge(expr, lo), le(expr, hi)))
+    return disj(*options)
+
+
+def not_member_of(expr, codes, max_value, min_value=0):
+    """``expr`` in [min_value, max_value] but outside sorted *codes*."""
+    if not codes:
+        return conj(ge(expr, min_value), le(expr, max_value))
+    parts = []
+    low = min_value
+    for lo, hi in interval_runs(codes):
+        if lo > low:
+            parts.append(conj(ge(expr, low), le(expr, lo - 1)))
+        low = max(low, hi + 1)
+    if low <= max_value:
+        parts.append(conj(ge(expr, low), le(expr, max_value)))
+    return disj(*parts)

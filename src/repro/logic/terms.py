@@ -1,0 +1,137 @@
+"""Linear integer expressions.
+
+A :class:`LinExpr` is an immutable linear combination ``sum(c_i * x_i) + k``
+with integer coefficients over named integer variables.  All atoms of the
+logic are comparisons of a :class:`LinExpr` against zero; the normal form
+used throughout the solver is ``e <= 0``.
+"""
+
+from repro.errors import SolverError
+
+
+class LinExpr:
+    """An immutable linear expression: coefficient map plus constant."""
+
+    __slots__ = ("coeffs", "constant", "_hash")
+
+    def __init__(self, coeffs=None, constant=0):
+        if coeffs:
+            self.coeffs = {v: c for v, c in coeffs.items() if c != 0}
+        else:
+            self.coeffs = {}
+        self.constant = constant
+        self._hash = None
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def of_var(name):
+        return LinExpr({name: 1}, 0)
+
+    @staticmethod
+    def of_const(value):
+        return LinExpr({}, value)
+
+    @staticmethod
+    def coerce(value):
+        """Accept a LinExpr, an int, or a variable name."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, int):
+            return LinExpr.of_const(value)
+        if isinstance(value, str):
+            return LinExpr.of_var(value)
+        raise SolverError("cannot coerce %r to a linear expression" % (value,))
+
+    # -- algebra ----------------------------------------------------------
+
+    def __add__(self, other):
+        other = LinExpr.coerce(other)
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + c
+        return LinExpr(coeffs, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        return LinExpr({v: -c for v, c in self.coeffs.items()}, -self.constant)
+
+    def __sub__(self, other):
+        return self + (-LinExpr.coerce(other))
+
+    def __rsub__(self, other):
+        return LinExpr.coerce(other) + (-self)
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, int):
+            raise SolverError("linear expressions only scale by integers")
+        return LinExpr({v: c * scalar for v, c in self.coeffs.items()},
+                       self.constant * scalar)
+
+    __rmul__ = __mul__
+
+    # -- inspection ---------------------------------------------------------
+
+    def is_constant(self):
+        return not self.coeffs
+
+    def variables(self):
+        return set(self.coeffs)
+
+    def evaluate(self, assignment):
+        """Value under a variable assignment (missing variables are errors)."""
+        total = self.constant
+        for v, c in self.coeffs.items():
+            total += c * assignment[v]
+        return total
+
+    def substitute(self, mapping):
+        """Replace variables by linear expressions (or ints)."""
+        result = LinExpr.of_const(self.constant)
+        for v, c in self.coeffs.items():
+            if v in mapping:
+                result = result + LinExpr.coerce(mapping[v]) * c
+            else:
+                result = result + LinExpr({v: c})
+        return result
+
+    # -- identity -----------------------------------------------------------
+
+    def _key(self):
+        return (tuple(sorted(self.coeffs.items())), self.constant)
+
+    def __eq__(self, other):
+        return isinstance(other, LinExpr) and self._key() == other._key()
+
+    def __hash__(self):
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self):
+        if not self.coeffs:
+            return str(self.constant)
+        parts = []
+        for v, c in sorted(self.coeffs.items()):
+            if c == 1:
+                parts.append(v)
+            elif c == -1:
+                parts.append("-%s" % v)
+            else:
+                parts.append("%d*%s" % (c, v))
+        expr = " + ".join(parts).replace("+ -", "- ")
+        if self.constant:
+            expr += " + %d" % self.constant if self.constant > 0 \
+                else " - %d" % -self.constant
+        return expr
+
+
+def var(name):
+    """Linear expression consisting of a single variable."""
+    return LinExpr.of_var(name)
+
+
+def const(value):
+    """Constant linear expression."""
+    return LinExpr.of_const(value)

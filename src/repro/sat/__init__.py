@@ -1,0 +1,5 @@
+"""CDCL SAT solver used as the boolean engine of the SMT core."""
+
+from repro.sat.solver import SatSolver, SAT, UNSAT, UNKNOWN
+
+__all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN"]

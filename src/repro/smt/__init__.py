@@ -1,0 +1,5 @@
+"""Lazy SMT(LIA) solver: CDCL SAT core + branch-and-bound integer theory."""
+
+from repro.smt.solver import SmtResult, solve_formula
+
+__all__ = ["SmtResult", "solve_formula"]

@@ -1,0 +1,17 @@
+"""SMT-LIB 2.x frontend for the strings fragment.
+
+Parses the ``QF_S``/``QF_SLIA`` subset used by the paper's benchmark
+suites — string equations, ``str.++ / str.len / str.at / str.substr``,
+``str.to_int / str.from_int`` (both old and new spellings), regular
+membership with the ``re.*`` combinators, extended predicates
+(``str.contains``, ``str.prefixof``, ``str.suffixof``) and linear integer
+arithmetic — into a :class:`~repro.strings.ast.StringProblem`, and prints
+problems back out as ``.smt2`` text.
+"""
+
+from repro.smtlib.parser import parse_sexprs, parse_script
+from repro.smtlib.convert import script_to_problem, load_problem
+from repro.smtlib.printer import problem_to_smtlib
+
+__all__ = ["parse_sexprs", "parse_script", "script_to_problem",
+           "load_problem", "problem_to_smtlib"]

@@ -1,0 +1,392 @@
+"""Conversion of parsed SMT-LIB scripts to string problems.
+
+The supported fragment is the conjunctive strings+LIA subset the paper's
+benchmarks use.  Boolean structure over *integer* atoms is kept (it lands
+in :class:`~repro.strings.ast.IntConstraint`); boolean structure over
+string atoms beyond top-level conjunction and the directly-encodable
+negations (disequalities, complemented memberships) raises
+:class:`~repro.errors.UnsupportedConstraint`, matching the solver's input
+language (Z3's core handles that splitting in the paper's setting).
+"""
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.automata.nfa import NFA
+from repro.errors import UnsupportedConstraint
+from repro.logic.formula import (
+    FALSE, TRUE, conj, disj, eq, ge, gt, iff, implies, le, lt, ne, neg,
+)
+from repro.logic.terms import LinExpr
+from repro.logic.terms import var as int_var
+from repro.smtlib.parser import StringLiteral, parse_sexprs
+from repro.strings.ast import StrVar
+from repro.strings.ops import ProblemBuilder
+
+_TO_INT = {"str.to_int", "str.to.int"}
+_FROM_INT = {"str.from_int", "int.to.str", "str.from-int"}
+_IN_RE = {"str.in_re", "str.in.re"}
+
+
+class SmtScript:
+    """Result of converting a script."""
+
+    __slots__ = ("problem", "builder", "expected", "logic")
+
+    def __init__(self, problem, builder, expected, logic):
+        self.problem = problem
+        self.builder = builder
+        self.expected = expected
+        self.logic = logic
+
+
+class _Converter:
+    def __init__(self, alphabet):
+        self.alphabet = alphabet
+        self.builder = ProblemBuilder(alphabet)
+        self.sorts = {}
+        self.macros = {}
+        self.expected = None
+        self.logic = None
+
+    # -- commands ---------------------------------------------------------------
+
+    def run(self, sexprs):
+        for command in sexprs:
+            if not isinstance(command, list) or not command:
+                continue
+            head = command[0]
+            if head in ("declare-fun", "declare-const"):
+                self._declare(command)
+            elif head == "define-fun":
+                self._define(command)
+            elif head == "assert":
+                self._assert(command[1])
+            elif head == "set-logic":
+                self.logic = command[1]
+            elif head == "set-info" and len(command) >= 3 \
+                    and command[1] == ":status":
+                self.expected = command[2]
+            # check-sat / get-model / exit / set-option: nothing to do.
+        return SmtScript(self.builder.problem, self.builder,
+                         self.expected, self.logic)
+
+    def _declare(self, command):
+        name = command[1]
+        sort = command[-1]
+        if command[0] == "declare-fun" and command[2] != []:
+            raise UnsupportedConstraint("uninterpreted functions: %r" % name)
+        if sort not in ("String", "Int", "Bool"):
+            raise UnsupportedConstraint("sort %r" % sort)
+        self.sorts[name] = sort
+
+    def _define(self, command):
+        _, name, params, sort, body = command
+        if params != []:
+            raise UnsupportedConstraint("define-fun with parameters")
+        self.macros[name] = body
+        self.sorts[name] = sort
+
+    # -- sort inference ----------------------------------------------------------
+
+    def _sort_of(self, term):
+        if isinstance(term, StringLiteral):
+            return "String"
+        if isinstance(term, int):
+            return "Int"
+        if isinstance(term, str):
+            if term in self.macros:
+                return self._sort_of(self.macros[term])
+            if term in ("true", "false"):
+                return "Bool"
+            return self.sorts.get(term, "Int")
+        head = term[0] if term else None
+        if head in ("str.++", "str.at", "str.substr", "str.replace") \
+                or head in _FROM_INT:
+            return "String"
+        if head in ("str.len", "+", "-", "*", "div", "mod", "abs") \
+                or head in _TO_INT:
+            return "Int"
+        if head == "ite":
+            return self._sort_of(term[2])
+        return "Bool"
+
+    # -- assertions ------------------------------------------------------------------
+
+    def _assert(self, term):
+        term = self._expand(term)
+        if isinstance(term, str) and term == "true":
+            return
+        if not isinstance(term, list):
+            raise UnsupportedConstraint("cannot assert %r" % (term,))
+        head = term[0]
+        if head == "and":
+            for part in term[1:]:
+                self._assert(part)
+            return
+        if head == "=" and self._sort_of(term[1]) == "String":
+            self.builder.equal(self._str_term(term[1]),
+                               self._str_term(term[2]))
+            return
+        if head == "not":
+            inner = self._expand(term[1])
+            if isinstance(inner, list):
+                if inner[0] == "=" and self._sort_of(inner[1]) == "String":
+                    self.builder.diseq(self._str_term(inner[1]),
+                                       self._str_term(inner[2]))
+                    return
+                if inner[0] in _IN_RE:
+                    variable = self._varify(self._str_term(inner[1]))
+                    nfa = self._regex(inner[2])
+                    complement = nfa.complement(self.alphabet.codes()).trim()
+                    from repro.strings.ast import RegularConstraint
+                    self.builder.require(
+                        RegularConstraint(variable,
+                                          self._compact(complement)))
+                    return
+        if head == "distinct" and self._sort_of(term[1]) == "String":
+            self.builder.diseq(self._str_term(term[1]),
+                               self._str_term(term[2]))
+            return
+        if head in _IN_RE:
+            variable = self._varify(self._str_term(term[1]))
+            from repro.strings.ast import RegularConstraint
+            self.builder.require(
+                RegularConstraint(variable,
+                                  self._compact(self._regex(term[2]))))
+            return
+        if head == "str.prefixof":
+            self.builder.prefix_of(self._str_term(term[1]),
+                                   self._varify(self._str_term(term[2])))
+            return
+        if head == "str.suffixof":
+            self.builder.suffix_of(self._str_term(term[1]),
+                                   self._varify(self._str_term(term[2])))
+            return
+        if head == "str.contains":
+            self.builder.contains(self._varify(self._str_term(term[1])),
+                                  self._str_term(term[2]))
+            return
+        # Anything else must be an integer/boolean formula.
+        self.builder.require_int(self._bool_formula(term))
+
+    # -- integer / boolean layer --------------------------------------------------------
+
+    def _bool_formula(self, term):
+        term = self._expand(term)
+        if term == "true":
+            return TRUE
+        if term == "false":
+            return FALSE
+        if isinstance(term, str):
+            raise UnsupportedConstraint("boolean variable %r" % term)
+        head = term[0]
+        if head == "and":
+            return conj(*[self._bool_formula(t) for t in term[1:]])
+        if head == "or":
+            return disj(*[self._bool_formula(t) for t in term[1:]])
+        if head == "not":
+            return neg(self._bool_formula(term[1]))
+        if head == "=>":
+            return implies(self._bool_formula(term[1]),
+                           self._bool_formula(term[2]))
+        if head == "ite":
+            condition = self._bool_formula(term[1])
+            return disj(conj(condition, self._bool_formula(term[2])),
+                        conj(neg(condition), self._bool_formula(term[3])))
+        if head == "=":
+            if self._sort_of(term[1]) == "Bool":
+                return iff(self._bool_formula(term[1]),
+                           self._bool_formula(term[2]))
+            return eq(self._int_term(term[1]), self._int_term(term[2]))
+        comparisons = {"<=": le, "<": lt, ">=": ge, ">": gt}
+        if head in comparisons:
+            return comparisons[head](self._int_term(term[1]),
+                                     self._int_term(term[2]))
+        if head == "distinct":
+            return ne(self._int_term(term[1]), self._int_term(term[2]))
+        raise UnsupportedConstraint("boolean operator %r" % head)
+
+    def _int_term(self, term):
+        term = self._expand(term)
+        if isinstance(term, int):
+            return LinExpr.of_const(term)
+        if isinstance(term, str):
+            return int_var(term)
+        head = term[0]
+        if head == "+":
+            total = LinExpr.of_const(0)
+            for t in term[1:]:
+                total = total + self._int_term(t)
+            return total
+        if head == "-":
+            if len(term) == 2:
+                return -self._int_term(term[1])
+            total = self._int_term(term[1])
+            for t in term[2:]:
+                total = total - self._int_term(t)
+            return total
+        if head == "*":
+            operands = [self._int_term(t) for t in term[1:]]
+            constant = 1
+            linear = None
+            for op in operands:
+                if op.is_constant():
+                    constant *= op.constant
+                elif linear is None:
+                    linear = op
+                else:
+                    raise UnsupportedConstraint("non-linear multiplication")
+            if linear is None:
+                return LinExpr.of_const(constant)
+            return linear * constant
+        if head == "str.len":
+            return self.builder.length(self._str_term(term[1]))
+        if head in _TO_INT:
+            variable = self._varify(self._str_term(term[1]))
+            return int_var(self.builder.to_num(variable))
+        if head == "ite":
+            condition = self._bool_formula(term[1])
+            result = self.builder.ite_int(condition,
+                                          self._int_term(term[2]),
+                                          self._int_term(term[3]))
+            return int_var(result)
+        if head == "str.indexof":
+            needle = self._expand(term[2])
+            start = self._expand(term[3]) if len(term) > 3 else 0
+            if isinstance(needle, StringLiteral) \
+                    and len(needle.value) == 1 and start == 0:
+                variable = self._varify(self._str_term(term[1]))
+                return int_var(self.builder.index_of_char(variable,
+                                                          needle.value))
+            raise UnsupportedConstraint(
+                "str.indexof needs a single-character literal and start 0")
+        raise UnsupportedConstraint("integer operator %r" % head)
+
+    # -- string layer ----------------------------------------------------------------------
+
+    def _str_term(self, term):
+        term = self._expand(term)
+        if isinstance(term, StringLiteral):
+            return (term.value,)
+        if isinstance(term, str):
+            if self.sorts.get(term) != "String":
+                raise UnsupportedConstraint("unknown string symbol %r" % term)
+            return (StrVar(term),)
+        head = term[0]
+        if head == "str.++":
+            out = []
+            for t in term[1:]:
+                out.extend(self._str_term(t))
+            return tuple(out)
+        if head == "str.at":
+            variable = self._varify(self._str_term(term[1]))
+            return (self.builder.char_at(variable, self._int_term(term[2])),)
+        if head == "str.substr":
+            variable = self._varify(self._str_term(term[1]))
+            return (self.builder.substr(variable, self._int_term(term[2]),
+                                        self._int_term(term[3])),)
+        if head in _FROM_INT:
+            inner = self._int_term(term[1])
+            name = self._int_name(inner)
+            return (self.builder.to_str(name),)
+        raise UnsupportedConstraint("string operator %r" % head)
+
+    def _int_name(self, expr):
+        """An integer variable equal to *expr* (fresh if needed)."""
+        if len(expr.coeffs) == 1 and expr.constant == 0:
+            (name, c), = expr.coeffs.items()
+            if c == 1:
+                return name
+        fresh = self.builder.fresh_int("_fi")
+        self.builder.require_int(eq(int_var(fresh), expr))
+        return fresh
+
+    def _varify(self, term):
+        """A variable denoting *term* (fresh + equality if composite)."""
+        if len(term) == 1 and isinstance(term[0], StrVar):
+            return term[0]
+        fresh = self.builder.fresh_str("_v")
+        self.builder.equal((fresh,), term)
+        return fresh
+
+    # -- regexes ----------------------------------------------------------------------------
+
+    def _regex(self, term):
+        term = self._expand(term)
+        if isinstance(term, str):
+            if term == "re.allchar":
+                return NFA.from_symbols(sorted(self.alphabet.codes()))
+            if term == "re.all":
+                return NFA.from_symbols(
+                    sorted(self.alphabet.codes())).star()
+            if term == "re.none":
+                return NFA.empty()
+            raise UnsupportedConstraint("regex symbol %r" % term)
+        head = term[0]
+        if head == "str.to_re" or head == "str.to.re":
+            return NFA.from_word(
+                self.alphabet.encode_word(term[1].value))
+        if head == "re.++":
+            out = self._regex(term[1])
+            for t in term[2:]:
+                out = out.concat(self._regex(t))
+            return out
+        if head == "re.union":
+            out = self._regex(term[1])
+            for t in term[2:]:
+                out = out.union(self._regex(t))
+            return out
+        if head == "re.inter":
+            out = self._regex(term[1])
+            for t in term[2:]:
+                out = out.intersect(self._regex(t))
+            return out
+        if head == "re.*":
+            return self._regex(term[1]).star()
+        if head == "re.+":
+            return self._regex(term[1]).plus()
+        if head == "re.opt":
+            return self._regex(term[1]).optional()
+        if head == "re.range":
+            low = term[1].value
+            high = term[2].value
+            codes = [self.alphabet.code(chr(o))
+                     for o in range(ord(low), ord(high) + 1)
+                     if chr(o) in self.alphabet]
+            return NFA.from_symbols(codes)
+        if isinstance(head, list) and len(head) >= 2 \
+                and head[0] == "_" and head[1] == "re.loop":
+            low, high = head[2], head[3]
+            return self._regex(term[1]).repeat(low, high)
+        raise UnsupportedConstraint("regex operator %r" % (head,))
+
+    def _compact(self, nfa):
+        """Shrink a Thompson-constructed automaton.
+
+        ``re.union`` chains of single characters produce epsilon-heavy
+        NFAs whose parallel paths defeat the flattener's class grouping;
+        minimizing small automata restores the compact form.
+        """
+        base = nfa.without_epsilon().trim()
+        if 0 < base.num_states <= 60:
+            try:
+                minimized = base.minimize(self.alphabet.codes())
+                if minimized.num_states <= base.num_states:
+                    return minimized
+            except Exception:
+                pass
+        return base
+
+    def _expand(self, term):
+        if isinstance(term, str) and term in self.macros:
+            return self._expand(self.macros[term])
+        return term
+
+
+def script_to_problem(sexprs, alphabet=DEFAULT_ALPHABET):
+    """Convert parsed commands; returns an :class:`SmtScript`."""
+    return _Converter(alphabet).run(sexprs)
+
+
+def load_problem(text, alphabet=DEFAULT_ALPHABET):
+    """Parse SMT-LIB *text* into an :class:`SmtScript`."""
+    return script_to_problem(parse_sexprs(text), alphabet)

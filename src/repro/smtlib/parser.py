@@ -1,0 +1,134 @@
+"""S-expression reader for SMT-LIB 2.x scripts.
+
+Produces nested Python lists of tokens: symbols stay strings, numerals
+become ints, and string literals become :class:`StringLiteral` wrappers
+(so ``"42"`` the string is distinguishable from ``42`` the numeral).
+"""
+
+from repro.errors import ParseError
+
+
+class StringLiteral:
+    """An SMT-LIB string literal (already unescaped)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, StringLiteral) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("smtstr", self.value))
+
+    def __repr__(self):
+        return '"%s"' % self.value
+
+
+def tokenize(text):
+    """Token stream: '(' , ')', ints, StringLiteral, or symbol strings."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n":
+            i += 1
+        elif c == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c in "()":
+            tokens.append(c)
+            i += 1
+        elif c == '"':
+            i += 1
+            chunk = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", i)
+                if text[i] == '"':
+                    if i + 1 < n and text[i + 1] == '"':
+                        chunk.append('"')
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunk.append(text[i])
+                i += 1
+            tokens.append(StringLiteral(_unescape("".join(chunk))))
+        elif c == "|":
+            j = text.find("|", i + 1)
+            if j < 0:
+                raise ParseError("unterminated quoted symbol", i)
+            tokens.append(text[i + 1: j])
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in ' \t\r\n();"|':
+                j += 1
+            token = text[i:j]
+            i = j
+            if token.lstrip("-").isdigit() and token.lstrip("-"):
+                tokens.append(int(token))
+            else:
+                tokens.append(token)
+    return tokens
+
+
+def _unescape(raw):
+    """Resolve SMT-LIB 2.6 ``\\u{..}`` escapes (and legacy ``\\x..``)."""
+    out = []
+    i = 0
+    while i < len(raw):
+        if raw[i] == "\\" and i + 2 < len(raw) and raw[i + 1] == "u":
+            if raw[i + 2] == "{":
+                j = raw.find("}", i + 3)
+                if j > 0:
+                    out.append(chr(int(raw[i + 3: j], 16)))
+                    i = j + 1
+                    continue
+            else:
+                hex_part = raw[i + 2: i + 6]
+                if len(hex_part) == 4 and all(
+                        h in "0123456789abcdefABCDEF" for h in hex_part):
+                    out.append(chr(int(hex_part, 16)))
+                    i += 6
+                    continue
+        out.append(raw[i])
+        i += 1
+    return "".join(out)
+
+
+def parse_sexprs(text):
+    """All top-level s-expressions of *text* as nested lists."""
+    tokens = tokenize(text)
+    position = [0]
+
+    def parse_one():
+        if position[0] >= len(tokens):
+            raise ParseError("unexpected end of input", position[0])
+        token = tokens[position[0]]
+        position[0] += 1
+        if token == "(":
+            items = []
+            while True:
+                if position[0] >= len(tokens):
+                    raise ParseError("missing ')'", position[0])
+                if tokens[position[0]] == ")":
+                    position[0] += 1
+                    return items
+                items.append(parse_one())
+        if token == ")":
+            raise ParseError("unexpected ')'", position[0])
+        return token
+
+    out = []
+    while position[0] < len(tokens):
+        out.append(parse_one())
+    return out
+
+
+def parse_script(text):
+    """Alias of :func:`parse_sexprs` (an SMT-LIB script is a sexpr list)."""
+    return parse_sexprs(text)

@@ -1,0 +1,164 @@
+"""Serialize string problems back to SMT-LIB 2.6 text.
+
+Used to export generated benchmark suites as ``.smt2`` files and to
+round-trip problems in tests.  Regular constraints print through their
+source regex when one is recorded; otherwise the NFA is rendered as a
+(possibly large) ``re.union`` of its words when finite, or rejected.
+"""
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.errors import UnsupportedConstraint
+from repro.logic.formula import And, Atom, BoolConst, Not, Or
+from repro.strings.ast import (
+    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
+)
+from repro.automata.regex import (
+    parse_regex, RConcat, REmpty, REps, RRepeat, RSym, RUnion,
+)
+
+
+def _escape(text):
+    return text.replace('"', '""')
+
+
+def _term(term):
+    parts = []
+    for element in term:
+        if isinstance(element, StrVar):
+            parts.append(element.name)
+        else:
+            parts.append('"%s"' % _escape(element))
+    if not parts:
+        return '""'
+    if len(parts) == 1:
+        return parts[0]
+    return "(str.++ %s)" % " ".join(parts)
+
+
+def _symbol(name):
+    if any(c in name for c in " ()|\""):
+        return "|%s|" % name
+    return name
+
+
+def _expr(expr):
+    terms = []
+    for v, c in sorted(expr.coeffs.items()):
+        name = _length_or_symbol(v)
+        if c == 1:
+            terms.append(name)
+        else:
+            terms.append("(* %d %s)" % (c, name))
+    if expr.constant or not terms:
+        terms.append(str(expr.constant))
+    if len(terms) == 1:
+        return terms[0]
+    return "(+ %s)" % " ".join(terms)
+
+
+def _length_or_symbol(name):
+    if name.startswith("|") and name.endswith("|") and len(name) > 2:
+        return "(str.len %s)" % _symbol(name[1:-1])
+    return _symbol(name)
+
+
+def _formula(formula):
+    if isinstance(formula, BoolConst):
+        return "true" if formula.value else "false"
+    if isinstance(formula, Atom):
+        return "(<= %s 0)" % _expr(formula.expr)
+    if isinstance(formula, Not):
+        return "(not %s)" % _formula(formula.arg)
+    if isinstance(formula, And):
+        return "(and %s)" % " ".join(_formula(a) for a in formula.args)
+    if isinstance(formula, Or):
+        return "(or %s)" % " ".join(_formula(a) for a in formula.args)
+    raise UnsupportedConstraint("cannot print %r" % (formula,))
+
+
+def _regex_node(node, alphabet):
+    if isinstance(node, REmpty):
+        return "re.none"
+    if isinstance(node, REps):
+        return '(str.to_re "")'
+    if isinstance(node, RSym):
+        codes = sorted(node.codes)
+        if len(codes) == len(alphabet):
+            return "re.allchar"
+        parts = ['(str.to_re "%s")' % _escape(alphabet.char(c))
+                 for c in codes]
+        if len(parts) == 1:
+            return parts[0]
+        return "(re.union %s)" % " ".join(parts)
+    if isinstance(node, RConcat):
+        return "(re.++ %s)" % " ".join(
+            _regex_node(p, alphabet) for p in node.parts)
+    if isinstance(node, RUnion):
+        return "(re.union %s)" % " ".join(
+            _regex_node(p, alphabet) for p in node.parts)
+    if isinstance(node, RRepeat):
+        inner = _regex_node(node.inner, alphabet)
+        if (node.low, node.high) == (0, None):
+            return "(re.* %s)" % inner
+        if (node.low, node.high) == (1, None):
+            return "(re.+ %s)" % inner
+        if (node.low, node.high) == (0, 1):
+            return "(re.opt %s)" % inner
+        if node.high is None:
+            return "(re.++ %s (re.* %s))" % (
+                " ".join([inner] * node.low), inner)
+        return "((_ re.loop %d %d) %s)" % (node.low, node.high, inner)
+    raise UnsupportedConstraint("cannot print regex node %r" % (node,))
+
+
+def _membership(constraint, alphabet):
+    source = constraint.source
+    if source is None:
+        words = constraint.nfa.enumerate_words(12)
+        if constraint.nfa.trim().num_states > 60 or len(words) > 200:
+            raise UnsupportedConstraint(
+                "regular constraint without printable source")
+        parts = ['(str.to_re "%s")' % _escape(alphabet.decode_word(w))
+                 for w in words]
+        regex = "(re.union %s)" % " ".join(parts) if len(parts) != 1 \
+            else parts[0]
+        return "(str.in_re %s %s)" % (_symbol(constraint.var.name), regex)
+    if source.startswith("!(") and source.endswith(")"):
+        node = parse_regex(source[2:-1], alphabet)
+        return "(not (str.in_re %s %s))" % (
+            _symbol(constraint.var.name), _regex_node(node, alphabet))
+    node = parse_regex(source, alphabet)
+    return "(str.in_re %s %s)" % (_symbol(constraint.var.name),
+                                  _regex_node(node, alphabet))
+
+
+def problem_to_smtlib(problem, alphabet=DEFAULT_ALPHABET, logic="QF_SLIA",
+                      expected=None):
+    """Render *problem* as a complete ``.smt2`` script."""
+    lines = ["(set-logic %s)" % logic]
+    if expected:
+        lines.append("(set-info :status %s)" % expected)
+    for v in sorted(problem.string_vars(), key=lambda s: s.name):
+        lines.append("(declare-fun %s () String)" % _symbol(v.name))
+    for name in sorted(problem.int_vars()):
+        lines.append("(declare-fun %s () Int)" % _symbol(name))
+    for constraint in problem:
+        lines.append("(assert %s)" % _constraint(constraint, alphabet))
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"
+
+
+def _constraint(constraint, alphabet):
+    if isinstance(constraint, WordEquation):
+        return "(= %s %s)" % (_term(constraint.lhs), _term(constraint.rhs))
+    if isinstance(constraint, RegularConstraint):
+        return _membership(constraint, alphabet)
+    if isinstance(constraint, IntConstraint):
+        return _formula(constraint.formula)
+    if isinstance(constraint, ToNum):
+        return "(= %s (str.to_int %s))" % (_symbol(constraint.result),
+                                           _symbol(constraint.var.name))
+    if isinstance(constraint, CharNeq):
+        return "(not (= %s %s))" % (_symbol(constraint.left.name),
+                                    _symbol(constraint.right.name))
+    raise UnsupportedConstraint("cannot print %r" % (constraint,))

@@ -1,0 +1,21 @@
+"""String constraints: AST, high-level operation desugaring, evaluation.
+
+The atomic constraint kinds follow Section 3 of the paper: word equations,
+regular membership, linear integer constraints over integer variables and
+string lengths, and string-number conversion ``n = toNum(x)``.  A
+:class:`StringProblem` is a conjunction of atomic constraints.
+"""
+
+from repro.strings.ast import (
+    StrVar, WordEquation, RegularConstraint, IntConstraint,
+    ToNum, CharNeq, StringProblem, length_var, str_len,
+)
+from repro.strings.eval import to_num_value, evaluate_constraint, check_model
+from repro.strings.ops import ProblemBuilder
+
+__all__ = [
+    "StrVar", "WordEquation", "RegularConstraint", "IntConstraint",
+    "ToNum", "CharNeq", "StringProblem", "length_var", "str_len",
+    "to_num_value", "evaluate_constraint", "check_model",
+    "ProblemBuilder",
+]

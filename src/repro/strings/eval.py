@@ -1,0 +1,84 @@
+"""Concrete evaluation of string constraints under an interpretation.
+
+This is the reproduction of the paper's *validator* (Section 9): given the
+model returned by a solver, substitute it into every constraint and
+re-evaluate.  It is also the ground-truth oracle used by the enumerative
+baseline and by the property-based tests.
+"""
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.logic.formula import evaluate as eval_formula, variables_of
+from repro.strings.ast import (
+    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
+)
+from repro.errors import SolverError
+
+
+def to_num_value(text):
+    """The paper's toNum: decimal value of a digit string, else -1.
+
+    ``toNum(a) = a`` for a digit, ``toNum(w·a) = 10*toNum(w) + a``, and
+    ``toNum(w) = -1`` for any ``w`` outside ``[0-9]+`` (including the
+    empty string).
+    """
+    if not text or any(c not in "0123456789" for c in text):
+        return -1
+    return int(text)
+
+
+def _term_value(term, interp):
+    parts = []
+    for element in term:
+        if isinstance(element, StrVar):
+            parts.append(interp[element.name])
+        else:
+            parts.append(element)
+    return "".join(parts)
+
+
+def evaluate_constraint(constraint, interp, alphabet=DEFAULT_ALPHABET):
+    """Truth value of one atomic constraint under *interp*.
+
+    *interp* maps string-variable names to Python strings and integer
+    variable names to ints.  Length variables are derived automatically.
+    """
+    if isinstance(constraint, WordEquation):
+        return (_term_value(constraint.lhs, interp)
+                == _term_value(constraint.rhs, interp))
+    if isinstance(constraint, RegularConstraint):
+        value = interp[constraint.var.name]
+        return constraint.nfa.accepts(alphabet.encode_word(value))
+    if isinstance(constraint, IntConstraint):
+        assignment = {}
+        for name in variables_of(constraint.formula):
+            if name.startswith("|") and name.endswith("|"):
+                assignment[name] = len(interp[name[1:-1]])
+            else:
+                assignment[name] = interp[name]
+        return eval_formula(constraint.formula, assignment)
+    if isinstance(constraint, ToNum):
+        return interp[constraint.result] == to_num_value(
+            interp[constraint.var.name])
+    if isinstance(constraint, CharNeq):
+        left = interp[constraint.left.name]
+        right = interp[constraint.right.name]
+        return len(left) <= 1 and len(right) <= 1 and left != right
+    raise SolverError("cannot evaluate %r" % (constraint,))
+
+
+def check_model(problem, interp, alphabet=DEFAULT_ALPHABET):
+    """All constraints of *problem* hold under *interp* (missing vars fail)."""
+    interp = dict(interp)
+    for v in problem.string_vars():
+        if v.name not in interp:
+            return False
+    for name in problem.int_vars():
+        if name not in interp:
+            return False
+    return all(evaluate_constraint(c, interp, alphabet) for c in problem)
+
+
+def failing_constraints(problem, interp, alphabet=DEFAULT_ALPHABET):
+    """The constraints violated by *interp* (diagnostics)."""
+    return [c for c in problem
+            if not evaluate_constraint(c, interp, alphabet)]

@@ -1,0 +1,254 @@
+"""High-level string operations desugared to atomic constraints.
+
+The paper's benchmarks use operations like ``charAt``, ``substr``,
+``contains`` and disequality; all of them reduce to the four atomic
+constraint kinds (Section 1 shows the standard ``charAt`` encoding).  The
+:class:`ProblemBuilder` is the public construction API: it owns a
+:class:`~repro.strings.ast.StringProblem`, hands out fresh variables, and
+applies the standard encodings.
+"""
+
+from repro.alphabet import DEFAULT_ALPHABET
+from repro.automata.nfa import NFA
+from repro.automata.regex import regex_to_nfa
+from repro.logic.formula import conj, disj, eq, ge, implies, le
+from repro.logic.terms import LinExpr, var as int_var
+from repro.errors import SolverError
+from repro.strings.ast import (
+    CharNeq, IntConstraint, RegularConstraint, StringProblem, StrVar,
+    ToNum, WordEquation, str_len,
+)
+
+NUMERAL_REGEX = "0|[1-9][0-9]*"
+"""Canonical decimal numerals (no leading zeros) — the range of toStr."""
+
+
+class ProblemBuilder:
+    """Constructs a :class:`StringProblem` through high-level operations."""
+
+    def __init__(self, alphabet=DEFAULT_ALPHABET):
+        self.alphabet = alphabet
+        self.problem = StringProblem()
+        self._fresh = 0
+        self.single_char_vars = set()
+
+    # -- variables ------------------------------------------------------------
+
+    def str_var(self, name):
+        return StrVar(name)
+
+    def fresh_str(self, prefix="_t"):
+        self._fresh += 1
+        return StrVar("%s%d" % (prefix, self._fresh))
+
+    def fresh_int(self, prefix="_n"):
+        self._fresh += 1
+        return "%s%d" % (prefix, self._fresh)
+
+    # -- raw constraints ----------------------------------------------------------
+
+    def require(self, constraint):
+        self.problem.add(constraint)
+
+    def require_int(self, formula):
+        self.problem.add(IntConstraint(formula))
+
+    def equal(self, lhs, rhs):
+        self.problem.add(WordEquation(lhs, rhs))
+
+    def member(self, variable, regex):
+        nfa = regex if isinstance(regex, NFA) \
+            else regex_to_nfa(regex, self.alphabet)
+        source = regex if isinstance(regex, str) else None
+        self.problem.add(RegularConstraint(variable, nfa, source))
+
+    def not_member(self, variable, regex):
+        nfa = regex if isinstance(regex, NFA) \
+            else regex_to_nfa(regex, self.alphabet)
+        complement = nfa.complement(self.alphabet.codes()).trim()
+        source = "!(%s)" % regex if isinstance(regex, str) else None
+        self.problem.add(RegularConstraint(variable, complement, source))
+
+    # -- lengths ----------------------------------------------------------------------
+
+    def length(self, term):
+        """Length of a word term as a linear expression."""
+        if isinstance(term, (StrVar, str)):
+            term = (term,)
+        total = LinExpr.of_const(0)
+        for element in term:
+            if isinstance(element, StrVar):
+                total = total + str_len(element)
+            else:
+                total = total + len(element)
+        return total
+
+    # -- derived operations ----------------------------------------------------------
+
+    def char_at(self, variable, index):
+        """``charAt(x, i)``: fresh single-char variable c with x = a·c·b,
+        |a| = i, |c| = 1 (the standard encoding from Section 1)."""
+        index = LinExpr.coerce(index)
+        prefix = self.fresh_str("_pre")
+        c = self.fresh_str("_ch")
+        suffix = self.fresh_str("_suf")
+        self.equal((variable,), (prefix, c, suffix))
+        self.require_int(conj(eq(str_len(prefix), index),
+                              eq(str_len(c), 1)))
+        self.single_char_vars.add(c)
+        return c
+
+    def substr(self, variable, start, count):
+        """``substr(x, i, n)``: fresh variable for the slice."""
+        start = LinExpr.coerce(start)
+        count = LinExpr.coerce(count)
+        prefix = self.fresh_str("_pre")
+        piece = self.fresh_str("_sub")
+        suffix = self.fresh_str("_suf")
+        self.equal((variable,), (prefix, piece, suffix))
+        self.require_int(conj(eq(str_len(prefix), start),
+                              eq(str_len(piece), count)))
+        return piece
+
+    def prefix_of(self, prefix_term, variable):
+        rest = self.fresh_str("_rest")
+        self.equal((variable,), _concat(prefix_term, rest))
+
+    def suffix_of(self, suffix_term, variable):
+        rest = self.fresh_str("_rest")
+        self.equal((variable,), _concat(rest, suffix_term))
+
+    def contains(self, variable, needle_term):
+        before = self.fresh_str("_bef")
+        after = self.fresh_str("_aft")
+        self.equal((variable,), _concat(before, needle_term, after))
+
+    def to_num(self, variable, result=None):
+        """``n = toNum(x)``; returns the integer variable name n."""
+        result = result or self.fresh_int("_num")
+        self.problem.add(ToNum(result, variable))
+        return result
+
+    def to_str(self, int_name, variable=None):
+        """``x = toStr(n)``: canonical numeral of a non-negative integer.
+
+        The paper treats toStr as sugar for toNum; we additionally pin the
+        canonical form (no leading zeros) required by the JavaScript
+        semantics the paper motivates (see DESIGN.md).  For a canonical
+        numeral the length equals the digit count of the value, which we
+        expose as implication ladders — redundant for the solver's
+        semantics, load-bearing for the static length analysis.
+        """
+        variable = variable or self.fresh_str("_str")
+        self.problem.add(ToNum(int_name, variable))
+        n = int_var(int_name)
+        self.require_int(ge(n, 0))
+        self.member(variable, NUMERAL_REGEX)
+        length = str_len(variable)
+        for digits in range(1, 19):
+            self.require_int(implies(le(n, 10 ** digits - 1),
+                                     le(length, digits)))
+            self.require_int(implies(ge(n, 10 ** (digits - 1)),
+                                     ge(length, digits)))
+        return variable
+
+    def diseq(self, lhs, rhs):
+        """Word-term disequality ``t1 != t2`` via the standard encoding:
+        a common prefix followed by a differing (possibly empty) character.
+        """
+        p = self.fresh_str("_dp")
+        c1, c2 = self.fresh_str("_dc"), self.fresh_str("_dc")
+        s1, s2 = self.fresh_str("_ds"), self.fresh_str("_ds")
+        self.equal(lhs, (p, c1, s1))
+        self.equal(rhs, (p, c2, s2))
+        self.require_int(conj(
+            le(str_len(c1), 1), le(str_len(c2), 1),
+            implies(eq(str_len(c1), 0), eq(str_len(s1), 0)),
+            implies(eq(str_len(c2), 0), eq(str_len(s2), 0))))
+        self.problem.add(CharNeq(c1, c2))
+        self.single_char_vars.add(c1)
+        self.single_char_vars.add(c2)
+
+    def index_of_char(self, variable, char, result=None):
+        """``i = indexOf(x, c)`` for a single character *char*, with the
+        first-occurrence semantics: x = a . c . b where a avoids c.
+        The encoding asserts the character occurs (the common symbolic-
+        execution path condition); the caller handles the absent case.
+        Returns the integer variable holding the index."""
+        if len(char) != 1:
+            raise SolverError("index_of_char needs a single character")
+        result = result or self.fresh_int("_idx")
+        before = self.fresh_str("_ibef")
+        after = self.fresh_str("_iaft")
+        self.equal((variable,), (before, char, after))
+        self.member(before, "[^%s]*" % _regex_escape(char))
+        self.require_int(eq(int_var(result), str_len(before)))
+        return result
+
+    def split_fixed(self, variable, separator, count):
+        """``split(x, sep)`` with a known field count (the shape symbolic
+        executors produce after a loop over the fields).  *separator* must
+        be a single character; each returned field avoids it, which pins
+        the exact split.  The paper lists ``split`` as future work; the
+        fixed-arity case reduces to the core fragment."""
+        if len(separator) != 1:
+            raise SolverError("split_fixed needs a single-char separator")
+        if count < 1:
+            raise SolverError("split_fixed needs at least one field")
+        fields = [self.fresh_str("_fld") for _ in range(count)]
+        avoid = "[^%s]*" % _regex_escape(separator)
+        term = []
+        for i, field in enumerate(fields):
+            self.member(field, avoid)
+            if i:
+                term.append(separator)
+            term.append(field)
+        self.equal((variable,), tuple(term))
+        return fields
+
+    def to_num_signed(self, variable, result=None):
+        """JavaScript-style signed conversion for integer strings:
+        x = sign . magnitude with sign in ("-")?, n = +-toNum(magnitude).
+        Returns the integer variable holding the signed value.  Only
+        well-formed (sign + digits) inputs are covered — the NaN case of
+        signed strings is out of the paper's fragment."""
+        result = result or self.fresh_int("_snum")
+        sign = self.fresh_str("_sign")
+        magnitude = self.fresh_str("_mag")
+        self.member(sign, "-?")
+        self.member(magnitude, "[0-9]+")
+        self.equal((variable,), (sign, magnitude))
+        m = self.to_num(magnitude)
+        self.require_int(disj(
+            conj(eq(str_len(sign), 0), eq(int_var(result), int_var(m))),
+            conj(eq(str_len(sign), 1),
+                 eq(int_var(result), -int_var(m)))))
+        return result
+
+    def ite_int(self, condition, then_expr, else_expr, result=None):
+        """``r = ite(b, e, e')`` over integers, as a linear disjunction."""
+        result = result or self.fresh_int("_ite")
+        r = int_var(result)
+        self.require_int(disj(
+            conj(condition, eq(r, then_expr)),
+            conj(_negate(condition), eq(r, else_expr))))
+        return result
+
+
+def _regex_escape(char):
+    return "\\" + char if char in "()[]|*+?{}.\\^-" else char
+
+
+def _concat(*terms):
+    out = []
+    for t in terms:
+        if isinstance(t, (StrVar, str)):
+            out.append(t)
+        else:
+            out.extend(t)
+    return tuple(out)
+
+
+def _negate(formula):
+    from repro.logic.formula import neg, nnf
+    return nnf(neg(formula))

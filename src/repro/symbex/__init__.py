@@ -1,0 +1,24 @@
+"""Benchmark generators: path constraints from symbolic execution.
+
+The paper's evaluation suites come from symbolic executors (PyEx,
+Py-Conbyte) run over concrete programs.  Each module here encodes the path
+conditions of one such program family directly as
+:class:`~repro.strings.ast.StringProblem` instances:
+
+* :mod:`repro.symbex.luhn` — the checkLuhn credit-card validation paths
+  (Table 3 and the JavaScript suite of Table 2);
+* :mod:`repro.symbex.leetcode` — LeetCode-style programs (IP validation,
+  binary addition, abbreviations, digit decoding);
+* :mod:`repro.symbex.pythonlib` — Python-library-style parsing
+  (int() round-trips, date/time fields);
+* :mod:`repro.symbex.javascript` — JavaScript array-index semantics;
+* :mod:`repro.symbex.pyex` — PyEx-style random path constraints over basic
+  string operations;
+* :mod:`repro.symbex.fuzz` — StringFuzz-style generated instances;
+* :mod:`repro.symbex.cvc4` — cvc4pred/cvc4term-style mostly-UNSAT
+  predicate instances.
+"""
+
+from repro.symbex.luhn import luhn_problem
+
+__all__ = ["luhn_problem"]

@@ -1,0 +1,27 @@
+"""Shared plumbing for benchmark generators."""
+
+import random
+
+
+class Instance:
+    """One benchmark instance: a problem plus its ground-truth status.
+
+    ``expected`` is "sat", "unsat", or None when the generator cannot
+    certify the answer (fuzzed instances); the harness then falls back to
+    cross-validation between solvers, as the paper does.
+    """
+
+    __slots__ = ("name", "problem", "expected")
+
+    def __init__(self, name, problem, expected=None):
+        self.name = name
+        self.problem = problem
+        self.expected = expected
+
+    def __repr__(self):
+        return "Instance(%s, expected=%s)" % (self.name, self.expected)
+
+
+def rng_for(seed, salt):
+    """Deterministic per-family RNG."""
+    return random.Random((seed, salt).__hash__() & 0x7FFFFFFF)

@@ -1,0 +1,110 @@
+"""cvc4pred/cvc4term-style instances (Table 1).
+
+The cvc4 suites from the CVC4 group are dominated by UNSAT queries over
+extended string predicates (prefixof, suffixof, contains) with light
+arithmetic — the shape of verification side-conditions.  We mirror that
+mix: mostly-UNSAT predicate combinations plus a small SAT fraction, with a
+sprinkle of string-number conversion (< 5%, as the paper notes).
+"""
+
+from repro.logic.formula import eq, ge, le
+from repro.logic.terms import var as int_var
+from repro.strings.ast import str_len
+from repro.strings.ops import ProblemBuilder
+from repro.symbex.common import Instance, rng_for
+
+_LITS = ["a", "ab", "abc", "ba", "bb", "aab"]
+
+
+def prefix_conflict_problem(rng, sat=False):
+    """Two incompatible prefixes (or compatible ones, for SAT)."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    first = rng.choice(_LITS)
+    if sat:
+        second = first + rng.choice(_LITS)
+    else:
+        second = ("b" if first[0] == "a" else "a") + first[1:] + "a"
+    b.prefix_of((first,), s)
+    b.prefix_of((second,), s)
+    b.require_int(le(str_len(s), 10))
+    return b.problem
+
+
+def contains_budget_problem(rng, sat=False):
+    """contains with a length budget too small for the needles."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    needles = [rng.choice(_LITS) for _ in range(2)]
+    for needle in needles:
+        b.contains(s, (needle,))
+    budget = sum(len(n) for n in needles)
+    if sat:
+        b.require_int(le(str_len(s), budget + 2))
+        b.require_int(ge(str_len(s), max(len(n) for n in needles)))
+    else:
+        b.require_int(le(str_len(s), min(len(n) for n in needles) - 1))
+    return b.problem
+
+
+def suffix_equation_problem(rng, sat=False):
+    """suffixof interacting with a concatenation equality."""
+    b = ProblemBuilder()
+    s, t = b.str_var("s"), b.str_var("t")
+    tail = rng.choice(_LITS)
+    b.suffix_of((tail,), s)
+    b.equal((s,), (t, tail))
+    if sat:
+        b.require_int(le(str_len(t), 4))
+    else:
+        b.require_int(le(str_len(s), len(tail) - 1))
+    return b.problem
+
+
+def term_rewrite_problem(rng, sat=False):
+    """cvc4term shape: equalities between composed terms."""
+    b = ProblemBuilder()
+    x, y = b.str_var("x"), b.str_var("y")
+    lit = rng.choice(_LITS)
+    b.equal((x, lit), (lit, y))
+    b.require_int(eq(str_len(x), str_len(y)))
+    if sat:
+        b.require_int(le(str_len(x), 5))
+    else:
+        # |x lit| = |lit y| always; demand inconsistent lengths instead.
+        b.require_int(eq(str_len(x), str_len(y) + 1))
+    return b.problem
+
+
+def rare_conversion_problem(rng, sat=False):
+    """The < 5% of cvc4 instances touching string-number conversion."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "[0-9]{2}")
+    n = b.to_num(s, "n")
+    if sat:
+        b.require_int(ge(int_var("n"), 10))
+    else:
+        b.require_int(ge(int_var("n"), 100))
+    return b.problem
+
+
+_FAMILIES = [prefix_conflict_problem, contains_budget_problem,
+             suffix_equation_problem, term_rewrite_problem]
+
+
+def generate(count, seed=0, flavor="pred"):
+    """A cvc4-style suite: mostly UNSAT, a small SAT and conversion tail."""
+    rng = rng_for(seed, "cvc4-" + flavor)
+    out = []
+    for i in range(count):
+        if rng.random() < 0.04:
+            maker, name = rare_conversion_problem, "conv"
+        else:
+            maker = _FAMILIES[(i + (1 if flavor == "term" else 0))
+                              % len(_FAMILIES)]
+            name = maker.__name__.replace("_problem", "")
+        sat = rng.random() < 0.12
+        out.append(Instance("cvc4%s/%s-%03d" % (flavor, name, i),
+                            maker(rng, sat), "sat" if sat else "unsat"))
+    return out

@@ -1,0 +1,113 @@
+"""StringFuzz-style generated instances (Table 1).
+
+StringFuzz stresses solvers with synthetic shapes rather than program
+paths: long concatenation chains, deep regex nesting, and length-arithmetic
+ladders.  The generators mirror those shapes at sizes our pure-Python
+substrate handles.  Where a witness is constructed the label is certified;
+a few families are genuinely unlabeled (expected=None), as in the paper,
+where ground truth came from cross-validation.
+"""
+
+from repro.logic.formula import eq, ge, le
+from repro.strings.ast import str_len
+from repro.strings.ops import ProblemBuilder
+from repro.symbex.common import Instance, rng_for
+
+
+def concat_ladder_problem(rng, depth, sat=True):
+    """x0 = x1 . x2, x1 = x3 . x4, ... with length arithmetic at the leaves."""
+    b = ProblemBuilder()
+    total = rng.randint(depth, 2 * depth)
+    root = b.str_var("x0")
+    b.require_int(eq(str_len(root), total))
+    current = root
+    for i in range(depth):
+        left = b.str_var("l%d" % i)
+        right = b.str_var("r%d" % i)
+        b.equal((current,), (left, right))
+        b.require_int(ge(str_len(left), 1))
+        current = right
+    if not sat:
+        # The chain forces |x0| >= depth pieces of size >= 1 plus the tail;
+        # demanding a shorter root contradicts.
+        b.require_int(le(str_len(root), depth - 1))
+    return b.problem
+
+
+def regex_depth_problem(rng, depth, sat=True):
+    """Nested alternations/repetitions on one variable.
+
+    The length is sampled from the language's actual length set so the
+    SAT label is certified.
+    """
+    from repro.automata.regex import regex_to_nfa
+    inner = rng.choice(["ab", "a|b", "[a-c]"])
+    regex = inner
+    for _ in range(depth):
+        regex = "(%s)%s" % (regex, rng.choice(["*", "+", "{1,2}"]))
+    nfa = regex_to_nfa(regex)
+    witness_lengths = sorted({len(w) for w in nfa.enumerate_words(6)
+                              if len(w) >= 1}) or [1]
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, regex)
+    b.require_int(eq(str_len(s), rng.choice(witness_lengths)))
+    if not sat:
+        b.member(s, "[0-9]+")
+    return b.problem
+
+
+def length_ladder_problem(rng, rungs, sat=True):
+    """|x1| = 2|x0|, |x2| = 2|x1|, ... — exponential length growth."""
+    b = ProblemBuilder()
+    base = b.str_var("x0")
+    b.require_int(ge(str_len(base), 1))
+    b.require_int(le(str_len(base), 2))
+    prev = base
+    for i in range(1, rungs + 1):
+        nxt = b.str_var("x%d" % i)
+        b.require_int(eq(str_len(nxt), str_len(prev) * 2))
+        b.member(nxt, "[ab]+")
+        prev = nxt
+    if not sat:
+        b.require_int(le(str_len(prev), 0))
+    return b.problem
+
+
+def overlapping_equations_problem(rng, sat=None):
+    """Unlabeled family: random small word equations (cross-validated)."""
+    b = ProblemBuilder()
+    x, y, z = b.str_var("x"), b.str_var("y"), b.str_var("z")
+    lits = ["a", "b", "ab", "ba"]
+    b.equal((x, rng.choice(lits)), (rng.choice(lits), y))
+    b.equal((y, z), (z, rng.choice(lits)))
+    b.require_int(le(str_len(x), 6))
+    b.require_int(le(str_len(z), 6))
+    return b.problem
+
+
+def generate(count, seed=0):
+    """A StringFuzz-style suite of *count* instances."""
+    rng = rng_for(seed, "fuzz")
+    out = []
+    for i in range(count):
+        roll = i % 4
+        sat = rng.random() < 0.6
+        if roll == 0:
+            p = concat_ladder_problem(rng, 2 + i % 4, sat)
+            expected = "sat" if sat else "unsat"
+            name = "ladder"
+        elif roll == 1:
+            p = regex_depth_problem(rng, 1 + i % 3, sat)
+            expected = "sat" if sat else "unsat"
+            name = "regex"
+        elif roll == 2:
+            p = length_ladder_problem(rng, 1 + i % 3, sat)
+            expected = "sat" if sat else "unsat"
+            name = "lengths"
+        else:
+            p = overlapping_equations_problem(rng)
+            expected = None
+            name = "wordeq"
+        out.append(Instance("fuzz/%s-%03d" % (name, i), p, expected))
+    return out

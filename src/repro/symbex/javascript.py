@@ -1,0 +1,110 @@
+"""JavaScript-semantics instances (the JavaScript suite of Table 2).
+
+Faithful symbolic execution of JavaScript must model array indices as
+strings with implicit string-number conversion (paper Section 1): ``x[3]``,
+``x[03]`` and ``x["3"]`` alias while ``x["03"]`` does not, and ``"03"-1``
+converts, subtracts, and converts back.  The families below encode those
+aliasing and arithmetic paths, plus the checkLuhn paths the paper also
+counts in this suite.
+"""
+
+from repro.logic.formula import conj, eq, ge, le
+from repro.logic.terms import var as int_var
+from repro.strings.ast import str_len
+from repro.strings.ops import ProblemBuilder
+from repro.symbex.common import Instance, rng_for
+from repro.symbex.luhn import luhn_problem
+
+
+def noncanonical_index_problem(sat=True):
+    """Find an index string that does NOT alias its numeric form: s is a
+    numeral but s != toStr(toNum(s)) — e.g. "03"."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "[0-9]+")
+    n = b.to_num(s, "n")
+    canonical = b.to_str("n")
+    if sat:
+        b.diseq((s,), (canonical,))
+        b.require_int(le(str_len(s), 6))
+    else:
+        # A canonical numeral that differs from itself.
+        b.equal((s,), (canonical,))
+        b.diseq((s,), (canonical,))
+    return b.problem
+
+
+def index_arithmetic_problem(offset, sat=True):
+    """The ``x["03"-1]`` path: evaluate s - offset, convert back, and land
+    on a required target cell."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "[0-9]+")
+    b.require_int(le(str_len(s), 4))
+    n = b.to_num(s, "n")
+    b.require_int(ge(int_var("n"), offset))
+    b.require_int(eq(int_var("j"), int_var("n") - offset))
+    target = b.to_str("j", b.str_var("target"))
+    b.equal((target,), ("2",))
+    if not sat:
+        # The same cell must also alias an impossible numeral.
+        b.require_int(eq(int_var("j"), 3))
+    return b.problem
+
+
+def aliasing_problem(sat=True):
+    """Two textually different index strings hitting the same cell: both
+    convert to the same number, but only one is canonical."""
+    b = ProblemBuilder()
+    s1, s2 = b.str_var("s1"), b.str_var("s2")
+    b.member(s1, "[0-9]+")
+    b.member(s2, "[0-9]+")
+    n1 = b.to_num(s1, "n1")
+    n2 = b.to_num(s2, "n2")
+    b.require_int(eq(int_var("n1"), int_var("n2")))
+    b.require_int(ge(int_var("n1"), 0))
+    b.diseq((s1,), (s2,))
+    b.require_int(conj(le(str_len(s1), 5), le(str_len(s2), 5)))
+    if not sat:
+        # Canonical numerals that convert equal must be equal.
+        b.member(s1, "0|[1-9][0-9]*")
+        b.member(s2, "0|[1-9][0-9]*")
+    return b.problem
+
+
+def array_bounds_problem(length, sat=True):
+    """Write through a converted index, then require it in bounds."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "[0-9]{1,3}")
+    n = b.to_num(s, "n")
+    if sat:
+        b.require_int(conj(ge(int_var("n"), 0),
+                           le(int_var("n"), length - 1)))
+    else:
+        b.require_int(conj(ge(int_var("n"), length),
+                           le(int_var("n"), length),
+                           le(str_len(s), 0)))
+    return b.problem
+
+
+def generate(count, seed=0, luhn_sizes=(2, 3, 4)):
+    """The JavaScript suite: aliasing/arithmetic paths plus small Luhn."""
+    rng = rng_for(seed, "javascript")
+    makers = [
+        ("noncanonical", lambda i, sat: noncanonical_index_problem(sat)),
+        ("index_arith",
+         lambda i, sat: index_arithmetic_problem(1 + i % 3, sat)),
+        ("aliasing", lambda i, sat: aliasing_problem(sat)),
+        ("bounds", lambda i, sat: array_bounds_problem(5 + i % 5, sat)),
+    ]
+    out = []
+    for i in range(count):
+        name, maker = makers[i % len(makers)]
+        sat = rng.random() < 0.7
+        out.append(Instance("javascript/%s-%03d" % (name, i),
+                            maker(i, sat), "sat" if sat else "unsat"))
+    for k in luhn_sizes:
+        out.append(Instance("javascript/luhn-%02d" % k,
+                            luhn_problem(k), "sat"))
+    return out

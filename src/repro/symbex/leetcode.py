@@ -1,0 +1,230 @@
+"""LeetCode-style benchmark instances (Tables 1 and 2).
+
+The paper's LeetCode suites come from symbolically executing solutions to
+classic problems: IPv4/IPv6 address validation, binary addition,
+abbreviation checking, and digit-to-letter decoding.  Each generator below
+encodes the corresponding path conditions; instances are labeled with their
+ground-truth status (witness-first construction for SAT, injected
+contradictions for UNSAT).
+"""
+
+from repro.logic.formula import conj, eq, ge, le
+from repro.logic.terms import var as int_var
+from repro.strings.ast import str_len
+from repro.strings.ops import ProblemBuilder
+from repro.symbex.common import Instance, rng_for
+
+
+def restore_ip_problem(segments, sat=True):
+    """Path of 'restore IP addresses': split a digit string into four valid
+    octets.  *segments* fixes the digit count of each octet (1..3)."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    parts = []
+    for i, width in enumerate(segments):
+        seg = b.str_var("seg%d" % i)
+        b.member(seg, "[0-9]{%d}" % width)
+        n = b.to_num(seg, "oct%d" % i)
+        b.require_int(conj(ge(int_var(n), 0), le(int_var(n), 255)))
+        if width > 1:
+            # No leading zeros in a valid octet.
+            b.member(seg, "[1-9][0-9]*")
+        parts.append(seg)
+    b.equal((s,), (parts[0], ".", parts[1], ".", parts[2], ".", parts[3]))
+    if not sat:
+        # Contradiction: an octet above 255.
+        b.require_int(ge(int_var("oct1"), 256))
+    return b.problem
+
+
+def valid_ipv4_membership(sat=True):
+    """Pure membership formulation of IPv4 validity."""
+    octet = "(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9][0-9]|[0-9])"
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "%s(\\.%s){3}" % (octet, octet))
+    if sat:
+        b.require_int(eq(str_len(s), 11))
+    else:
+        b.require_int(le(str_len(s), 6))    # shortest IPv4 is 7 chars
+    return b.problem
+
+
+def add_binary_problem(bits, sat=True):
+    """Binary addition a + b = c over bit strings of width *bits*.
+
+    Each bit is read through charAt/toNum and a carry chain links the
+    columns — the dense conversion pattern of the Table 2 suite.
+    """
+    b = ProblemBuilder()
+    a, bb, c = b.str_var("a"), b.str_var("b"), b.str_var("c")
+    for s in (a, bb, c):
+        b.member(s, "[01]+")
+        b.require_int(eq(str_len(s), bits))
+    carry = int_var("carry0")
+    b.require_int(eq(carry, 0))
+    for i in range(bits):
+        # Process from the least significant bit (rightmost).
+        pos = bits - 1 - i
+        da = int_var(b.to_num(b.char_at(a, pos)))
+        db = int_var(b.to_num(b.char_at(bb, pos)))
+        dc = int_var(b.to_num(b.char_at(c, pos)))
+        new_carry = int_var("carry%d" % (i + 1))
+        total = da + db + carry
+        b.require_int(eq(total, new_carry * 2 + dc))
+        b.require_int(conj(ge(new_carry, 0), le(new_carry, 1)))
+        carry = new_carry
+    b.require_int(eq(carry, 0))     # no overflow on this path
+    if not sat:
+        # Contradiction: force a = c while b has a one bit and no overflow.
+        b.equal((a,), (c,))
+        b.member(bb, "0*10*")
+    return b.problem
+
+
+def abbreviation_problem(word_len, number, sat=True):
+    """Word abbreviation check (e.g. i18n): w = first . mid . last with
+    |mid| spelled out in decimal inside the abbreviation string."""
+    b = ProblemBuilder()
+    w = b.str_var("w")
+    abbrev = b.str_var("abbrev")
+    first, mid, last = (b.str_var("first"), b.str_var("mid"),
+                        b.str_var("last"))
+    for v in (first, last):
+        b.member(v, "[a-z]")
+    b.member(mid, "[a-z]*")
+    b.member(w, "[a-z]+")
+    b.equal((w,), (first, mid, last))
+    b.require_int(eq(str_len(w), word_len))
+    numstr = b.str_var("numstr")
+    n = b.to_num(numstr, "midlen")
+    b.member(numstr, "[1-9][0-9]*")
+    b.require_int(eq(int_var(n), str_len(mid)))
+    b.equal((abbrev,), (first, numstr, last))
+    target = word_len - 2
+    if sat:
+        b.require_int(eq(int_var(n), target))
+    else:
+        b.require_int(eq(int_var(n), target + 3))   # longer than the word
+    return b.problem
+
+
+def decode_digits_problem(pairs, sat=True):
+    """Digit-decoding path: a digit string split into two-digit groups,
+    each decoding to a letter (value in 10..26)."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    groups = []
+    for i in range(pairs):
+        g = b.str_var("g%d" % i)
+        b.member(g, "[0-9]{2}")
+        n = b.to_num(g, "code%d" % i)
+        lo, hi = (10, 26) if sat else (27, 9)
+        b.require_int(conj(ge(int_var(n), lo), le(int_var(n), hi)))
+        groups.append(g)
+    b.equal((s,), tuple(groups))
+    return b.problem
+
+
+def valid_ipv6_problem(groups=4, sat=True):
+    """Path of 'validate IPv6': colon-separated hexadecimal groups of one
+    to four digits (shortened to *groups* fields, as symbolic executors do
+    per loop unrolling)."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    fields = b.split_fixed(s, ":", groups)
+    for field in fields:
+        b.member(field, "[0-9a-f]{1,4}")
+    if not sat:
+        b.require_int(ge(str_len(fields[0]), 5))
+    return b.problem
+
+
+def reverse_check_problem(length, sat=True):
+    """Basic (conversion-free) path: s equals its fixed-length reverse."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "[a-c]+")
+    b.require_int(eq(str_len(s), length))
+    for i in range(length // 2):
+        left = b.char_at(s, i)
+        right = b.char_at(s, length - 1 - i)
+        if sat:
+            b.equal((left,), (right,))
+        elif i == 0:
+            b.equal((left,), (right,))
+            b.diseq((left,), (right,))
+        else:
+            b.equal((left,), (right,))
+    return b.problem
+
+
+def word_pattern_problem(pattern, sat=True):
+    """Basic path: s is a '-'-separated sequence following a letter
+    pattern (equal letters mean equal segments)."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    segments = {}
+    term = []
+    for i, letter in enumerate(pattern):
+        if letter not in segments:
+            seg = b.str_var("seg_%s" % letter)
+            b.member(seg, "[a-z]+")
+            segments[letter] = seg
+        if i:
+            term.append("-")
+        term.append(segments[letter])
+    b.equal((s,), tuple(term))
+    if sat:
+        b.require_int(le(str_len(s), 2 * len(pattern) + 4))
+        b.require_int(ge(str_len(s), 2 * len(pattern) - 1))
+    else:
+        b.require_int(le(str_len(s), len(pattern) - 1))
+    return b.problem
+
+
+def generate(count, seed=0, conversions_only=False, basic_only=False):
+    """A mixed LeetCode-style suite of *count* instances.
+
+    ``basic_only`` restricts to conversion-free families (the Table 1
+    suite); ``conversions_only`` restricts to conversion-heavy families
+    (the Table 2 suite).
+    """
+    rng = rng_for(seed, "leetcode")
+    out = []
+
+    def ip_maker(i, sat):
+        segments = [rng.randint(1, 3) for _ in range(4)]
+        return restore_ip_problem(segments, sat)
+
+    conversion_makers = [
+        ("restore_ip", ip_maker),
+        ("add_binary", lambda i, sat: add_binary_problem(2 + i % 3, sat)),
+        ("abbreviation",
+         lambda i, sat: abbreviation_problem(5 + i % 6, None, sat)),
+        ("decode_digits",
+         lambda i, sat: decode_digits_problem(1 + i % 3, sat)),
+    ]
+    basic_makers = [
+        ("valid_ipv4", lambda i, sat: valid_ipv4_membership(sat)),
+        ("valid_ipv6",
+         lambda i, sat: valid_ipv6_problem(2 + i % 3, sat)),
+        ("reverse", lambda i, sat: reverse_check_problem(3 + i % 4, sat)),
+        ("word_pattern",
+         lambda i, sat: word_pattern_problem(
+             "".join(rng.choice("abc") for _ in range(2 + i % 3)), sat)),
+    ]
+    if basic_only:
+        makers = basic_makers
+    elif conversions_only:
+        makers = conversion_makers
+    else:
+        makers = conversion_makers + basic_makers
+
+    for i in range(count):
+        name, maker = makers[i % len(makers)]
+        sat = rng.random() < 0.5
+        problem = maker(i, sat)
+        out.append(Instance("leetcode/%s-%03d" % (name, i), problem,
+                            "sat" if sat else "unsat"))
+    return out

@@ -1,0 +1,71 @@
+"""Path constraints of the checkLuhn algorithm (paper Section 1, Table 3).
+
+The JavaScript program validates a digit string by summing the digits at
+odd positions (from the right) with the doubled-and-adjusted digits at even
+positions, and accepting when the sum ends in 0.  The path that traverses
+both loops a fixed number of times and passes the final test induces the
+constraint system of Section 1:
+
+* ``value in [1-9]+`` and ``|value| = k``,
+* per iteration: ``d_i = toNum(charAt(value, i))`` with the position
+  arithmetic of the two loops,
+* the even digits doubled and reduced by 9 when above 9 (an ``ite``),
+* ``charAt(toStr(sum), |toStr(sum)| - 1) = "0"``.
+"""
+
+from repro.logic.formula import eq, gt
+from repro.logic.terms import var as int_var
+from repro.strings.ast import str_len
+from repro.strings.ops import ProblemBuilder
+
+
+def luhn_problem(k, accept=True):
+    """The checkLuhn path constraint for a *k*-digit input.
+
+    With ``accept=True`` the path ends in the validation passing (these are
+    the satisfiable Table 3 instances); ``accept=False`` asks for a failing
+    final check instead.
+    """
+    if k < 2:
+        raise ValueError("the Luhn benchmark needs at least two digits")
+    b = ProblemBuilder()
+    value = b.str_var("value")
+    b.member(value, "[1-9]+")
+    b.require_int(eq(str_len(value), k))
+
+    total = int_var("sum0")
+    b.require_int(eq(total, 0))
+    step = 0
+
+    # First loop: positions k-1, k-3, ... (odd digits, counted from the
+    # right); each contributes its value directly.
+    for i in range(k - 1, -1, -2):
+        c = b.char_at(value, i)
+        d = b.to_num(c)
+        step += 1
+        new_total = int_var("sum%d" % step)
+        b.require_int(eq(new_total, total + int_var(d)))
+        total = new_total
+
+    # Second loop: positions k-2, k-4, ...; each digit is doubled and
+    # reduced by 9 when the double exceeds 9.
+    for i in range(k - 2, -1, -2):
+        c = b.char_at(value, i)
+        d = b.to_num(c)
+        doubled = int_var(d) * 2
+        adjusted = b.ite_int(gt(doubled, 9), doubled - 9, doubled)
+        step += 1
+        new_total = int_var("sum%d" % step)
+        b.require_int(eq(new_total, total + int_var(adjusted)))
+        total = new_total
+
+    # The final test: the last character of toStr(sum) is '0' (or is not,
+    # for the failing path).
+    sum_name = "sum%d" % step
+    sum_str = b.to_str(sum_name)
+    last = b.char_at(sum_str, str_len(sum_str) - 1)
+    if accept:
+        b.equal((last,), ("0",))
+    else:
+        b.diseq((last,), ("0",))
+    return b.problem

@@ -1,0 +1,139 @@
+"""PyEx-style random path constraints over basic string operations.
+
+The paper's largest Table 1 suite comes from running PyEx over Python
+packages; the constraints mix concatenations, slicing (charAt/substr),
+membership and length arithmetic — without string-number conversion.
+
+Instances are generated *witness-first*: a concrete assignment is drawn,
+the constraints are synthesized to hold of it (so the instance is SAT by
+construction), and UNSAT variants inject a single contradiction.  This
+gives every instance a certified ground-truth label, replacing the paper's
+cross-solver validation for generated suites.
+"""
+
+from repro.logic.formula import eq, ge, le
+from repro.strings.ast import str_len
+from repro.strings.ops import ProblemBuilder
+from repro.symbex.common import Instance, rng_for
+
+_WORDS = ["get", "key", "val", "http", "user", "id", "x", "item", "42",
+          "tmp", "a", "of"]
+_CLASSES = ["[a-z]+", "[a-z0-9]+", "[a-z_]+", "[0-9a-f]+"]
+
+
+def _random_word(rng, min_len=1, max_len=6):
+    return "".join(rng.choice("abcdefghij") for _ in range(
+        rng.randint(min_len, max_len)))
+
+
+def concat_chain_problem(rng, parts, sat=True):
+    """s = x1 . lit . x2 ... with per-part lengths and memberships."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    term = []
+    witness = ""
+    for i in range(parts):
+        if rng.random() < 0.4:
+            lit = rng.choice(_WORDS)
+            term.append(lit)
+            witness += lit
+        else:
+            v = b.str_var("p%d" % i)
+            value = _random_word(rng)
+            witness += value
+            term.append(v)
+            b.require_int(eq(str_len(v), len(value)))
+            if rng.random() < 0.5:
+                b.member(v, "[a-j]+")
+    b.equal((s,), tuple(term))
+    b.require_int(eq(str_len(s), len(witness)))
+    if not sat:
+        b.require_int(ge(str_len(s), len(witness) + 1))
+    return b.problem
+
+
+def slicing_problem(rng, sat=True):
+    """charAt/substr path: fix a character deep inside a bounded string."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    length = rng.randint(3, 9)
+    index = rng.randint(0, length - 1)
+    b.member(s, "[a-j]+")
+    b.require_int(eq(str_len(s), length))
+    c = b.char_at(s, index)
+    b.equal((c,), (rng.choice("abcdefghij"),))
+    piece_len = rng.randint(1, max(1, length - index))
+    piece = b.substr(s, index, piece_len)
+    b.require_int(eq(str_len(piece), piece_len))
+    if not sat:
+        b.require_int(le(str_len(s), index))   # index out of range
+    return b.problem
+
+
+def affix_problem(rng, sat=True):
+    """prefixof/suffixof/contains combination on a bounded string."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    prefix = rng.choice(_WORDS)
+    suffix = rng.choice(_WORDS)
+    middle = rng.choice(_WORDS)
+    total = len(prefix) + len(middle) + len(suffix)
+    b.prefix_of((prefix,), s)
+    b.suffix_of((suffix,), s)
+    b.contains(s, (middle,))
+    if sat:
+        b.require_int(ge(str_len(s), total))
+        b.require_int(le(str_len(s), total + 4))
+    else:
+        b.require_int(le(str_len(s), max(len(prefix), len(suffix)) - 1))
+    return b.problem
+
+
+def membership_conflict_problem(rng, sat=True):
+    """Intersecting regular constraints on one variable."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    length = rng.randint(2, 8)
+    b.member(s, "[a-j]+")
+    b.require_int(eq(str_len(s), length))
+    if sat:
+        b.member(s, "[a-e]+")
+    else:
+        b.member(s, "[0-9]+")   # disjoint from [a-j]+
+    return b.problem
+
+
+def equation_split_problem(rng, sat=True):
+    """x . y = w (a concrete word): classic PyEx split shape."""
+    b = ProblemBuilder()
+    x, y = b.str_var("x"), b.str_var("y")
+    w = _random_word(rng, 3, 8)
+    cut = rng.randint(0, len(w))
+    b.equal((x, y), (w,))
+    b.require_int(eq(str_len(x), cut))
+    if not sat:
+        b.require_int(ge(str_len(y), len(w) - cut + 1))
+    return b.problem
+
+
+_FAMILIES = [
+    ("concat", lambda rng, sat: concat_chain_problem(
+        rng, rng.randint(2, 4), sat)),
+    ("slicing", slicing_problem),
+    ("affix", affix_problem),
+    ("membership", membership_conflict_problem),
+    ("split", equation_split_problem),
+]
+
+
+def generate(count, seed=0):
+    """A mixed PyEx-style suite of *count* labeled instances."""
+    rng = rng_for(seed, "pyex")
+    out = []
+    for i in range(count):
+        name, maker = _FAMILIES[i % len(_FAMILIES)]
+        sat = rng.random() < 0.75
+        problem = maker(rng, sat)
+        out.append(Instance("pyex/%s-%03d" % (name, i), problem,
+                            "sat" if sat else "unsat"))
+    return out

@@ -1,0 +1,129 @@
+"""Python-core-library-style instances (the PythonLib suite of Table 2).
+
+The paper collected these by running Py-Conbyte over library code that
+parses numbers and date/time fields out of strings.  The families below
+encode those paths: ``int(s)`` round-trips, zero-padded field parsing, and
+date/time validation with range checks on the converted values.
+"""
+
+from repro.logic.formula import conj, eq, ge, le
+from repro.logic.terms import var as int_var
+from repro.strings.ast import str_len
+from repro.strings.ops import ProblemBuilder
+from repro.symbex.common import Instance, rng_for
+
+
+def int_roundtrip_problem(value_digits, sat=True):
+    """``int(s)`` then ``str(int(s))``: the round-trip strips leading
+    zeros, so s must already be canonical for equality to hold."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "[0-9]{%d}" % value_digits)
+    n = b.to_num(s, "n")
+    t = b.to_str("n")
+    if sat:
+        b.equal((s,), (t,))
+        if value_digits > 1:
+            b.member(s, "[1-9][0-9]*")
+    else:
+        # Leading zero guaranteed but round-trip equality demanded.
+        b.member(s, "0[0-9]*")
+        b.equal((s,), (t,))
+        b.require_int(ge(str_len(s), 2))
+        b.require_int(ge(int_var("n"), 1))
+    return b.problem
+
+
+def parse_date_problem(sat=True):
+    """strptime("%Y-%m-%d")-style path with range checks on the fields."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    y, m, d = b.str_var("y"), b.str_var("m"), b.str_var("d")
+    b.member(y, "[0-9]{4}")
+    b.member(m, "[0-9]{2}")
+    b.member(d, "[0-9]{2}")
+    b.equal((s,), (y, "-", m, "-", d))
+    ny = b.to_num(y, "year")
+    nm = b.to_num(m, "month")
+    nd = b.to_num(d, "day")
+    b.require_int(conj(ge(int_var("year"), 1), le(int_var("year"), 9999)))
+    b.require_int(conj(ge(int_var("month"), 1), le(int_var("month"), 12)))
+    if sat:
+        b.require_int(conj(ge(int_var("day"), 1), le(int_var("day"), 31)))
+    else:
+        # The format regex caps the day field at 31, so demanding an
+        # out-of-range value contradicts.
+        b.member(d, "[0-2][0-9]|3[01]")
+        b.require_int(ge(int_var("day"), 32))
+    return b.problem
+
+
+def parse_time_problem(sat=True):
+    """"HH:MM:SS" parsing with field ranges."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    h, m, sec = b.str_var("h"), b.str_var("m"), b.str_var("sec")
+    for f in (h, m, sec):
+        b.member(f, "[0-9]{2}")
+    b.equal((s,), (h, ":", m, ":", sec))
+    nh = b.to_num(h, "hh")
+    nm = b.to_num(m, "mm")
+    ns = b.to_num(sec, "ss")
+    b.require_int(le(int_var("hh"), 23))
+    b.require_int(le(int_var("mm"), 59))
+    if sat:
+        b.require_int(le(int_var("ss"), 59))
+    else:
+        # The format regex caps the seconds field below 60, so demanding
+        # an out-of-range value contradicts.
+        b.member(sec, "[0-5][0-9]")
+        b.require_int(ge(int_var("ss"), 60))
+    return b.problem
+
+
+def zero_padded_field_problem(width, value, sat=True):
+    """Parsing a zero-padded counter field: s is width digits and its value
+    is fixed; UNSAT variant demands a value too wide for the field."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    b.member(s, "[0-9]{%d}" % width)
+    n = b.to_num(s, "n")
+    target = value if sat else 10 ** width
+    b.require_int(eq(int_var("n"), target))
+    return b.problem
+
+
+def not_a_number_problem(sat=True):
+    """Error-handling path: the input fails int() — toNum yields -1."""
+    b = ProblemBuilder()
+    s = b.str_var("s")
+    n = b.to_num(s, "n")
+    b.require_int(eq(int_var("n"), -1))
+    b.require_int(eq(str_len(s), 3))
+    if sat:
+        b.member(s, "[a-z]+")
+    else:
+        b.member(s, "[0-9]+")   # a digit string cannot convert to -1
+    return b.problem
+
+
+def generate(count, seed=0):
+    """A mixed PythonLib-style suite of *count* instances."""
+    rng = rng_for(seed, "pythonlib")
+    makers = [
+        ("int_roundtrip",
+         lambda i, sat: int_roundtrip_problem(1 + i % 4, sat)),
+        ("parse_date", lambda i, sat: parse_date_problem(sat)),
+        ("parse_time", lambda i, sat: parse_time_problem(sat)),
+        ("zero_padded",
+         lambda i, sat: zero_padded_field_problem(
+             2 + i % 3, rng.randint(0, 10 ** (2 + i % 3) - 1), sat)),
+        ("not_a_number", lambda i, sat: not_a_number_problem(sat)),
+    ]
+    out = []
+    for i in range(count):
+        name, maker = makers[i % len(makers)]
+        sat = rng.random() < 0.6
+        out.append(Instance("pythonlib/%s-%03d" % (name, i),
+                            maker(i, sat), "sat" if sat else "unsat"))
+    return out

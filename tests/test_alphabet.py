@@ -1,0 +1,64 @@
+"""Unit tests for the numeric character encoding."""
+
+import pytest
+
+from repro.alphabet import Alphabet, DEFAULT_ALPHABET, EPSILON
+from repro.errors import EncodingError
+
+
+class TestDigitLayout:
+    def test_digits_map_to_their_values(self):
+        for d in range(10):
+            assert DEFAULT_ALPHABET.code(str(d)) == d
+
+    def test_non_digits_have_codes_above_nine(self):
+        for char in "abcXYZ _-.:/":
+            assert DEFAULT_ALPHABET.code(char) >= 10
+
+    def test_epsilon_is_outside_the_alphabet(self):
+        assert EPSILON == -1
+        assert EPSILON not in set(DEFAULT_ALPHABET.codes())
+
+    def test_is_digit_code(self):
+        assert DEFAULT_ALPHABET.is_digit_code(0)
+        assert DEFAULT_ALPHABET.is_digit_code(9)
+        assert not DEFAULT_ALPHABET.is_digit_code(10)
+        assert not DEFAULT_ALPHABET.is_digit_code(EPSILON)
+
+
+class TestRoundTrips:
+    def test_code_char_round_trip(self):
+        for code in DEFAULT_ALPHABET.codes():
+            assert DEFAULT_ALPHABET.code(DEFAULT_ALPHABET.char(code)) == code
+
+    def test_word_round_trip(self):
+        word = "parse42this!"
+        codes = DEFAULT_ALPHABET.encode_word(word)
+        assert DEFAULT_ALPHABET.decode_word(codes) == word
+
+    def test_decode_drops_epsilon(self):
+        codes = [1, EPSILON, 2, EPSILON]
+        assert DEFAULT_ALPHABET.decode_word(codes) == "12"
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(EncodingError):
+            DEFAULT_ALPHABET.code("é")
+
+    def test_unknown_code(self):
+        with pytest.raises(EncodingError):
+            DEFAULT_ALPHABET.char(10 ** 6)
+
+
+class TestCustomAlphabet:
+    def test_small_alphabet_keeps_digits(self):
+        small = Alphabet(extra_chars="ab")
+        assert len(small) == 12
+        assert small.code("a") == 10
+        assert small.code("b") == 11
+        assert small.max_code == 11
+
+    def test_duplicate_extras_ignored(self):
+        small = Alphabet(extra_chars="aa5")
+        assert len(small) == 11

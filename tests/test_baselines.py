@@ -1,0 +1,121 @@
+"""Tests for the baseline solvers (correctness, not speed)."""
+
+import pytest
+
+from repro.baselines import EnumerativeSolver, SplittingSolver
+from repro.logic import eq, ge, le, var
+from repro.strings import ProblemBuilder, check_model, str_len
+
+
+SOLVERS = [EnumerativeSolver, SplittingSolver]
+
+
+def build_member_length():
+    b = ProblemBuilder()
+    x = b.str_var("x")
+    b.member(x, "[ab]+")
+    b.require_int(eq(str_len(x), 3))
+    return b.problem
+
+
+def build_equation():
+    b = ProblemBuilder()
+    x, y = b.str_var("x"), b.str_var("y")
+    b.equal((x, "b"), ("a", y))
+    b.require_int(eq(str_len(x), 2))
+    return b.problem
+
+
+def build_unsat_membership():
+    b = ProblemBuilder()
+    x = b.str_var("x")
+    b.member(x, "[ab]{2}")
+    b.require_int(ge(str_len(x), 3))
+    return b.problem
+
+
+def build_small_conversion():
+    b = ProblemBuilder()
+    x = b.str_var("x")
+    n = b.to_num(x)
+    b.require_int(eq(var(n), 7))
+    b.require_int(eq(str_len(x), 2))
+    return b.problem
+
+
+@pytest.mark.parametrize("solver_class", SOLVERS)
+class TestBothBaselines:
+    def test_membership_with_length(self, solver_class):
+        problem = build_member_length()
+        result = solver_class().solve(problem, timeout=20)
+        assert result.status == "sat"
+        assert check_model(problem, result.model)
+
+    def test_equation(self, solver_class):
+        problem = build_equation()
+        result = solver_class().solve(problem, timeout=20)
+        assert result.status == "sat"
+        assert check_model(problem, result.model)
+
+    def test_unsat_membership(self, solver_class):
+        problem = build_unsat_membership()
+        result = solver_class().solve(problem, timeout=20)
+        assert result.status == "unsat"
+
+    def test_small_conversion(self, solver_class):
+        problem = build_small_conversion()
+        result = solver_class().solve(problem, timeout=20)
+        assert result.status == "sat"
+        assert result.model["x"] == "07"
+
+    def test_never_wrong_on_generated_suite(self, solver_class):
+        from repro.symbex import pyex
+        solver = solver_class()
+        for instance in pyex.generate(6, seed=3):
+            result = solver.solve(instance.problem, timeout=5)
+            if result.status == "sat":
+                assert check_model(instance.problem, result.model), \
+                    instance.name
+            elif result.status == "unsat":
+                assert instance.expected != "sat", instance.name
+
+
+class TestEnumerativeSpecifics:
+    def test_exhaustion_gives_unsat_when_bounded(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]{2}")
+        b.equal((x,), ("ab",))
+        b.diseq((x,), ("ab",))
+        result = EnumerativeSolver().solve(b.problem, timeout=20)
+        assert result.status in ("unsat", "unknown")
+
+    def test_unbounded_search_gives_unknown(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "a+")
+        b.require_int(ge(str_len(x), 100))
+        result = EnumerativeSolver().solve(b.problem, timeout=5)
+        assert result.status == "unknown"
+
+
+class TestSplitterSpecifics:
+    def test_commuting_equation(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal(("ab", x), (x, "ab"))
+        b.require_int(eq(str_len(x), 2))
+        result = SplittingSolver().solve(b.problem, timeout=20)
+        assert result.status == "sat"
+        assert result.model["x"] == "ab"
+
+    def test_depth_bound_reports_unknown_not_unsat(self):
+        # A satisfiable equation whose solutions need deep splitting.
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.equal((x, y), (y, x))
+        b.require_int(ge(str_len(x), 6))
+        b.require_int(ge(str_len(y), 6))
+        solver = SplittingSolver(max_depth=4, max_fresh=10)
+        result = solver.solve(b.problem, timeout=10)
+        assert result.status in ("sat", "unknown")

@@ -1,0 +1,104 @@
+"""Tests for the benchmark harness (classification and table assembly)."""
+
+from repro.bench.runner import (
+    BenchmarkRunner, INCORRECT, SAT, TIMEOUT, UNSAT, default_solvers,
+)
+from repro.bench.tables import format_per_instance, format_table, summarize
+from repro.core.solver import SolveResult
+from repro.logic import eq
+from repro.strings import ProblemBuilder, str_len
+from repro.symbex.common import Instance
+
+
+def sat_instance():
+    b = ProblemBuilder()
+    x = b.str_var("x")
+    b.member(x, "[ab]{2}")
+    return Instance("t/sat", b.problem, "sat")
+
+
+def unsat_instance():
+    b = ProblemBuilder()
+    x = b.str_var("x")
+    b.member(x, "[ab]{2}")
+    b.require_int(eq(str_len(x), 9))
+    return Instance("t/unsat", b.problem, "unsat")
+
+
+class _FixedSolver:
+    """Test double returning a canned result."""
+
+    def __init__(self, result):
+        self.result = result
+
+    def solve(self, problem, timeout=None):
+        return self.result
+
+
+class _CrashingSolver:
+    def solve(self, problem, timeout=None):
+        raise RuntimeError("boom")
+
+
+class TestClassification:
+    def test_sat_validated(self):
+        runner = BenchmarkRunner(timeout=10)
+        outcome = runner.run_instance(sat_instance(), "pfa")
+        assert outcome.classification == SAT
+
+    def test_unsat(self):
+        runner = BenchmarkRunner(timeout=10)
+        outcome = runner.run_instance(unsat_instance(), "pfa")
+        assert outcome.classification == UNSAT
+
+    def test_invalid_model_is_incorrect(self):
+        runner = BenchmarkRunner(
+            solvers={"fake": _FixedSolver(
+                SolveResult("sat", model={"x": "zz"}))})
+        outcome = runner.run_instance(sat_instance(), "fake")
+        assert outcome.classification == INCORRECT
+
+    def test_wrong_unsat_is_incorrect(self):
+        runner = BenchmarkRunner(
+            solvers={"fake": _FixedSolver(SolveResult("unsat"))})
+        outcome = runner.run_instance(sat_instance(), "fake")
+        assert outcome.classification == INCORRECT
+
+    def test_crash_is_error(self):
+        runner = BenchmarkRunner(solvers={"fake": _CrashingSolver()})
+        outcome = runner.run_instance(sat_instance(), "fake")
+        assert outcome.classification == "ERROR"
+
+    def test_slow_unknown_is_timeout(self):
+        runner = BenchmarkRunner(
+            solvers={"fake": _FixedSolver(SolveResult("unknown"))},
+            timeout=0.0)
+        outcome = runner.run_instance(sat_instance(), "fake")
+        assert outcome.classification == TIMEOUT
+
+
+class TestTables:
+    def test_summarize_counts(self):
+        runner = BenchmarkRunner(timeout=10)
+        outcomes = runner.run_suite([sat_instance(), unsat_instance()],
+                                    ["pfa"])
+        summary = summarize(outcomes)
+        assert summary["pfa"]["SAT"] == 1
+        assert summary["pfa"]["UNSAT"] == 1
+
+    def test_format_table_has_total_block(self):
+        summary = {"pfa": {"SAT": 1, "UNSAT": 2, "UNKNOWN": 0,
+                           "TIMEOUT": 0, "ERROR": 0, "INCORRECT": 0}}
+        text = format_table("T", [("a", summary), ("b", summary)], ["pfa"])
+        assert "Total" in text
+        assert text.count("SAT") >= 6   # per-suite + total rows
+
+    def test_format_per_instance(self):
+        runner = BenchmarkRunner(timeout=10)
+        run = runner.run_instance(sat_instance(), "pfa")
+        text = format_per_instance("T3", [("i1", {"pfa": run})], ["pfa"])
+        assert "SAT(" in text
+
+    def test_default_lineup(self):
+        solvers = default_solvers()
+        assert set(solvers) == {"pfa", "splitting", "enumerative"}

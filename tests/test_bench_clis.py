@@ -1,0 +1,60 @@
+"""Smoke tests for the table-regeneration CLIs (tiny scales)."""
+
+import io
+import sys
+
+from repro.bench import ablation, table1, table2, table3
+from repro.bench.export import main as export_main
+
+
+def capture(fn, *args, **kwargs):
+    out = io.StringIO()
+    stdout = sys.stdout
+    sys.stdout = out
+    try:
+        fn(*args, **kwargs)
+    finally:
+        sys.stdout = stdout
+    return out.getvalue()
+
+
+class TestTableMains:
+    def test_table1_main(self):
+        text = capture(table1.main, ["--count", "2", "--timeout", "4"])
+        assert "Table 1" in text
+        assert "PyEx" in text and "cvc4term" in text
+        assert "Total" in text
+
+    def test_table2_main(self):
+        text = capture(table2.main, ["--count", "2", "--timeout", "4"])
+        assert "Table 2" in text
+        assert "PythonLib" in text and "JavaScript" in text
+
+    def test_table3_main(self):
+        text = capture(table3.main, ["--timeout", "30", "--max-loops", "3"])
+        assert "Table 3" in text
+        assert "luhn-02" in text and "luhn-03" in text
+        assert "SAT(" in text
+
+    def test_export_main(self, tmp_path):
+        text = capture(export_main, ["--out", str(tmp_path),
+                                     "--count", "1", "--luhn-max", "2"])
+        assert "wrote" in text
+        assert any(tmp_path.rglob("*.smt2"))
+
+
+class TestSuiteBuilders:
+    def test_table1_suites_have_five_families(self):
+        suites = table1.suites_for(2)
+        assert [name for name, _ in suites] == [
+            "PyEx", "LeetCode", "StringFuzz", "cvc4pred", "cvc4term"]
+        assert all(len(instances) >= 2 for _, instances in suites)
+
+    def test_table2_suites_have_three_families(self):
+        suites = table2.suites_for(3)
+        assert [name for name, _ in suites] == [
+            "Leetcode", "PythonLib", "JavaScript"]
+
+    def test_table3_instances_are_sat_labeled(self):
+        instances = table3.instances_for(4)
+        assert [i.expected for i in instances] == ["sat"] * 3

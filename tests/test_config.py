@@ -1,0 +1,70 @@
+"""Tests for configuration, deadlines, refinement schedules, names."""
+
+import time
+
+from repro.config import Deadline, DEFAULT_CONFIG, SolverConfig
+from repro.core.names import NameFactory
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline.unbounded()
+        assert not d.expired()
+        assert d.remaining() is None
+
+    def test_zero_budget_expires_immediately(self):
+        d = Deadline(0.0)
+        assert d.expired()
+        assert d.remaining() == 0.0
+
+    def test_positive_budget(self):
+        d = Deadline(30.0)
+        assert not d.expired()
+        assert 0 < d.remaining() <= 30.0
+
+    def test_none_is_unbounded(self):
+        assert not Deadline(None).expired()
+
+
+class TestSchedule:
+    def test_paper_initial_point(self):
+        steps = DEFAULT_CONFIG.schedule()
+        assert steps[0].numeric_m == 5
+        assert steps[0].loops == 2
+
+    def test_growth_per_round(self):
+        steps = SolverConfig(max_rounds=3).schedule(q0=2)
+        assert [s.numeric_m for s in steps] == [5, 10, 20]
+        assert [s.loops for s in steps] == [2, 3, 4]
+        assert [s.loop_length for s in steps] == [2, 3, 4]
+
+    def test_caps_respected(self):
+        config = SolverConfig(max_rounds=6, max_numeric_m=12,
+                              max_loops=3, max_loop_length=4)
+        steps = config.schedule(q0=2)
+        assert max(s.numeric_m for s in steps) <= 12
+        assert max(s.loops for s in steps) <= 3
+        assert max(s.loop_length for s in steps) <= 4
+
+    def test_q0_floor(self):
+        steps = DEFAULT_CONFIG.schedule(q0=4)
+        assert steps[0].loop_length == 4
+
+
+class TestNameFactory:
+    def test_freshness(self):
+        names = NameFactory()
+        seen = {names.fresh("a") for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_char_namer_embeds_variable(self):
+        names = NameFactory()
+        namer = names.char_namer("myvar")
+        name = namer()
+        assert "myvar" in name
+        assert names.is_internal(name)
+
+    def test_user_names_are_not_internal(self):
+        names = NameFactory()
+        assert not names.is_internal("x")
+        assert not names.is_internal("sum2")

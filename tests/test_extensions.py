@@ -1,0 +1,100 @@
+"""Tests for the extension operations (the paper's future-work items)."""
+
+import pytest
+
+from repro.core import TrauSolver
+from repro.errors import SolverError
+from repro.logic import conj, eq, ge, le, var
+from repro.strings import ProblemBuilder, check_model, str_len
+
+
+def solve(builder, timeout=45):
+    return TrauSolver().solve(builder, timeout=timeout)
+
+
+class TestSplitFixed:
+    def test_split_concrete(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("ab:cd:e",))
+        fields = b.split_fixed(x, ":", 3)
+        result = solve(b)
+        assert result.status == "sat"
+        assert [result.model[f.name] for f in fields] == ["ab", "cd", "e"]
+
+    def test_split_synthesizes_input(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        fields = b.split_fixed(x, "-", 2)
+        b.equal((fields[0],), ("left",))
+        b.require_int(eq(str_len(fields[1]), 2))
+        b.member(fields[1], "[xy]+")
+        result = solve(b)
+        assert result.status == "sat"
+        value = result.model["x"]
+        assert value.startswith("left-") and len(value) == 7
+
+    def test_wrong_field_count_unsat(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("a:b:c",))
+        b.split_fixed(x, ":", 2)
+        result = solve(b)
+        assert result.status == "unsat"
+
+    def test_empty_fields_allowed(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("::",))
+        fields = b.split_fixed(x, ":", 3)
+        result = solve(b)
+        assert result.status == "sat"
+        assert all(result.model[f.name] == "" for f in fields)
+
+    def test_bad_arguments(self):
+        b = ProblemBuilder()
+        with pytest.raises(SolverError):
+            b.split_fixed(b.str_var("x"), "ab", 2)
+        with pytest.raises(SolverError):
+            b.split_fixed(b.str_var("x"), ":", 0)
+
+
+class TestSignedConversion:
+    def test_negative_value(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num_signed(x)
+        b.require_int(eq(var(n), -42))
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model["x"].startswith("-")
+        assert int(result.model["x"]) == -42
+
+    def test_positive_value(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num_signed(x)
+        b.require_int(eq(var(n), 17))
+        b.require_int(le(str_len(x), 2))
+        result = solve(b)
+        assert result.status == "sat"
+        assert int(result.model["x"]) == 17
+
+    def test_concrete_negative_string(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("-007",))
+        n = b.to_num_signed(x)
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model[n] == -7
+
+    def test_range_constraint(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num_signed(x)
+        b.require_int(conj(ge(var(n), -3), le(var(n), -1)))
+        b.require_int(eq(str_len(x), 2))
+        result = solve(b)
+        assert result.status == "sat"
+        assert -3 <= int(result.model["x"]) <= -1

@@ -1,0 +1,66 @@
+"""Tests for the indexOf encoding (builder + SMT-LIB)."""
+
+import pytest
+
+from repro.core import TrauSolver
+from repro.errors import SolverError, UnsupportedConstraint
+from repro.logic import eq, le, var
+from repro.smtlib import load_problem
+from repro.strings import ProblemBuilder, str_len
+
+
+class TestBuilder:
+    def test_first_occurrence(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("abcab",))
+        i = b.index_of_char(x, "b")
+        result = TrauSolver().solve(b, timeout=30)
+        assert result.status == "sat"
+        assert result.model[i] == 1        # not 4: first occurrence
+
+    def test_synthesize_position(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]+")
+        b.require_int(eq(str_len(x), 4))
+        i = b.index_of_char(x, "b")
+        b.require_int(eq(var(i), 2))
+        result = TrauSolver().solve(b, timeout=30)
+        assert result.status == "sat"
+        assert result.model["x"][:3] == "aab"
+
+    def test_absent_character_is_unsat(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "a+")
+        b.require_int(le(str_len(x), 4))
+        b.index_of_char(x, "b")
+        result = TrauSolver().solve(b, timeout=30)
+        assert result.status == "unsat"
+
+    def test_multichar_needle_rejected(self):
+        b = ProblemBuilder()
+        with pytest.raises(SolverError):
+            b.index_of_char(b.str_var("x"), "ab")
+
+
+class TestSmtlib:
+    def test_indexof_term(self):
+        text = """
+        (declare-fun s () String)
+        (declare-fun i () Int)
+        (assert (= s "xya"))
+        (assert (= i (str.indexof s "a" 0)))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["i"] == 2
+
+    def test_unsupported_forms_are_loud(self):
+        with pytest.raises(UnsupportedConstraint):
+            load_problem("""
+            (declare-fun s () String)
+            (assert (= 0 (str.indexof s "ab" 0)))
+            """)

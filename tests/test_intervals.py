@@ -1,0 +1,86 @@
+"""Tests for interval propagation with branch hulls."""
+
+from math import inf
+
+from repro.logic import conj, disj, eq, ge, implies, le, var
+from repro.logic.intervals import propagate_intervals, range_of
+
+
+class TestAtomPropagation:
+    def test_direct_bounds(self):
+        state = propagate_intervals(conj(ge(var("x"), 2), le(var("x"), 7)))
+        assert state.get("x") == (2, 7)
+        assert state.feasible
+
+    def test_chained_equalities(self):
+        f = conj(eq(var("x"), 4), eq(var("y"), var("x") + 3),
+                 eq(var("z"), var("y") * 2))
+        state = propagate_intervals(f)
+        assert state.get("y") == (7, 7)
+        assert state.get("z") == (14, 14)
+
+    def test_sum_bound(self):
+        f = conj(ge(var("a"), 0), ge(var("b"), 0),
+                 le(var("a") + var("b"), 5))
+        state = propagate_intervals(f)
+        assert state.upper("a") == 5
+        assert state.upper("b") == 5
+
+    def test_infeasible(self):
+        state = propagate_intervals(conj(ge(var("x"), 3), le(var("x"), 2)))
+        assert not state.feasible
+
+    def test_unbounded_stays_unbounded(self):
+        state = propagate_intervals(ge(var("x"), 0))
+        assert state.get("x") == (0, inf)
+
+
+class TestBranchHull:
+    def test_hull_of_two_branches(self):
+        f = conj(ge(var("x"), 0),
+                 disj(conj(ge(var("x"), 1), le(var("x"), 2)),
+                      conj(ge(var("x"), 5), le(var("x"), 6))))
+        state = propagate_intervals(f)
+        assert state.get("x") == (1, 6)
+
+    def test_infeasible_branch_dropped(self):
+        f = conj(le(var("n"), 9),
+                 implies(ge(var("n"), 10), ge(var("L"), 2)),
+                 implies(le(var("n"), 9), le(var("L"), 1)),
+                 ge(var("L"), 0))
+        state = propagate_intervals(f)
+        assert state.upper("L") == 1
+
+    def test_implication_ladder(self):
+        parts = [ge(var("n"), 0), le(var("n"), 12345), ge(var("L"), 0)]
+        for digits in range(1, 10):
+            parts.append(implies(le(var("n"), 10 ** digits - 1),
+                                 le(var("L"), digits)))
+        state = propagate_intervals(conj(*parts))
+        assert state.upper("L") == 5
+
+    def test_all_branches_infeasible_is_infeasible(self):
+        f = conj(le(var("x"), 0),
+                 disj(ge(var("x"), 1), ge(var("x"), 2)))
+        state = propagate_intervals(f)
+        assert not state.feasible
+
+    def test_opaque_branch_is_conservative(self):
+        # A branch we cannot analyze must not constrain anything.
+        inner = disj(conj(le(var("x"), 1), disj(le(var("y"), 0),
+                                                ge(var("y"), 5))),
+                     le(var("x"), 3))
+        state = propagate_intervals(conj(ge(var("x"), 0), inner))
+        assert state.upper("x") >= 3
+
+
+class TestRangeOf:
+    def test_range_arithmetic(self):
+        bounds = {"x": (1, 3), "y": (-2, 2)}
+        expr = var("x") * 2 - var("y") + 1
+        assert range_of(expr, bounds) == (1, 9)
+
+    def test_unbounded_component(self):
+        bounds = {"x": (0, inf)}
+        lo, hi = range_of(var("x") + 1, bounds)
+        assert lo == 1 and hi == inf

@@ -1,0 +1,110 @@
+"""Unit and property tests for the boolean formula layer."""
+
+from hypothesis import given, strategies as st
+
+from repro.logic.formula import (
+    And, Atom, FALSE, Not, Or, TRUE,
+    atoms_of, conj, disj, eq, evaluate, ge, gt, iff, implies, le, lt, ne,
+    neg, nnf, substitute, variables_of,
+)
+from repro.logic.terms import var
+
+
+X, Y = var("x"), var("y")
+
+
+class TestBuilders:
+    def test_le_folds_constants(self):
+        assert le(2, 3) is TRUE
+        assert le(3, 2) is FALSE
+
+    def test_strict_inequalities_are_integer_tight(self):
+        assert evaluate(lt(X, 3), {"x": 2})
+        assert not evaluate(lt(X, 3), {"x": 3})
+        assert evaluate(gt(X, 3), {"x": 4})
+        assert not evaluate(gt(X, 3), {"x": 3})
+
+    def test_eq_and_ne(self):
+        assert evaluate(eq(X, 5), {"x": 5})
+        assert not evaluate(eq(X, 5), {"x": 6})
+        assert evaluate(ne(X, 5), {"x": 6})
+        assert not evaluate(ne(X, 5), {"x": 5})
+
+    def test_conj_flattens_and_folds(self):
+        f = conj(le(X, 3), TRUE, conj(ge(Y, 0), TRUE))
+        assert isinstance(f, And)
+        assert len(f.args) == 2
+        assert conj(le(X, 3), FALSE) is FALSE
+        assert conj() is TRUE
+
+    def test_disj_flattens_and_folds(self):
+        f = disj(le(X, 3), FALSE, disj(ge(Y, 0)))
+        assert isinstance(f, Or)
+        assert len(f.args) == 2
+        assert disj(le(X, 3), TRUE) is TRUE
+        assert disj() is FALSE
+
+    def test_negation_of_atom_stays_atomic(self):
+        a = le(X, 3)
+        assert isinstance(neg(a), Atom)
+        assert not evaluate(neg(a), {"x": 3})
+        assert evaluate(neg(a), {"x": 4})
+
+    def test_implies_and_iff(self):
+        f = implies(ge(X, 1), ge(Y, 1))
+        assert evaluate(f, {"x": 0, "y": 0})
+        assert not evaluate(f, {"x": 1, "y": 0})
+        g = iff(ge(X, 1), ge(Y, 1))
+        assert evaluate(g, {"x": 1, "y": 1})
+        assert evaluate(g, {"x": 0, "y": 0})
+        assert not evaluate(g, {"x": 1, "y": 0})
+
+
+class TestTraversals:
+    def test_atoms_and_variables(self):
+        f = conj(le(X + Y, 3), disj(ge(X, 1), Not(le(Y, 0))))
+        assert len(atoms_of(f)) >= 2
+        assert variables_of(f) == {"x", "y"}
+
+    def test_substitute(self):
+        f = le(X + Y, 3)
+        g = substitute(f, {"x": var("z") * 2})
+        assert variables_of(g) == {"z", "y"}
+        folded = substitute(f, {"x": 1, "y": 1})
+        assert folded is TRUE
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        coeff_x = draw(st.integers(-3, 3))
+        coeff_y = draw(st.integers(-3, 3))
+        k = draw(st.integers(-5, 5))
+        return le(X * coeff_x + Y * coeff_y, k)
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return Not(draw(formulas(depth=depth - 1)))
+    parts = draw(st.lists(formulas(depth=depth - 1), min_size=1, max_size=3))
+    return conj(*parts) if kind == "and" else disj(*parts)
+
+
+class TestNnfProperty:
+    @given(formulas(), st.integers(-6, 6), st.integers(-6, 6))
+    def test_nnf_preserves_semantics(self, f, x, y):
+        assignment = {"x": x, "y": y}
+        assert evaluate(nnf(f), assignment) == evaluate(f, assignment)
+
+    @given(formulas())
+    def test_nnf_has_no_not_nodes(self, f):
+        def no_not(g):
+            if isinstance(g, Not):
+                return False
+            if isinstance(g, (And, Or)):
+                return all(no_not(a) for a in g.args)
+            return True
+        assert no_not(nnf(f))
+
+    @given(formulas(), st.integers(-6, 6), st.integers(-6, 6))
+    def test_double_negation(self, f, x, y):
+        assignment = {"x": x, "y": y}
+        assert evaluate(neg(neg(f)), assignment) == evaluate(f, assignment)

@@ -1,0 +1,65 @@
+"""Unit tests for linear expressions."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.logic.terms import LinExpr, const, var
+
+
+class TestAlgebra:
+    def test_addition_merges_coefficients(self):
+        e = var("x") + var("x") + 3
+        assert e.coeffs == {"x": 2}
+        assert e.constant == 3
+
+    def test_cancellation_drops_variables(self):
+        e = var("x") - var("x")
+        assert e.is_constant()
+        assert e.constant == 0
+
+    def test_subtraction_and_negation(self):
+        e = 5 - var("y")
+        assert e.coeffs == {"y": -1}
+        assert e.constant == 5
+        assert (-e).constant == -5
+
+    def test_scalar_multiplication(self):
+        e = (var("x") + 2) * 3
+        assert e.coeffs == {"x": 3}
+        assert e.constant == 6
+
+    def test_non_integer_scaling_rejected(self):
+        with pytest.raises(SolverError):
+            var("x") * 0.5
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = var("x") * 2 - var("y") + 7
+        assert e.evaluate({"x": 3, "y": 4}) == 9
+
+    def test_substitute_with_expression(self):
+        e = var("x") * 2 + var("y")
+        s = e.substitute({"x": var("y") + 1})
+        assert s.coeffs == {"y": 3}
+        assert s.constant == 2
+
+    def test_substitute_with_constant(self):
+        e = var("x") + var("y")
+        s = e.substitute({"x": 5})
+        assert s.coeffs == {"y": 1}
+        assert s.constant == 5
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        assert var("x") + 1 == LinExpr({"x": 1}, 1)
+        assert hash(var("x") + 1) == hash(LinExpr({"x": 1}, 1))
+        assert var("x") != var("y")
+
+    def test_coerce(self):
+        assert LinExpr.coerce(4).constant == 4
+        assert LinExpr.coerce("z").coeffs == {"z": 1}
+        assert LinExpr.coerce(var("z")) == var("z")
+        with pytest.raises(SolverError):
+            LinExpr.coerce(3.14)

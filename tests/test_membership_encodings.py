@@ -1,0 +1,124 @@
+"""Regression and property tests for membership flattening paths.
+
+Two encodings exist: DFA unrolling for straight (shifted) PFAs and the
+synchronization product otherwise.  Both must agree with concrete
+acceptance — including the historical trap where a collapsed character
+class shared one variable across loop iterations and wrongly forced all
+characters equal.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import DEFAULT_ALPHABET as A
+from repro.core import TrauSolver
+from repro.logic import eq, ge, le
+from repro.strings import ProblemBuilder, check_model, str_len
+from repro.config import SolverConfig
+
+
+def solve(builder, timeout=30):
+    return TrauSolver().solve(builder, timeout=timeout)
+
+
+class TestClassSharingRegression:
+    def test_loop_class_allows_distinct_characters(self):
+        # "[abc]+" through a loop transition must not force all characters
+        # equal (the class-variable bug).
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[abc]+")
+        b.prefix_of(("ab",), x)
+        b.suffix_of(("ca",), x)
+        b.require_int(eq(str_len(x), 5))
+        result = solve(b)
+        assert result.status == "sat"
+        value = result.model["x"]
+        assert value.startswith("ab") and value.endswith("ca")
+        assert len(set(value)) >= 3
+
+    def test_digit_plus_with_distinct_digits(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[0-9]+")
+        c0 = b.char_at(x, 0)
+        c1 = b.char_at(x, 1)
+        b.equal((c0,), ("3",))
+        b.equal((c1,), ("7",))
+        b.require_int(eq(str_len(x), 2))
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model["x"] == "37"
+
+    def test_unbounded_variable_uses_sync_path(self):
+        # No length bound: the standard-PFA + sync path must also admit
+        # distinct characters through a class loop.
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]+")
+        b.prefix_of(("ab",), x)
+        b.require_int(ge(str_len(x), 2))
+        config = SolverConfig(use_static_analysis=False)
+        result = TrauSolver(config=config).solve(b, timeout=30)
+        assert result.status == "sat"
+        assert result.model["x"].startswith("ab")
+
+
+class TestUnrolledDfa:
+    def test_exact_language_on_small_lengths(self):
+        pattern = "(ab)*c|a+"
+        from repro.automata.regex import regex_to_nfa
+        nfa = regex_to_nfa(pattern)
+        accepted = {A.decode_word(w) for w in nfa.enumerate_words(4)}
+        for text in ["", "a", "aa", "ab", "abc", "c", "ababc", "b", "ac"]:
+            b = ProblemBuilder()
+            x = b.str_var("x")
+            b.member(x, pattern)
+            b.equal((x,), (text,))
+            result = solve(b)
+            expected = "sat" if (text in accepted or nfa.accepts(
+                A.encode_word(text))) else "unsat"
+            assert result.status == expected, text
+
+    def test_dead_state_rejections(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "ab?c")
+        b.prefix_of(("b",), x)
+        b.require_int(le(str_len(x), 3))
+        result = solve(b)
+        assert result.status == "unsat"
+
+    def test_empty_word_acceptance(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "(ab)*")
+        b.require_int(eq(str_len(x), 0))
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model["x"] == ""
+
+    def test_ipv4_mid_lengths(self):
+        octet = "(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9][0-9]|[0-9])"
+        b = ProblemBuilder()
+        s = b.str_var("s")
+        b.member(s, "%s(\\.%s){3}" % (octet, octet))
+        b.require_int(eq(str_len(s), 12))
+        result = solve(b, timeout=60)
+        assert result.status == "sat"
+        assert check_model(b.problem, result.model)
+
+
+class TestAgreementProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(["[ab]+", "a[ab]*b", "(ab|ba){1,2}", "a*b*",
+                            "[ab]{2,4}"]),
+           st.text(alphabet="ab", max_size=4))
+    def test_pinned_word_matches_concrete(self, pattern, text):
+        from repro.automata.regex import regex_to_nfa
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, pattern)
+        b.equal((x,), (text,))
+        result = solve(b)
+        expected = regex_to_nfa(pattern).accepts(A.encode_word(text))
+        assert (result.status == "sat") == expected

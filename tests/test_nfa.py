@@ -1,0 +1,158 @@
+"""Unit and property tests for the NFA library."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import DEFAULT_ALPHABET as A
+from repro.automata.nfa import EPS, NFA
+from repro.automata.regex import regex_to_nfa
+
+
+def w(text):
+    return A.encode_word(text)
+
+
+class TestConstruction:
+    def test_empty_language(self):
+        assert not NFA.empty().accepts(w(""))
+        assert NFA.empty().is_empty()
+
+    def test_epsilon_language(self):
+        assert NFA.epsilon().accepts(w(""))
+        assert not NFA.epsilon().accepts(w("a"))
+
+    def test_from_word(self):
+        n = NFA.from_word(w("abc"))
+        assert n.accepts(w("abc"))
+        assert not n.accepts(w("ab"))
+        assert not n.accepts(w("abcd"))
+
+    def test_from_symbols(self):
+        n = NFA.from_symbols(w("ab"))
+        assert n.accepts(w("a")) and n.accepts(w("b"))
+        assert not n.accepts(w("c")) and not n.accepts(w(""))
+
+
+class TestOperations:
+    def test_union(self):
+        n = NFA.from_word(w("ab")).union(NFA.from_word(w("cd")))
+        assert n.accepts(w("ab")) and n.accepts(w("cd"))
+        assert not n.accepts(w("ad"))
+
+    def test_concat(self):
+        n = NFA.from_word(w("ab")).concat(NFA.from_word(w("cd")))
+        assert n.accepts(w("abcd"))
+        assert not n.accepts(w("ab"))
+
+    def test_star_and_plus(self):
+        ab = NFA.from_word(w("ab"))
+        star, plus = ab.star(), ab.plus()
+        assert star.accepts(w("")) and star.accepts(w("abab"))
+        assert not plus.accepts(w("")) and plus.accepts(w("ab"))
+
+    def test_repeat_bounds(self):
+        a = NFA.from_word(w("a"))
+        n = a.repeat(2, 4)
+        for k in range(7):
+            assert n.accepts(w("a" * k)) == (2 <= k <= 4)
+
+    def test_intersect(self):
+        left = regex_to_nfa("a*b*")
+        right = regex_to_nfa("(ab)*|aab")
+        both = left.intersect(right)
+        assert both.accepts(w(""))
+        assert both.accepts(w("ab"))
+        assert both.accepts(w("aab"))
+        assert not both.accepts(w("abab"))   # not in a*b*
+
+    def test_complement(self):
+        digits = [A.code(c) for c in "0123456789"]
+        n = regex_to_nfa("[0-9]{2}").complement(digits)
+        assert n.accepts(w("123"))
+        assert n.accepts(w(""))
+        assert not n.accepts(w("12"))
+
+    def test_determinize_preserves_language(self):
+        n = regex_to_nfa("(a|ab)(c|bc)")
+        d = n.determinize()
+        for text in ("ac", "abc", "abbc", "ab", "a", "abcbc"):
+            assert n.accepts(w(text)) == d.accepts(w(text))
+
+    def test_minimize_preserves_language(self):
+        n = regex_to_nfa("(a|b)*abb")
+        m = n.minimize()
+        for text in ("abb", "aabb", "babb", "ab", "abba", ""):
+            assert n.accepts(w(text)) == m.accepts(w(text))
+        assert m.num_states <= n.determinize().trim().num_states
+
+
+class TestStructure:
+    def test_trim_drops_dead_states(self):
+        n = NFA(4, [(0, 1, 1), (0, 2, 2), (2, 3, 2)], 0, [1])
+        t = n.trim()
+        assert t.num_states == 2
+        assert t.accepts([1])
+
+    def test_without_epsilon(self):
+        n = NFA(3, [(0, EPS, 1), (1, 5, 2)], 0, [2])
+        e = n.without_epsilon()
+        assert e.is_epsilon_free()
+        assert e.accepts([5])
+
+    def test_single_final(self):
+        n = NFA(3, [(0, 1, 1), (0, 2, 2)], 0, [1, 2])
+        s = n.single_final()
+        assert len(s.finals) == 1
+        assert s.accepts([1]) and s.accepts([2])
+
+    def test_shortest_word(self):
+        n = regex_to_nfa("aaa|ab|b")
+        assert n.shortest_word() == tuple(w("b"))
+        assert NFA.empty().shortest_word() is None
+
+    def test_enumerate_words(self):
+        n = regex_to_nfa("a{1,2}b?")
+        words = {A.decode_word(word) for word in n.enumerate_words(3)}
+        assert words == {"a", "aa", "ab", "aab"}
+
+
+@st.composite
+def small_regex(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from(["a", "b", "ab", "[ab]", "a?"]))
+    left = draw(small_regex(depth=depth - 1))
+    right = draw(small_regex(depth=depth - 1))
+    op = draw(st.sampled_from(["(%s)(%s)", "(%s)|(%s)"]))
+    combined = op % (left, right)
+    if draw(st.booleans()):
+        combined = "(%s)*" % combined
+    return combined
+
+
+@st.composite
+def words_ab(draw):
+    return draw(st.text(alphabet="ab", max_size=5))
+
+
+class TestAlgebraicProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(small_regex(), small_regex(), words_ab())
+    def test_intersection_is_conjunction(self, r1, r2, text):
+        n1, n2 = regex_to_nfa(r1), regex_to_nfa(r2)
+        both = n1.intersect(n2)
+        assert both.accepts(w(text)) == (n1.accepts(w(text))
+                                         and n2.accepts(w(text)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_regex(), words_ab())
+    def test_complement_is_negation(self, r, text):
+        alphabet = w("ab")
+        n = regex_to_nfa(r)
+        c = n.complement(alphabet)
+        assert c.accepts(w(text)) != n.accepts(w(text))
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_regex(), small_regex(), words_ab(), words_ab())
+    def test_concat_contains_products(self, r1, r2, t1, t2):
+        n1, n2 = regex_to_nfa(r1), regex_to_nfa(r2)
+        if n1.accepts(w(t1)) and n2.accepts(w(t2)):
+            assert n1.concat(n2).accepts(w(t1 + t2))

@@ -1,0 +1,112 @@
+"""Tests for string-level constant propagation (normalization)."""
+
+from repro.alphabet import DEFAULT_ALPHABET as A
+from repro.core import TrauSolver
+from repro.core.normalize import normalize
+from repro.logic import eq, ge
+from repro.strings import (
+    CharNeq, IntConstraint, ProblemBuilder, StrVar, ToNum, WordEquation,
+    check_model, str_len,
+)
+
+
+class TestPinning:
+    def test_literal_pin_removes_variable(self):
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.equal((x,), ("abc",))
+        b.equal((y,), (x, "d"))
+        out = normalize(b.problem, A)
+        assert not out.infeasible
+        assert out.pins["x"] == "abc"
+        # y = "abcd" propagates transitively.
+        assert out.pins.get("y") == "abcd"
+        assert len(out.problem) == 0
+
+    def test_ground_conflict_is_infeasible(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("ab",))
+        b.equal((x, "c"), ("abd",))
+        out = normalize(b.problem, A)
+        assert out.infeasible
+
+    def test_regular_folds_by_acceptance(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("123",))
+        b.member(x, "[0-9]+")
+        out = normalize(b.problem, A)
+        assert not out.infeasible
+        assert len(out.problem.by_kind(type(b.problem.constraints[1]))) == 0
+
+    def test_regular_rejection_is_infeasible(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("12a",))
+        b.member(x, "[0-9]+")
+        assert normalize(b.problem, A).infeasible
+
+    def test_tonum_folds_to_integer(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("042",))
+        n = b.to_num(x)
+        out = normalize(b.problem, A)
+        assert not out.infeasible
+        assert not out.problem.by_kind(ToNum)
+        ints = out.problem.by_kind(IntConstraint)
+        assert any(n in c.int_vars() for c in ints)
+
+    def test_length_occurrences_fold(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("abcd",))
+        b.require_int(ge(str_len(x), 9))
+        assert normalize(b.problem, A).infeasible
+
+    def test_charneq_keeps_pin_equation(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]")
+        b.require_int(eq(str_len(x), 1))
+        b.problem.add(WordEquation((StrVar("c"),), ("a",)))
+        b.problem.add(IntConstraint(eq(str_len("c"), 1)))
+        b.problem.add(CharNeq(StrVar("c"), x))
+        out = normalize(b.problem, A)
+        # c is pinned but still used by the CharNeq, so its equation stays.
+        assert out.pins["c"] == "a"
+        assert any(isinstance(cst, WordEquation) for cst in out.problem)
+
+
+class TestEndToEnd:
+    def test_fully_ground_sat(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("hello",))
+        b.member(x, "[a-z]+")
+        result = TrauSolver().solve(b, timeout=10)
+        assert result.status == "sat"
+        assert result.model["x"] == "hello"
+
+    def test_fully_ground_unsat_is_fast(self):
+        import time
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("hello",))
+        b.equal((x,), ("world",))
+        start = time.monotonic()
+        result = TrauSolver().solve(b, timeout=10)
+        assert result.status == "unsat"
+        assert result.stats.get("phase") == "normalization"
+        assert time.monotonic() - start < 1.0
+
+    def test_partial_pinning_keeps_solving(self):
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.equal((x,), ("ab",))
+        b.equal((y, y), (x, x))
+        result = TrauSolver().solve(b, timeout=30)
+        assert result.status == "sat"
+        assert result.model["x"] == "ab"
+        assert check_model(b.problem, result.model)

@@ -1,0 +1,112 @@
+"""Tests for the over-approximation phase (Section 4)."""
+
+from repro.alphabet import DEFAULT_ALPHABET as A
+from repro.logic import conj, eq, ge, le, var
+from repro.core.overapprox import (
+    derived_affix_constraints, length_abstraction, overapproximate,
+    tonum_relaxation,
+)
+from repro.smt import solve_formula
+from repro.strings import ProblemBuilder, ToNum, StrVar, str_len
+
+
+def oa(builder):
+    return overapproximate(builder.problem, A)
+
+
+class TestUnsatDetection:
+    def test_membership_emptiness(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[0-9]+")
+        b.member(x, "[a-z]+")
+        assert oa(b).status == "unsat"
+
+    def test_length_conflict_via_equation(self):
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.equal((x, y), ("abc",))
+        b.require_int(ge(str_len(x), 4))
+        assert oa(b).status == "unsat"
+
+    def test_regex_length_set_conflict(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "(ab){2}|(ab){4}")    # lengths {4, 8}
+        b.require_int(eq(str_len(x), 6))
+        assert oa(b).status == "unsat"
+
+    def test_prefix_clash_through_equations(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("a", b.str_var("r1")))
+        b.equal((x,), ("b", b.str_var("r2")))
+        assert oa(b).status == "unsat"
+
+    def test_tonum_value_too_large_for_length(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num(x)
+        b.require_int(ge(var(n), 1000))
+        b.require_int(le(str_len(x), 3))
+        assert oa(b).status == "unsat"
+
+    def test_tonum_below_minus_one(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num(x)
+        b.require_int(le(var(n), -2))
+        assert oa(b).status == "unsat"
+
+
+class TestInconclusive:
+    def test_sat_instances_pass_through(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[0-9]+")
+        b.require_int(eq(str_len(x), 3))
+        assert oa(b).status == "inconclusive"
+
+    def test_overapproximation_never_claims_sat(self):
+        # A formula that is UNSAT for non-length reasons must not be
+        # declared UNSAT by the relaxation (soundness direction).
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("ab",))
+        b.diseq((x,), ("ab",))
+        assert oa(b).status == "inconclusive"
+
+
+class TestAffixDerivation:
+    def test_prefix_and_suffix_found(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("ab", b.str_var("m"), "cd"))
+        derived = derived_affix_constraints(b.problem, A)
+        names = [name for name, _ in derived]
+        assert names == ["x", "x"]
+        prefix_nfa = derived[0][1]
+        assert prefix_nfa.accepts(A.encode_word("abzz"))
+        assert not prefix_nfa.accepts(A.encode_word("zzab"))
+
+
+class TestRelaxationSoundness:
+    def test_tonum_relaxation_admits_real_pairs(self):
+        constraint = ToNum("n", StrVar("x"))
+        formula = tonum_relaxation(constraint)
+        for text in ("0", "7", "00042", "999999", "abc", ""):
+            from repro.strings.eval import to_num_value
+            pin = conj(formula,
+                       eq(var("n"), to_num_value(text)),
+                       eq(str_len("x"), len(text)))
+            assert solve_formula(pin).status == "sat", text
+
+    def test_length_abstraction_admits_solutions(self):
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.equal((x, "sep", y), (b.str_var("z"),))
+        b.member(x, "[ab]{2}")
+        formula = length_abstraction(b.problem, A)
+        pinned = conj(formula, eq(str_len(x), 2), eq(str_len(y), 4),
+                      eq(str_len("z"), 9))
+        assert solve_formula(pinned).status == "sat"

@@ -1,0 +1,91 @@
+"""Tests for the Parikh-image linear encoding (Lemma 2.1)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import DEFAULT_ALPHABET as A
+from repro.automata.parikh import parikh_formula, parikh_image_of_word
+from repro.automata.regex import regex_to_nfa
+from repro.logic import FALSE, conj, eq, var
+from repro.smt import solve_formula
+
+
+def count_name(sym):
+    return "#c%d" % sym
+
+
+def image_is_feasible(nfa, image, symbols):
+    formula = parikh_formula(nfa, count_name, "pk")
+    pins = [eq(var(count_name(sym)), image.get(sym, 0)) for sym in symbols]
+    return solve_formula(conj(formula, *pins)).status == "sat"
+
+
+class TestExactness:
+    def test_empty_language_is_false(self):
+        from repro.automata.nfa import NFA
+        assert parikh_formula(NFA.empty(), count_name, "pk") is FALSE
+
+    def test_epsilon_language(self):
+        nfa = regex_to_nfa("(ab)*")
+        # The zero image (the empty word) must be feasible.
+        assert image_is_feasible(nfa, {}, A.encode_word("ab"))
+
+    def test_matches_enumeration_small(self):
+        nfa = regex_to_nfa("(ab|ba)*c?")
+        symbols = A.encode_word("abc")
+        seen = {tuple(sorted(parikh_image_of_word(w).items()))
+                for w in nfa.enumerate_words(6)}
+        for na in range(3):
+            for nb in range(3):
+                for nc in range(2):
+                    image = {}
+                    if na:
+                        image[A.code("a")] = na
+                    if nb:
+                        image[A.code("b")] = nb
+                    if nc:
+                        image[A.code("c")] = nc
+                    key = tuple(sorted(image.items()))
+                    expected = key in seen
+                    # Enumeration to length 6 covers counts 2+2+1.
+                    assert image_is_feasible(nfa, image, symbols) == expected
+
+    def test_multiple_finals_are_merged(self):
+        nfa = regex_to_nfa("a|bb")
+        symbols = A.encode_word("ab")
+        assert image_is_feasible(nfa, {A.code("a"): 1}, symbols)
+        assert image_is_feasible(nfa, {A.code("b"): 2}, symbols)
+        assert not image_is_feasible(
+            nfa, {A.code("a"): 1, A.code("b"): 2}, symbols)
+
+    def test_floating_cycle_rejected(self):
+        # Automaton: initial -a-> final, plus an unreachable-from-the-run
+        # cycle c at a state off the accepting path must not contribute.
+        from repro.automata.nfa import NFA
+        nfa = NFA(3, [(0, 1, 1), (2, 2, 2)], 0, [1])
+        symbols = [1, 2]
+        assert image_is_feasible(nfa, {1: 1}, symbols)
+        assert not image_is_feasible(nfa, {1: 1, 2: 3}, symbols)
+
+    def test_connected_cycle_counts(self):
+        # a (bc)* d: b and c counts locked together.
+        nfa = regex_to_nfa("a(bc)*d")
+        symbols = A.encode_word("abcd")
+        good = {A.code("a"): 1, A.code("d"): 1,
+                A.code("b"): 2, A.code("c"): 2}
+        bad = {A.code("a"): 1, A.code("d"): 1,
+               A.code("b"): 2, A.code("c"): 1}
+        assert image_is_feasible(nfa, good, symbols)
+        assert not image_is_feasible(nfa, bad, symbols)
+
+
+class TestAgainstWords:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(["(ab)*", "a*b", "(a|b)(a|b)", "a(b|c)*",
+                            "(abc)+|b*"]),
+           st.text(alphabet="abc", max_size=5))
+    def test_accepted_words_have_feasible_images(self, pattern, text):
+        nfa = regex_to_nfa(pattern)
+        codes = A.encode_word(text)
+        if nfa.accepts(codes):
+            image = parikh_image_of_word(codes)
+            assert image_is_feasible(nfa, image, A.encode_word("abc"))

@@ -1,0 +1,166 @@
+"""Tests for parametric flat automata (paper Section 5)."""
+
+import pytest
+
+from repro.alphabet import DEFAULT_ALPHABET as A, EPSILON
+from repro.core.pfa import (
+    PFA, count_var, literal_pfa, numeric_pfa, standard_pfa, straight_pfa,
+)
+from repro.core.names import NameFactory
+from repro.errors import SolverError
+from repro.logic import conj, evaluate
+from repro.smt import solve_formula
+
+from hypothesis import given, settings, strategies as st
+
+
+def namer():
+    factory = NameFactory()
+    return factory.char_namer("x")
+
+
+class TestShapes:
+    def test_straight_structure(self):
+        p = straight_pfa(namer(), 3)
+        assert len(p.stem) == 3
+        assert p.is_straight
+        assert p.nfa.num_states == 4
+
+    def test_standard_structure(self):
+        p = standard_pfa(namer(), 3, 2)
+        assert len(p.stem) == 2              # p-1 stem transitions
+        assert [len(l) for l in p.loops] == [2, 2, 2]
+        assert not p.is_straight
+
+    def test_literal_bindings(self):
+        p = literal_pfa(namer(), A.encode_word("ab"))
+        assert len(p.stem) == 2
+        assert p.binding_of(p.stem[0]) == A.code("a")
+        assert p.binding_of(p.stem[1]) == A.code("b")
+
+    def test_numeric_shape(self):
+        p = numeric_pfa(namer(), 4)
+        zero, chain = p.numeric
+        assert len(chain) == 4
+        assert p.loops[0] == [zero]
+        assert not p.is_straight
+
+    def test_loop_slot_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            PFA(["v1"], [[]])
+
+    def test_reused_variable_rejected(self):
+        with pytest.raises(SolverError):
+            PFA(["v1", "v1"], [[], [], []])
+
+
+class TestLanguages:
+    def test_straight_accepts_parametric_words(self):
+        p = straight_pfa(namer(), 2)
+        assert p.nfa.accepts(p.stem)
+        assert not p.nfa.accepts(p.stem[:1])
+
+    def test_loop_words(self):
+        p = standard_pfa(namer(), 2, 1)
+        # stem v, loops [l0], [l1]: l0^i v l1^j
+        l0 = p.loops[0][0]
+        l1 = p.loops[1][0]
+        v = p.stem[0]
+        assert p.nfa.accepts([l0, l0, v, l1])
+        assert p.nfa.accepts([v])
+        assert not p.nfa.accepts([l1, v])
+
+
+class TestDecode:
+    def test_decode_straight(self):
+        p = straight_pfa(namer(), 3)
+        assignment = {p.stem[0]: A.code("a"), p.stem[1]: EPSILON,
+                      p.stem[2]: A.code("b")}
+        for v in p.stem:
+            assignment[count_var(v)] = 1
+        assert A.decode_word(p.decode(assignment)) == "ab"
+
+    def test_decode_with_loops(self):
+        p = standard_pfa(namer(), 2, 2)
+        assignment = {}
+        # First loop (c1 c2)^2 with c1='a', c2='b'; stem 'c'; no second loop.
+        c1, c2 = p.loops[0]
+        d1, d2 = p.loops[1]
+        assignment[c1] = A.code("a")
+        assignment[c2] = A.code("b")
+        assignment[count_var(c1)] = 2
+        assignment[count_var(c2)] = 2
+        assignment[p.stem[0]] = A.code("c")
+        assignment[count_var(p.stem[0])] = 1
+        assignment[d1] = assignment[d2] = EPSILON
+        assignment[count_var(d1)] = assignment[count_var(d2)] = 0
+        assert A.decode_word(p.decode(assignment)) == "ababc"
+
+    def test_decode_numeric_leading_zeros(self):
+        p = numeric_pfa(namer(), 2)
+        zero, chain = p.numeric
+        assignment = {zero: 0, count_var(zero): 3,
+                      chain[0]: 4, chain[1]: 2}
+        for v in chain:
+            assignment[count_var(v)] = 1
+        assert A.decode_word(p.decode(assignment)) == "00042"
+
+
+class TestConcat:
+    def test_concat_structure_and_psi(self):
+        factory = NameFactory()
+        p1 = straight_pfa(factory.char_namer("x"), 2)
+        p2 = straight_pfa(factory.char_namer("y"), 1)
+        eps = factory.fresh("eps")
+        joined = p1.concat(p2, eps)
+        assert len(joined.stem) == 4
+        assert joined.binding_of(eps) == EPSILON
+        # psi must force the glue variable to epsilon.
+        assert not evaluate(joined.psi, _all_zero(joined, {eps: 0}))
+        assert evaluate(joined.psi, _all_zero(joined, {eps: EPSILON}))
+
+
+def _all_zero(pfa, overrides):
+    assignment = {v: 0 for v in pfa.char_vars}
+    assignment.update(overrides)
+    return assignment
+
+
+class TestClosedFormParikh:
+    def test_stem_counts_fixed_to_one(self):
+        p = straight_pfa(namer(), 2)
+        formula = p.parikh_formula()
+        model = solve_formula(formula).model
+        assert all(model[count_var(v)] == 1 for v in p.stem)
+
+    def test_loop_counts_shared(self):
+        p = standard_pfa(namer(), 1, 3)
+        loop = p.loops[0]
+        formula = conj(p.parikh_formula(),
+                       _pin(count_var(loop[0]), 5))
+        model = solve_formula(formula).model
+        assert all(model[count_var(v)] == 5 for v in loop)
+
+    def test_counter_bound_enforced(self):
+        p = standard_pfa(namer(), 1, 1)
+        loop_var = p.loops[0][0]
+        formula = conj(p.parikh_formula(counter_bound=7),
+                       _pin(count_var(loop_var), 8))
+        assert solve_formula(formula).status == "unsat"
+
+
+def _pin(name, value):
+    from repro.logic import eq, var
+    return eq(var(name), value)
+
+
+class TestShiftDiscipline:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from([EPSILON, 0, 5, 11]), min_size=1,
+                    max_size=5))
+    def test_straight_psi_accepts_only_shifted(self, values):
+        p = straight_pfa(namer(), len(values))
+        assignment = dict(zip(p.stem, values))
+        shifted = all(values[i] == EPSILON or values[i - 1] != EPSILON
+                      for i in range(1, len(values)))
+        assert evaluate(p.psi, assignment) == shifted

@@ -1,0 +1,54 @@
+"""Tests for duplicate-occurrence expansion (Section 7.2's assumption)."""
+
+from repro.core.names import NameFactory
+from repro.core.preprocess import expand_duplicates
+from repro.strings import StrVar, StringProblem, WordEquation
+
+
+def no_equation_repeats_a_var(problem):
+    for c in problem.by_kind(WordEquation):
+        seen = set()
+        for e in c.lhs + c.rhs:
+            if isinstance(e, StrVar):
+                if e in seen:
+                    return False
+                seen.add(e)
+    return True
+
+
+X, Y = StrVar("x"), StrVar("y")
+
+
+class TestExpansion:
+    def test_no_duplicates_is_identity(self):
+        problem = StringProblem([WordEquation((X, "a"), ("b", Y))])
+        out = expand_duplicates(problem, NameFactory())
+        assert len(out) == 1
+        assert no_equation_repeats_a_var(out)
+
+    def test_cross_side_duplicate(self):
+        problem = StringProblem([WordEquation(("0", X), (X, "0"))])
+        out = expand_duplicates(problem, NameFactory())
+        assert len(out) == 2
+        assert no_equation_repeats_a_var(out)
+
+    def test_same_side_duplicate(self):
+        problem = StringProblem([WordEquation((X, X), ("abab",))])
+        out = expand_duplicates(problem, NameFactory())
+        assert len(out) == 2
+        assert no_equation_repeats_a_var(out)
+
+    def test_triple_occurrence(self):
+        problem = StringProblem([WordEquation((X, X, X), ("aaa",))])
+        out = expand_duplicates(problem, NameFactory())
+        assert len(out) == 3
+        assert no_equation_repeats_a_var(out)
+
+    def test_solutions_preserved(self):
+        from repro.core.solver import TrauSolver
+        from repro.strings import check_model
+        problem = StringProblem([WordEquation((X, X), ("abab",))])
+        result = TrauSolver().solve(problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["x"] == "ab"
+        assert check_model(problem, result.model)

@@ -1,0 +1,110 @@
+"""Tests for the regex parser and AST conversion."""
+
+import pytest
+
+from repro.alphabet import DEFAULT_ALPHABET as A
+from repro.automata.regex import parse_regex, regex_to_nfa
+from repro.errors import ParseError
+
+
+def matches(pattern, text):
+    return regex_to_nfa(pattern).accepts(A.encode_word(text))
+
+
+class TestLiterals:
+    def test_plain_characters(self):
+        assert matches("abc", "abc")
+        assert not matches("abc", "abd")
+
+    def test_escaped_metacharacters(self):
+        assert matches(r"a\.b", "a.b")
+        assert not matches(r"a\.b", "axb")
+        assert matches(r"\(\)", "()")
+        assert matches(r"\\", "\\")
+
+    def test_empty_pattern_matches_empty(self):
+        assert matches("", "")
+        assert not matches("", "a")
+
+
+class TestClasses:
+    def test_simple_class(self):
+        assert matches("[abc]", "b")
+        assert not matches("[abc]", "d")
+
+    def test_ranges(self):
+        assert matches("[a-e]", "c")
+        assert matches("[0-9]", "7")
+        assert not matches("[a-e]", "f")
+
+    def test_negated_class(self):
+        assert matches("[^0-9]", "x")
+        assert not matches("[^0-9]", "5")
+
+    def test_class_with_literal_dash_like_range(self):
+        assert matches("[a-c0-2]", "1")
+        assert matches("[a-c0-2]", "b")
+
+    def test_dot_matches_anything(self):
+        assert matches(".", "z")
+        assert matches(".", "%")
+        assert not matches(".", "ab")
+
+
+class TestOperators:
+    def test_alternation_and_grouping(self):
+        assert matches("ab|cd", "cd")
+        assert matches("a(b|c)d", "acd")
+        assert not matches("a(b|c)d", "aed")
+
+    def test_star_plus_opt(self):
+        assert matches("ab*", "a")
+        assert matches("ab*", "abbb")
+        assert not matches("ab+", "a")
+        assert matches("ab?", "ab")
+        assert not matches("ab?", "abb")
+
+    def test_counted_repetition(self):
+        assert matches("a{3}", "aaa")
+        assert not matches("a{3}", "aa")
+        assert matches("a{2,}", "aaaa")
+        assert not matches("a{2,}", "a")
+        assert matches("(ab){1,2}", "abab")
+        assert not matches("(ab){1,2}", "ababab")
+
+    def test_precedence(self):
+        # Concatenation binds tighter than alternation.
+        assert matches("ab|cd", "ab")
+        assert not matches("ab|cd", "ad")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("pattern", [
+        "(ab", "ab)", "a{2,1}", "a{", "[abc", "*a", "a|*",
+    ])
+    def test_malformed_patterns(self, pattern):
+        with pytest.raises(ParseError):
+            parse_regex(pattern)
+
+
+class TestPaperPatterns:
+    """The patterns the benchmark generators rely on."""
+
+    def test_digit_strings(self):
+        assert matches("[0-9]+", "0123")
+        assert not matches("[0-9]+", "")
+        assert not matches("[0-9]+", "12a")
+
+    def test_canonical_numeral(self):
+        pattern = "0|[1-9][0-9]*"
+        assert matches(pattern, "0")
+        assert matches(pattern, "907")
+        assert not matches(pattern, "007")
+        assert not matches(pattern, "")
+
+    def test_ipv4_octet(self):
+        octet = "(25[0-5]|2[0-4][0-9]|1[0-9][0-9]|[1-9][0-9]|[0-9])"
+        for text, ok in [("0", True), ("9", True), ("42", True),
+                         ("255", True), ("256", False), ("00", False),
+                         ("047", False), ("199", True)]:
+            assert matches(octet, text) == ok, text

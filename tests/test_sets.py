@@ -1,0 +1,36 @@
+"""Tests for interval-set constraint builders."""
+
+from hypothesis import given, strategies as st
+
+from repro.logic import evaluate, var
+from repro.logic.sets import interval_runs, member_of, not_member_of
+
+
+class TestRuns:
+    def test_single_run(self):
+        assert interval_runs([1, 2, 3]) == [(1, 3)]
+
+    def test_gaps(self):
+        assert interval_runs([0, 1, 5, 7, 8, 9]) == [(0, 1), (5, 5), (7, 9)]
+
+    def test_singleton(self):
+        assert interval_runs([4]) == [(4, 4)]
+
+
+class TestMembership:
+    @given(st.sets(st.integers(0, 20), min_size=1), st.integers(-2, 22))
+    def test_member_of_matches_set(self, codes, value):
+        formula = member_of(var("v"), sorted(codes))
+        assert evaluate(formula, {"v": value}) == (value in codes)
+
+    @given(st.sets(st.integers(0, 20)), st.integers(-2, 22))
+    def test_not_member_of_is_complement_in_range(self, codes, value):
+        formula = not_member_of(var("v"), sorted(codes), 20)
+        expected = 0 <= value <= 20 and value not in codes
+        assert evaluate(formula, {"v": value}) == expected
+
+    def test_not_member_of_empty_set(self):
+        formula = not_member_of(var("v"), [], 5)
+        assert evaluate(formula, {"v": 3})
+        assert not evaluate(formula, {"v": 6})
+        assert not evaluate(formula, {"v": -1})

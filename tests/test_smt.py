@@ -1,0 +1,82 @@
+"""Tests for the lazy DPLL(T) combination layer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SolverConfig
+from repro.logic import conj, disj, eq, evaluate, ge, le, ne, var
+from repro.smt import solve_formula
+
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+class TestCornerCases:
+    def test_true_and_false(self):
+        from repro.logic import TRUE, FALSE
+        assert solve_formula(TRUE).status == "sat"
+        assert solve_formula(FALSE).status == "unsat"
+
+    def test_single_atom(self):
+        r = solve_formula(le(X, 3))
+        assert r.status == "sat" and r.model["x"] <= 3
+
+    def test_all_variables_in_model(self):
+        f = conj(le(X, 3), disj(ge(Y, 0), ge(Z, 0)))
+        r = solve_formula(f)
+        assert {"x", "y", "z"} <= set(r.model)
+
+    def test_budget_returns_unknown(self):
+        config = SolverConfig(smt_iteration_limit=1, bb_node_limit=1)
+        # A formula needing branching should exhaust one node.
+        f = conj(eq(X * 2 + Y * 3, 7), ge(X, 0), ge(Y, 0), le(X, 10),
+                 le(Y, 10), ne(X, 2), ne(Y, 1))
+        r = solve_formula(f, config=config)
+        assert r.status in ("sat", "unknown")
+
+
+class TestDisjunctiveReasoning:
+    def test_case_split_over_intervals(self):
+        f = conj(disj(conj(ge(X, 0), le(X, 4)),
+                      conj(ge(X, 10), le(X, 14))),
+                 ge(X, 5))
+        r = solve_formula(f)
+        assert r.status == "sat"
+        assert 10 <= r.model["x"] <= 14
+
+    def test_mutually_exclusive_branches(self):
+        f = conj(disj(le(X, 0), ge(X, 10)),
+                 disj(ge(X, 1), ge(Y, 7)),
+                 le(X, 5), le(Y, 7))
+        r = solve_formula(f)
+        assert r.status == "sat"
+        assert r.model["x"] <= 0 and r.model["y"] == 7
+
+    def test_deep_unsat(self):
+        f = conj(disj(eq(X, 1), eq(X, 2), eq(X, 3)),
+                 ne(X, 1), ne(X, 2), ne(X, 3))
+        assert solve_formula(f).status == "unsat"
+
+
+@st.composite
+def random_formula(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        a = draw(st.integers(-3, 3))
+        b = draw(st.integers(-3, 3))
+        k = draw(st.integers(-9, 9))
+        return le(X * a + Y * b, k)
+    parts = [draw(random_formula(depth=depth - 1))
+             for _ in range(draw(st.integers(2, 3)))]
+    return conj(*parts) if draw(st.booleans()) else disj(*parts)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(random_formula())
+    def test_status_matches_bounded_enumeration(self, f):
+        bounded = conj(f, ge(X, -8), le(X, 8), ge(Y, -8), le(Y, 8))
+        result = solve_formula(bounded)
+        feasible = any(evaluate(f, {"x": x, "y": y})
+                       for x in range(-8, 9) for y in range(-8, 9))
+        assert (result.status == "sat") == feasible
+        if result.status == "sat":
+            assert evaluate(bounded, result.model)

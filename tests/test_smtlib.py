@@ -1,0 +1,166 @@
+"""Tests for the SMT-LIB frontend (parser, converter, printer)."""
+
+import pytest
+
+from repro.core import TrauSolver
+from repro.errors import ParseError, UnsupportedConstraint
+from repro.smtlib import load_problem, parse_sexprs, problem_to_smtlib
+from repro.smtlib.parser import StringLiteral
+from repro.strings import check_model
+
+
+class TestParser:
+    def test_atoms_and_nesting(self):
+        out = parse_sexprs("(assert (= x 3)) (check-sat)")
+        assert out == [["assert", ["=", "x", 3]], ["check-sat"]]
+
+    def test_string_literals_with_escapes(self):
+        out = parse_sexprs('(assert (= x "a""b"))')
+        assert out[0][1][2] == StringLiteral('a"b')
+
+    def test_unicode_escape(self):
+        out = parse_sexprs('(= x "\\u{41}")')
+        assert out[0][2] == StringLiteral("A")
+
+    def test_comments_ignoredted(self):
+        out = parse_sexprs("; hello\n(check-sat) ; bye")
+        assert out == [["check-sat"]]
+
+    def test_negative_numbers(self):
+        assert parse_sexprs("(- x -3)") == [["-", "x", -3]]
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_sexprs("(a (b)")
+        with pytest.raises(ParseError):
+            parse_sexprs('(= x "abc)')
+
+
+SCRIPT = """
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun x () String)
+(declare-fun n () Int)
+(assert (= n (str.to_int x)))
+(assert (= n 42))
+(assert (= (str.len x) 4))
+(check-sat)
+"""
+
+
+class TestConverter:
+    def test_conversion_script_solves(self):
+        script = load_problem(SCRIPT)
+        assert script.expected == "sat"
+        assert script.logic == "QF_SLIA"
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["x"] == "0042"
+
+    def test_concat_and_membership(self):
+        text = """
+        (declare-fun a () String)
+        (declare-fun b () String)
+        (assert (= (str.++ a b) "hello"))
+        (assert (str.in_re a (re.+ (re.range "a" "z"))))
+        (assert (= (str.len a) 2))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["a"] == "he"
+
+    def test_extended_predicates(self):
+        text = """
+        (declare-fun s () String)
+        (assert (str.prefixof "ab" s))
+        (assert (str.suffixof "ba" s))
+        (assert (str.contains s "c"))
+        (assert (<= (str.len s) 6))
+        (assert (str.in_re s (re.* (re.union (str.to_re "a")
+                                             (str.to_re "b")
+                                             (str.to_re "c")))))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=60)
+        assert result.status == "sat"
+        value = result.model["s"]
+        assert value.startswith("ab") and value.endswith("ba")
+        assert "c" in value
+
+    def test_distinct_strings(self):
+        text = """
+        (declare-fun a () String)
+        (assert (str.in_re a (re.+ (str.to_re "x"))))
+        (assert (distinct a "x"))
+        (assert (<= (str.len a) 3))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["a"] != "x"
+
+    def test_ite_and_arithmetic(self):
+        text = """
+        (declare-fun n () Int)
+        (declare-fun m () Int)
+        (assert (= m (ite (> n 5) (- n 5) n)))
+        (assert (= m 3))
+        (assert (> n 5))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["n"] == 8
+
+    def test_from_int(self):
+        text = """
+        (declare-fun n () Int)
+        (declare-fun s () String)
+        (assert (= s (str.from_int n)))
+        (assert (= n 120))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["s"] == "120"
+
+    def test_define_fun_macro(self):
+        text = """
+        (declare-fun x () String)
+        (define-fun limit () Int 3)
+        (assert (= (str.len x) limit))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert len(result.model["x"]) == 3
+
+    def test_unsupported_is_loud(self):
+        with pytest.raises(UnsupportedConstraint):
+            load_problem("(declare-fun f (Int) Int)")
+        with pytest.raises(UnsupportedConstraint):
+            load_problem("""
+            (declare-fun x () String)
+            (assert (= x (str.replace x "a" "b")))
+            """)
+
+
+class TestPrinterRoundTrip:
+    def test_generated_problem_round_trips(self):
+        from repro.symbex.pythonlib import parse_date_problem
+        problem = parse_date_problem(True)
+        text = problem_to_smtlib(problem, expected="sat")
+        reloaded = load_problem(text)
+        assert reloaded.expected == "sat"
+        result = TrauSolver().solve(reloaded.problem, timeout=60)
+        assert result.status == "sat"
+
+    def test_luhn_round_trips(self):
+        from repro.symbex.luhn import luhn_problem
+        problem = luhn_problem(2)
+        text = problem_to_smtlib(problem)
+        reloaded = load_problem(text)
+        result = TrauSolver().solve(reloaded.problem, timeout=60)
+        assert result.status == "sat"
+        assert check_model(reloaded.problem, result.model)

@@ -1,0 +1,206 @@
+"""End-to-end tests of the full decision procedure (TrauSolver)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ProblemBuilder, SolverConfig, TrauSolver, check_model, str_len,
+    to_num_value,
+)
+from repro.logic import conj, eq, ge, gt, le, var
+
+
+def solve(builder, timeout=30, **kwargs):
+    return TrauSolver(**kwargs).solve(builder, timeout=timeout)
+
+
+class TestPaperExamples:
+    def test_toy_phi(self):
+        """The running example of Section 1."""
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.equal(("0", x), (x, "0"))
+        nx, ny = b.to_num(x), b.to_num(y)
+        b.require_int(eq(var(nx), var(ny)))
+        b.require_int(gt(str_len(y), str_len(x)))
+        b.require_int(gt(str_len(x), 1))
+        b.require_int(gt(str_len(y), 1000))
+        result = solve(b, timeout=120)
+        assert result.status == "sat"
+        assert check_model(b.problem, result.model)
+        assert len(result.model["y"]) > 1000
+        assert set(result.model["x"]) == {"0"}
+
+    def test_tonum_with_padded_length(self):
+        """toNum(x) = 10 and |x| = 5 (Section 8's motivating case)."""
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num(x)
+        b.require_int(eq(var(n), 10))
+        b.require_int(eq(str_len(x), 5))
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model["x"] == "00010"
+
+    def test_luhn_smallest(self):
+        from repro.symbex.luhn import luhn_problem
+        result = TrauSolver().solve(luhn_problem(2), timeout=60)
+        assert result.status == "sat"
+        value = result.model["value"]
+        digits = [int(c) for c in value]
+        total = digits[1] + (digits[0] * 2 - 9 if digits[0] * 2 > 9
+                             else digits[0] * 2)
+        assert total % 10 == 0
+
+
+class TestStatuses:
+    def test_unsat_from_overapproximation(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[0-9]{2}")
+        b.require_int(ge(str_len(x), 3))
+        result = solve(b)
+        assert result.status == "unsat"
+        assert result.stats.get("phase") == "overapproximation"
+
+    def test_unsat_from_complete_restriction(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]{2}")
+        b.equal((x,), ("ab",))
+        b.diseq((x,), ("ab",))
+        result = solve(b)
+        assert result.status == "unsat"
+
+    def test_unknown_without_overapproximation(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[0-9]{2}")
+        b.require_int(ge(str_len(x), 3))
+        result = solve(b, config=SolverConfig(use_overapproximation=False,
+                                              max_rounds=1))
+        assert result.status in ("unsat", "unknown")
+
+    def test_empty_problem_is_sat(self):
+        b = ProblemBuilder()
+        result = solve(b)
+        assert result.status == "sat"
+
+
+class TestConversionScenarios:
+    def test_tostr_is_canonical(self):
+        b = ProblemBuilder()
+        n = b.fresh_int("n")
+        b.require_int(eq(var(n), 420))
+        s = b.to_str(n)
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model[s.name] == "420"
+
+    def test_conversion_roundtrip_mismatch(self):
+        """s != toStr(toNum(s)) has the leading-zero witnesses."""
+        b = ProblemBuilder()
+        s = b.str_var("s")
+        b.member(s, "[0-9]+")
+        b.require_int(le(str_len(s), 4))
+        n = b.to_num(s)
+        canonical = b.to_str(n)
+        b.diseq((s,), (canonical,))
+        result = solve(b, timeout=60)
+        assert result.status == "sat"
+        value = result.model["s"]
+        assert value != str(to_num_value(value))
+
+    def test_sum_of_two_converted_numbers(self):
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.member(x, "[0-9]{2}")
+        b.member(y, "[0-9]{2}")
+        nx, ny = b.to_num(x), b.to_num(y)
+        b.require_int(eq(var(nx) + var(ny), 110))
+        b.require_int(eq(var(nx) - var(ny), 10))
+        result = solve(b)
+        assert result.status == "sat"
+        assert int(result.model["x"]) == 60
+        assert int(result.model["y"]) == 50
+
+    def test_nan_propagates(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[a-z]{3}")
+        n = b.to_num(x)
+        b.require_int(ge(var(n), 0))
+        result = solve(b)
+        assert result.status == "unsat"
+
+
+class TestOperations:
+    def test_char_at(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]{4}")
+        c = b.char_at(x, 2)
+        b.equal((c,), ("b",))
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model["x"][2] == "b"
+
+    def test_substr(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), ("abcdef",))
+        piece = b.substr(x, 2, 3)
+        y = b.str_var("y")
+        b.equal((y,), (piece,))
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model["y"] == "cde"
+
+    def test_contains_prefix_suffix(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.prefix_of(("ab",), x)
+        b.suffix_of(("ba",), x)
+        b.contains(x, ("cc",))
+        b.require_int(le(str_len(x), 8))
+        b.member(x, "[abc]+")
+        result = solve(b, timeout=60)
+        assert result.status == "sat"
+        value = result.model["x"]
+        assert value.startswith("ab") and value.endswith("ba")
+        assert "cc" in value
+
+    def test_ite_int(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[0-9]")
+        n = b.to_num(x)
+        doubled = var(n) * 2
+        adjusted = b.ite_int(gt(doubled, 9), doubled - 9, doubled)
+        b.require_int(eq(var(adjusted), 7))
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model["x"] == "8"
+
+
+class TestValidatedRandomScenarios:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 999))
+    def test_every_small_number_roundtrips(self, value):
+        b = ProblemBuilder()
+        n = b.fresh_int("n")
+        b.require_int(eq(var(n), value))
+        s = b.to_str(n)
+        result = solve(b)
+        assert result.status == "sat"
+        assert result.model[s.name] == str(value)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.text(alphabet="abc", min_size=1, max_size=5))
+    def test_pin_word_through_equation(self, word):
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.equal((x, y), (word,))
+        b.require_int(eq(str_len(x), len(word) - 1))
+        result = solve(b)
+        assert result.status == "sat"
+        assert check_model(b.problem, result.model)

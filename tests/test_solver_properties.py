@@ -1,0 +1,88 @@
+"""Property-based end-to-end tests: decode/validate round trips.
+
+Random small constraint systems constructed *witness-first*: a concrete
+assignment is drawn, constraints true of it are synthesized, and the
+solver must find some (possibly different) model that validates.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TrauSolver
+from repro.logic import eq, ge, le, var
+from repro.strings import ProblemBuilder, check_model, str_len
+from repro.strings.eval import to_num_value
+
+
+@st.composite
+def witness_problems(draw):
+    b = ProblemBuilder()
+    words = {}
+    for i in range(draw(st.integers(1, 3))):
+        name = "w%d" % i
+        value = draw(st.text(alphabet="ab01", max_size=4))
+        words[name] = value
+        v = b.str_var(name)
+        kind = draw(st.sampled_from(["len", "member", "eqlit", "concat"]))
+        if kind == "len":
+            b.require_int(eq(str_len(v), len(value)))
+        elif kind == "member":
+            b.member(v, "[ab01]*")
+            b.require_int(le(str_len(v), len(value)))
+        elif kind == "eqlit":
+            b.equal((v,), (value,))
+        else:
+            cut = draw(st.integers(0, len(value)))
+            left, right = b.str_var(name + "l"), b.str_var(name + "r")
+            b.equal((v,), (left, right))
+            b.require_int(eq(str_len(left), cut))
+            b.require_int(eq(str_len(v), len(value)))
+    # A conversion on a digits-only witness, sometimes.
+    if draw(st.booleans()):
+        digits = draw(st.text(alphabet="0123456789", min_size=1,
+                              max_size=4))
+        d = b.str_var("d")
+        b.equal((d,), (digits,))
+        n = b.to_num(d, "n")
+        b.require_int(eq(var("n"), to_num_value(digits)))
+    return b.problem
+
+
+class TestWitnessProblems:
+    @settings(max_examples=25, deadline=None)
+    @given(witness_problems())
+    def test_solver_finds_validating_model(self, problem):
+        result = TrauSolver().solve(problem, timeout=30)
+        assert result.status == "sat"
+        assert check_model(problem, result.model)
+
+
+class TestConversionBoundaries:
+    def test_eighteen_digit_value(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num(x)
+        target = 10 ** 17 + 7
+        b.require_int(eq(var(n), target))
+        b.require_int(eq(str_len(x), 18))
+        result = TrauSolver().solve(b, timeout=60)
+        assert result.status == "sat"
+        assert int(result.model["x"]) == target
+
+    def test_value_needs_more_digits_than_length(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num(x)
+        b.require_int(ge(var(n), 100))
+        b.require_int(le(str_len(x), 2))
+        result = TrauSolver().solve(b, timeout=30)
+        assert result.status == "unsat"
+
+    def test_zero_with_many_leading_zeros(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num(x)
+        b.require_int(eq(var(n), 0))
+        b.require_int(eq(str_len(x), 12))
+        result = TrauSolver().solve(b, timeout=30)
+        assert result.status == "sat"
+        assert result.model["x"] == "0" * 12

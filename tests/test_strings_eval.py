@@ -1,0 +1,85 @@
+"""Tests for the concrete evaluator (the paper's validator)."""
+
+from hypothesis import given, strategies as st
+
+from repro.automata.regex import regex_to_nfa
+from repro.logic import eq, ge
+from repro.strings import (
+    CharNeq, IntConstraint, ProblemBuilder, RegularConstraint, StrVar,
+    StringProblem, ToNum, WordEquation, check_model, evaluate_constraint,
+    str_len, to_num_value,
+)
+from repro.strings.eval import failing_constraints
+
+
+class TestToNumValue:
+    def test_digits(self):
+        assert to_num_value("0") == 0
+        assert to_num_value("42") == 42
+        assert to_num_value("00042") == 42
+
+    def test_non_numerals(self):
+        assert to_num_value("") == -1
+        assert to_num_value("a") == -1
+        assert to_num_value("4a2") == -1
+        assert to_num_value("-5") == -1
+        assert to_num_value(" 5") == -1
+
+    @given(st.integers(0, 10 ** 12))
+    def test_inverse_of_str(self, n):
+        assert to_num_value(str(n)) == n
+
+    @given(st.integers(0, 10 ** 6), st.integers(0, 5))
+    def test_leading_zeros_preserve_value(self, n, pad):
+        assert to_num_value("0" * pad + str(n)) == n
+
+
+class TestEvaluateConstraint:
+    def test_word_equation(self):
+        c = WordEquation((StrVar("x"), "b"), ("a", StrVar("y")))
+        assert evaluate_constraint(c, {"x": "ab", "y": "bb"})
+        assert not evaluate_constraint(c, {"x": "b", "y": "b"})
+
+    def test_regular(self):
+        c = RegularConstraint(StrVar("x"), regex_to_nfa("[0-9]+"))
+        assert evaluate_constraint(c, {"x": "123"})
+        assert not evaluate_constraint(c, {"x": "12a"})
+
+    def test_int_constraint_with_lengths(self):
+        c = IntConstraint(eq(str_len("x") * 2, "n"))
+        assert evaluate_constraint(c, {"x": "abc", "n": 6})
+        assert not evaluate_constraint(c, {"x": "abc", "n": 5})
+
+    def test_tonum(self):
+        c = ToNum("n", StrVar("x"))
+        assert evaluate_constraint(c, {"x": "077", "n": 77})
+        assert evaluate_constraint(c, {"x": "zz", "n": -1})
+        assert not evaluate_constraint(c, {"x": "077", "n": 78})
+
+    def test_charneq(self):
+        c = CharNeq(StrVar("a"), StrVar("b"))
+        assert evaluate_constraint(c, {"a": "x", "b": "y"})
+        assert evaluate_constraint(c, {"a": "", "b": "y"})
+        assert not evaluate_constraint(c, {"a": "x", "b": "x"})
+        assert not evaluate_constraint(c, {"a": "xy", "b": "z"})
+
+
+class TestCheckModel:
+    def test_missing_variable_fails(self):
+        problem = StringProblem([
+            WordEquation((StrVar("x"),), ("a",))])
+        assert not check_model(problem, {})
+        assert check_model(problem, {"x": "a"})
+
+    def test_missing_int_fails(self):
+        problem = StringProblem([ToNum("n", StrVar("x"))])
+        assert not check_model(problem, {"x": "3"})
+        assert check_model(problem, {"x": "3", "n": 3})
+
+    def test_failing_constraints_reported(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[0-9]+")
+        b.require_int(ge(str_len(x), 2))
+        bad = failing_constraints(b.problem, {"x": "7"})
+        assert len(bad) == 1

@@ -1,0 +1,109 @@
+"""Tests for the high-level operation desugaring (ProblemBuilder)."""
+
+from repro.strings import ProblemBuilder, check_model, str_len
+from repro.logic import eq
+from repro.core import TrauSolver
+
+
+def models(builder, interp):
+    """Does *interp* (extended over auxiliaries) satisfy the problem?
+
+    The desugared encodings introduce fresh variables with existential
+    meaning, so we let the solver finish the assignment by pinning the
+    user-visible variables.
+    """
+    b2 = ProblemBuilder()
+    b2.problem.constraints = list(builder.problem.constraints)
+    for name, value in interp.items():
+        if isinstance(value, str):
+            b2.equal((builder.str_var(name),), (value,))
+        else:
+            from repro.logic import var as int_var
+            b2.require_int(eq(int_var(name), value))
+    result = TrauSolver().solve(b2, timeout=30)
+    return result.status == "sat"
+
+
+class TestCharAt:
+    def test_positive_and_negative_witness(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        c = b.char_at(x, 1)
+        b.equal((c,), ("b",))
+        assert models(b, {"x": "abc"})
+        assert not models(b, {"x": "aac"})
+
+    def test_out_of_range_is_unsat(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.char_at(x, 5)
+        assert not models(b, {"x": "abc"})
+
+
+class TestSubstr:
+    def test_witnesses(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        piece = b.substr(x, 1, 2)
+        b.equal((piece,), ("bc",))
+        assert models(b, {"x": "abcd"})
+        assert not models(b, {"x": "axcd"})
+
+
+class TestAffixes:
+    def test_prefix_of(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.prefix_of(("ab",), x)
+        assert models(b, {"x": "abba"})
+        assert not models(b, {"x": "ba"})
+
+    def test_suffix_of(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.suffix_of(("ba",), x)
+        assert models(b, {"x": "abba"})
+        assert not models(b, {"x": "ab"})
+
+    def test_contains(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.contains(x, ("bb",))
+        assert models(b, {"x": "abba"})
+        assert not models(b, {"x": "abab"})
+
+
+class TestDiseq:
+    def test_diseq_blocks_equal_values(self):
+        b = ProblemBuilder()
+        x, y = b.str_var("x"), b.str_var("y")
+        b.diseq((x,), (y,))
+        assert models(b, {"x": "ab", "y": "ba"})
+        assert models(b, {"x": "a", "y": "ab"})
+        assert models(b, {"x": "", "y": "b"})
+        assert not models(b, {"x": "ab", "y": "ab"})
+        assert not models(b, {"x": "", "y": ""})
+
+
+class TestConversionSugar:
+    def test_to_num_names_result(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num(x, "myn")
+        assert n == "myn"
+        assert models(b, {"x": "12", "myn": 12})
+        assert not models(b, {"x": "12", "myn": 13})
+
+    def test_to_str_rejects_leading_zero_witness(self):
+        b = ProblemBuilder()
+        s = b.to_str("n")
+        assert models(b, {"n": 7, s.name: "7"})
+        assert not models(b, {"n": 7, s.name: "07"})
+        assert not models(b, {"n": -2, s.name: "x"})
+
+    def test_length_of_term(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        expr = b.length((x, "ab", x))
+        assert expr.coeffs == {str_len(x).coeffs.popitem()[0]: 2}
+        assert expr.constant == 2

@@ -1,17 +1,19 @@
 """Ablation benchmarks for the design choices DESIGN.md calls out."""
 
 from repro.bench import ablation
-from repro.bench.tables import format_table
+from repro.bench.tables import format_stats_breakdown, format_table
 
 
 def test_overapprox_ablation(benchmark, table_scale):
-    results = benchmark.pedantic(
+    results, outcomes = benchmark.pedantic(
         lambda: ablation.overapprox_ablation(
             count=table_scale["count"], timeout=table_scale["timeout"]),
         rounds=1, iterations=1)
     print()
     print(format_table("Ablation A: over-approximation on/off",
                        results, ["with-oa", "without-oa"]))
+    print(format_stats_breakdown("Ablation A: where the time goes (means)",
+                                 outcomes, ablation.BREAKDOWN_KEYS))
     summary = results[0][1]
     # The over-approximation phase is the cheaper UNSAT engine; without it
     # only the lossless-restriction fallback can refute, so the with-OA
@@ -33,13 +35,15 @@ def test_static_analysis_ablation(benchmark):
 
 
 def test_hint_ablation_conversions(benchmark, table_scale):
-    results = benchmark.pedantic(
+    results, outcomes = benchmark.pedantic(
         lambda: ablation.numeric_pfa_ablation(
             count=table_scale["count"], timeout=table_scale["timeout"]),
         rounds=1, iterations=1)
     print()
     print(format_table("Ablation B: static length hints on/off",
                        results, ["full", "no-hints"]))
+    print(format_stats_breakdown("Ablation B: where the time goes (means)",
+                                 outcomes, ablation.BREAKDOWN_KEYS))
     summary = results[0][1]
     solved_full = summary["full"]["SAT"] + summary["full"]["UNSAT"]
     solved_bare = summary["no-hints"]["SAT"] + summary["no-hints"]["UNSAT"]

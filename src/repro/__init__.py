@@ -10,6 +10,8 @@ Public API
 * :class:`~repro.core.solver.TrauSolver` — the paper's two-phase decision
   procedure (over-approximation + PFA under-approximation).
 * :mod:`repro.baselines` — comparison solvers.
+* :mod:`repro.obs` — tracing/metrics: wrap a solve in
+  ``scope(Tracer(), Metrics())`` to get per-phase spans and counters.
 * :mod:`repro.smtlib` — SMT-LIB 2.x import/export.
 * :mod:`repro.bench` — the table-regeneration harness.
 
@@ -29,6 +31,7 @@ Quickstart::
 from repro.alphabet import Alphabet, DEFAULT_ALPHABET, EPSILON
 from repro.config import SolverConfig, Deadline
 from repro.core.solver import TrauSolver, SolveResult
+from repro.obs import Metrics, Tracer, render_report, scope
 from repro.strings.ast import (
     StrVar, StringProblem, WordEquation, RegularConstraint, IntConstraint,
     ToNum, CharNeq, str_len, length_var,
@@ -46,5 +49,6 @@ __all__ = [
     "IntConstraint", "ToNum", "CharNeq", "str_len", "length_var",
     "check_model", "to_num_value",
     "ProblemBuilder",
+    "Tracer", "Metrics", "scope", "render_report",
     "__version__",
 ]

@@ -11,6 +11,7 @@ The class is immutable by convention: every operation returns a new NFA.
 from collections import deque
 
 from repro.errors import SolverError
+from repro.obs import current_metrics
 
 EPS = None
 """Epsilon transition label."""
@@ -173,6 +174,9 @@ class NFA:
                     index[nxt] = len(index)
                     worklist.append(nxt)
                 transitions.append((ci, sym, index[nxt]))
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.observe("nfa.determinize_states", len(index))
         return NFA(len(index), transitions, 0, finals)
 
     def complement(self, alphabet):
@@ -212,6 +216,9 @@ class NFA:
                         state_of(pt, qt)
                         worklist.append((pt, qt))
                     transitions.append((index[(p, q)], sym, index[(pt, qt)]))
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.observe("nfa.product_states", len(index))
         if not index:
             return NFA.empty()
         return NFA(len(index), transitions, start, finals).trim()

@@ -12,18 +12,28 @@
 * **static-analysis ablation** — Luhn with and without the length
   analysis that turns domains into straight lines.
 
-Run with ``python -m repro.bench.ablation``.
+Each ablation runs with ``collect_stats=True``, so alongside the outcome
+counts it reports *where the time went*: mean per-phase seconds,
+refinement rounds, and solver counters from ``repro.obs`` — the point is
+to show **why** a configuration is slower, not just that it is.
+
+Run with ``python -m repro.bench.ablation [--results-json FILE]``.
 """
 
 import argparse
 import time
 
 from repro.bench.runner import BenchmarkRunner
-from repro.bench.tables import format_table, summarize
+from repro.bench.tables import (
+    dump_outcomes_jsonl, format_stats_breakdown, format_table, summarize,
+)
 from repro.config import SolverConfig
 from repro.core.solver import TrauSolver
 from repro.symbex import cvc4, pythonlib
 from repro.symbex.luhn import luhn_problem
+
+BREAKDOWN_KEYS = ("elapsed_s", "phase.overapprox_s", "phase.round_s",
+                  "rounds", "smt.iterations", "sat.conflicts")
 
 
 def overapprox_ablation(count=12, timeout=10.0, seed=0):
@@ -34,8 +44,10 @@ def overapprox_ablation(count=12, timeout=10.0, seed=0):
         "without-oa": TrauSolver(config=SolverConfig(
             use_overapproximation=False)),
     }
-    runner = BenchmarkRunner(solvers=solvers, timeout=timeout)
-    return [("cvc4pred", summarize(runner.run_suite(instances)))]
+    runner = BenchmarkRunner(solvers=solvers, timeout=timeout,
+                             collect_stats=True)
+    outcomes = runner.run_suite(instances)
+    return [("cvc4pred", summarize(outcomes))], outcomes
 
 
 def static_analysis_ablation(max_loops=6, timeout=30.0):
@@ -62,27 +74,51 @@ def numeric_pfa_ablation(count=10, timeout=10.0, seed=0):
         "no-hints": TrauSolver(config=SolverConfig(
             use_static_analysis=False)),
     }
-    runner = BenchmarkRunner(solvers=solvers, timeout=timeout)
-    return [("pythonlib", summarize(runner.run_suite(instances)))]
+    runner = BenchmarkRunner(solvers=solvers, timeout=timeout,
+                             collect_stats=True)
+    outcomes = runner.run_suite(instances)
+    return [("pythonlib", summarize(outcomes))], outcomes
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--count", type=int, default=10)
     parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument("--results-json", metavar="FILE",
+                        help="also dump every per-query row (timings + "
+                             "phase breakdown + counters) as JSON-lines")
     args = parser.parse_args(argv)
 
+    all_outcomes = {}
+
+    suites, outcomes = overapprox_ablation(args.count, args.timeout)
     print(format_table("Ablation A: over-approximation on/off",
-                       overapprox_ablation(args.count, args.timeout),
-                       ["with-oa", "without-oa"]))
+                       suites, ["with-oa", "without-oa"]))
     print()
+    print(format_stats_breakdown("Ablation A: where the time goes (means)",
+                                 outcomes, BREAKDOWN_KEYS))
+    for solver, runs in outcomes.items():
+        all_outcomes.setdefault("A/" + solver, []).extend(runs)
+    print()
+
+    suites, outcomes = numeric_pfa_ablation(args.count, args.timeout)
     print(format_table("Ablation B: static length analysis on/off",
-                       numeric_pfa_ablation(args.count, args.timeout),
-                       ["full", "no-hints"]))
+                       suites, ["full", "no-hints"]))
     print()
+    print(format_stats_breakdown("Ablation B: where the time goes (means)",
+                                 outcomes, BREAKDOWN_KEYS))
+    for solver, runs in outcomes.items():
+        all_outcomes.setdefault("B/" + solver, []).extend(runs)
+    print()
+
     print("Ablation C: Luhn ladder, static analysis on/off")
     for label, k, status, seconds in static_analysis_ablation():
         print("  %-10s luhn-%02d  %-8s %6.2fs" % (label, k, status, seconds))
+
+    if args.results_json:
+        with open(args.results_json, "w") as handle:
+            dump_outcomes_jsonl(all_outcomes, handle)
+        print("\nwrote per-query rows to %s" % args.results_json)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ import traceback
 
 from repro.baselines import EnumerativeSolver, SplittingSolver
 from repro.core.solver import TrauSolver
+from repro.obs import Metrics, Tracer, phase_seconds, scope
 from repro.strings.eval import check_model
 
 SAT, UNSAT, UNKNOWN, TIMEOUT, ERROR, INCORRECT = (
@@ -43,16 +44,37 @@ SOLVERS = ("pfa", "splitting", "enumerative")
 
 
 class RunOutcome:
-    """Result of one (solver, instance) execution."""
+    """Result of one (solver, instance) execution.
 
-    __slots__ = ("instance", "solver", "classification", "seconds", "answer")
+    ``stats`` carries the per-query telemetry (phase-duration breakdown,
+    refinement rounds, SAT/simplex counters) when the runner collects
+    metrics; empty otherwise.
+    """
 
-    def __init__(self, instance, solver, classification, seconds, answer):
+    __slots__ = ("instance", "solver", "classification", "seconds", "answer",
+                 "stats")
+
+    def __init__(self, instance, solver, classification, seconds, answer,
+                 stats=None):
         self.instance = instance
         self.solver = solver
         self.classification = classification
         self.seconds = seconds
         self.answer = answer
+        self.stats = stats or {}
+
+    def as_dict(self):
+        """JSON-able row: identity, timing, and the telemetry stats."""
+        row = {
+            "instance": self.instance,
+            "solver": self.solver,
+            "classification": self.classification,
+            "seconds": self.seconds,
+            "answer": self.answer,
+        }
+        if self.stats:
+            row["stats"] = dict(self.stats)
+        return row
 
     def __repr__(self):
         return "%s on %s: %s (%.2fs)" % (self.solver, self.instance,
@@ -60,25 +82,44 @@ class RunOutcome:
 
 
 class BenchmarkRunner:
-    """Runs suites of instances against the solver line-up."""
+    """Runs suites of instances against the solver line-up.
 
-    def __init__(self, solvers=None, timeout=10.0):
+    With ``collect_stats=True`` every solve runs under a fresh
+    ``repro.obs`` tracer/metrics context and the outcome rows carry the
+    per-phase breakdown and counters — the data the ablation tables use
+    to report *why* a configuration is slower.  Off by default so timing
+    tables measure the un-instrumented solver.
+    """
+
+    def __init__(self, solvers=None, timeout=10.0, collect_stats=False):
         self.solvers = solvers or default_solvers()
         self.timeout = timeout
+        self.collect_stats = collect_stats
 
     def run_instance(self, instance, solver_name):
         solver = self.solvers[solver_name]
+        tracer = Tracer() if self.collect_stats else None
+        metrics = Metrics() if self.collect_stats else None
         start = time.monotonic()
         try:
-            result = solver.solve(instance.problem, timeout=self.timeout)
+            with scope(tracer, metrics):
+                result = solver.solve(instance.problem, timeout=self.timeout)
         except Exception:
             return RunOutcome(instance.name, solver_name, ERROR,
                               time.monotonic() - start,
                               traceback.format_exc(limit=3))
         elapsed = time.monotonic() - start
         classification = self._classify(instance, result, elapsed)
+        stats = None
+        if self.collect_stats:
+            # Solver stats first (phase, rounds, counters merged by
+            # TrauSolver), then the span-derived phase durations; baseline
+            # solvers without obs integration still get the metrics view.
+            stats = dict(metrics.flat())
+            stats.update(result.stats)
+            stats.update(phase_seconds(tracer))
         return RunOutcome(instance.name, solver_name, classification,
-                          elapsed, result.status)
+                          elapsed, result.status, stats=stats)
 
     def _classify(self, instance, result, elapsed):
         if result.status == "unknown":

@@ -1,5 +1,7 @@
 """Assembly and text rendering of the paper's result tables."""
 
+import json
+
 from repro.bench.runner import OUTCOME_ROWS
 
 
@@ -49,6 +51,69 @@ def format_table(title, suites, solver_names):
             lines.append(text)
             label = ""
     return "\n".join(lines)
+
+
+def aggregate_stats(runs, keys=None):
+    """Mean of numeric per-run stats across a list of RunOutcomes.
+
+    *keys* restricts the aggregation; by default every numeric stat that
+    appears in any run is averaged (over the runs that report it).
+    """
+    sums = {}
+    counts = {}
+    for run in runs:
+        for key, value in run.stats.items():
+            if keys is not None and key not in keys:
+                continue
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                continue
+            sums[key] = sums.get(key, 0) + value
+            counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}
+
+
+def format_stats_breakdown(title, outcomes, keys):
+    """Per-solver mean-stat table (phase seconds, rounds, counters)."""
+    lines = [title]
+    solver_width = max([len(s) for s in outcomes] + [6])
+    header = "%-*s" % (solver_width, "solver")
+    for key in keys:
+        header += " %14s" % key
+    lines.append(header)
+    lines.append("-" * len(header))
+    for solver, runs in outcomes.items():
+        means = aggregate_stats(runs, keys=set(keys))
+        text = "%-*s" % (solver_width, solver)
+        for key in keys:
+            value = means.get(key)
+            if value is None:
+                text += " %14s" % "-"
+            elif key.endswith("_s") or key == "elapsed_s":
+                text += " %14.3f" % value
+            else:
+                text += " %14.1f" % value
+        lines.append(text)
+    return "\n".join(lines)
+
+
+def dump_outcomes_jsonl(outcomes, fh=None):
+    """Write ``{solver: [RunOutcome]}`` as JSON-lines benchmark rows.
+
+    Each line is one ``RunOutcome.as_dict()`` — timings plus, when the
+    runner collected stats, the phase breakdown and solver counters.
+    Returns the text when *fh* is None.
+    """
+    lines = []
+    for solver in sorted(outcomes):
+        for run in outcomes[solver]:
+            lines.append(json.dumps(run.as_dict(), sort_keys=True,
+                                    default=str))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if fh is None:
+        return text
+    fh.write(text)
+    return None
 
 
 def format_per_instance(title, rows, solver_names):

@@ -4,9 +4,17 @@ Usage::
 
     python -m repro FILE.smt2 [--timeout S] [--solver pfa|splitting|enum]
                               [--model] [--validate]
+                              [--trace] [--trace-json FILE]
+    python -m repro selfcheck [--trace]
 
 Prints ``sat``/``unsat``/``unknown`` like an SMT solver; ``--model`` adds
-a ``(model ...)`` block with the string/integer assignments.
+a ``(model ...)`` block with the string/integer assignments.  ``--trace``
+appends the per-phase span tree and metrics table (as ``;``-prefixed
+SMT-LIB comments, so the output stays parseable); ``--trace-json FILE``
+writes the same data as a JSON-lines event log.
+
+``selfcheck`` runs a handful of built-in queries through the full
+pipeline and exits non-zero on any wrong status — a smoke test for CI.
 """
 
 import argparse
@@ -14,6 +22,7 @@ import sys
 
 from repro.baselines import EnumerativeSolver, SplittingSolver
 from repro.core.solver import TrauSolver
+from repro.obs import Metrics, Tracer, dump_jsonl, render_report, scope
 from repro.smtlib import load_problem
 from repro.strings import check_model
 
@@ -41,7 +50,19 @@ def format_model(problem, model):
     return "\n".join(lines)
 
 
+def _print_trace(tracer, metrics):
+    """The span tree + metrics table as SMT-LIB comment lines."""
+    report = render_report(tracer, metrics)
+    for line in report.splitlines():
+        print("; " + line if line else ";")
+
+
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "selfcheck":
+        return selfcheck(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PFA-based string constraint solver "
@@ -53,12 +74,23 @@ def main(argv=None):
                         help="print a model for sat answers")
     parser.add_argument("--validate", action="store_true",
                         help="re-check sat models concretely and report")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree and metrics after the "
+                             "answer (as ; comments)")
+    parser.add_argument("--trace-json", metavar="FILE",
+                        help="write the trace as JSON-lines to FILE "
+                             "('-' for stdout)")
     args = parser.parse_args(argv)
 
     text = sys.stdin.read() if args.file == "-" else open(args.file).read()
     script = load_problem(text)
     solver = _SOLVERS[args.solver]()
-    result = solver.solve(script.problem, timeout=args.timeout)
+
+    tracing = args.trace or args.trace_json
+    tracer = Tracer() if tracing else None
+    metrics = Metrics() if tracing else None
+    with scope(tracer, metrics):
+        result = solver.solve(script.problem, timeout=args.timeout)
 
     print(result.status)
     if result.status == "sat":
@@ -67,11 +99,77 @@ def main(argv=None):
             print("; model %s" % ("validates" if ok else "FAILS validation"))
         if args.model:
             print(format_model(script.problem, result.model))
+    if args.trace:
+        _print_trace(tracer, metrics)
+    if args.trace_json:
+        if args.trace_json == "-":
+            dump_jsonl(tracer, metrics, sys.stdout)
+        else:
+            with open(args.trace_json, "w") as handle:
+                dump_jsonl(tracer, metrics, handle)
     if script.expected and result.status in ("sat", "unsat") \
             and result.status != script.expected:
         print("; WARNING: expected status was %s" % script.expected)
         return 1
     return 0
+
+
+# -- selfcheck ---------------------------------------------------------------
+
+
+def _selfcheck_problems():
+    """Built-in queries covering both phases and both final statuses."""
+    from repro.logic import eq, ge
+    from repro.strings import ProblemBuilder, str_len
+    from repro.logic.terms import var
+
+    sat_conv = ProblemBuilder()
+    x = sat_conv.str_var("x")
+    n = sat_conv.to_num(x)
+    sat_conv.require_int(eq(var(n), 10))
+    sat_conv.require_int(eq(str_len(x), 5))
+
+    unsat_re = ProblemBuilder()
+    y = unsat_re.str_var("y")
+    unsat_re.member(y, "[0-9]{2}")
+    unsat_re.require_int(ge(str_len(y), 3))
+
+    sat_eq = ProblemBuilder()
+    u = sat_eq.str_var("u")
+    sat_eq.equal(("0", u), (u, "0"))
+    sat_eq.require_int(eq(str_len(u), 3))
+
+    return [("tonum-padded", sat_conv.problem, "sat"),
+            ("regex-length", unsat_re.problem, "unsat"),
+            ("periodic-eq", sat_eq.problem, "sat")]
+
+
+def selfcheck(argv=None):
+    """Solve the built-in queries; non-zero exit on any wrong status."""
+    parser = argparse.ArgumentParser(
+        prog="repro selfcheck",
+        description="smoke-test the solver pipeline on built-in queries")
+    parser.add_argument("--trace", action="store_true",
+                        help="print one span tree + metrics per query")
+    parser.add_argument("--timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for name, problem, expected in _selfcheck_problems():
+        tracer = Tracer() if args.trace else None
+        metrics = Metrics() if args.trace else None
+        with scope(tracer, metrics):
+            result = TrauSolver().solve(problem, timeout=args.timeout)
+        ok = result.status == expected
+        failures += 0 if ok else 1
+        print("%-14s %-7s expected=%-7s %s  (%.3fs)"
+              % (name, result.status, expected, "ok" if ok else "FAIL",
+                 result.stats.get("elapsed_s", 0.0)))
+        if args.trace:
+            _print_trace(tracer, metrics)
+    print("selfcheck: %s" % ("ok" if failures == 0
+                             else "%d failure(s)" % failures))
+    return 0 if failures == 0 else 1
 
 
 if __name__ == "__main__":

@@ -22,6 +22,18 @@ class Deadline:
     def expired(self):
         return self._expires_at is not None and time.monotonic() >= self._expires_at
 
+    def checkpoint(self, tracer=None):
+        """Like :meth:`expired`, but attributable: when the budget is gone,
+        record a ``deadline_expired`` event (and attribute) on the active
+        span so an UNKNOWN can be traced to the time budget rather than to
+        refinement exhaustion."""
+        if not self.expired():
+            return False
+        if tracer is not None:
+            tracer.event("deadline_expired")
+            tracer.annotate(deadline_expired=True)
+        return True
+
     def remaining(self):
         """Seconds left, or ``None`` if unbounded."""
         if self._expires_at is None:

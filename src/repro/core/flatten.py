@@ -31,6 +31,7 @@ from repro.logic.formula import (
 )
 from repro.logic.sets import member_of, not_member_of
 from repro.logic.terms import const, var as int_var
+from repro.obs import current_metrics
 from repro.strings.ast import (
     CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
     length_var,
@@ -65,9 +66,18 @@ class Flattener:
     # -- global structure -------------------------------------------------------
 
     def flatten(self):
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.add("flatten.calls")
+            metrics.observe(
+                "flatten.pfa_vars",
+                sum(len(p.char_vars) for p in self.restriction.values()))
         parts = [self._global_parts()]
+        count = 0
         for constraint in self.problem:
+            count += 1
             parts.append(self.flatten_constraint(constraint))
+        metrics.add("flatten.constraints", count)
         return conj(*parts)
 
     def _global_parts(self):

@@ -26,6 +26,7 @@ from repro.automata.parikh import parikh_formula
 from repro.config import Deadline
 from repro.logic.formula import FALSE, TRUE, conj, disj, eq, ge, implies, le
 from repro.logic.terms import const, var as int_var
+from repro.obs import current_tracer
 from repro.smt import solve_formula
 from repro.strings.ast import (
     CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
@@ -211,24 +212,29 @@ def overapproximate(problem, alphabet=DEFAULT_ALPHABET, deadline=None,
                     config=None):
     """Run the over-approximation; "unsat" proves the input UNSAT."""
     deadline = deadline or Deadline.unbounded()
+    tracer = current_tracer()
 
     # Immediate emptiness check on intersected regular constraints,
     # strengthened by literal prefixes/suffixes the equations entail.
-    regular_by_var = {}
-    for constraint in problem.by_kind(RegularConstraint):
-        regular_by_var.setdefault(constraint.var.name, []).append(
-            constraint.nfa)
-    for name, nfa in derived_affix_constraints(problem, alphabet):
-        regular_by_var.setdefault(name, []).append(nfa)
-    for name, nfas in regular_by_var.items():
-        combined = nfas[0]
-        for nfa in nfas[1:]:
-            combined = combined.intersect(nfa)
-        if combined.is_empty():
-            return OverapproxOutcome(
-                "unsat", "regular constraints on %s are inconsistent" % name)
+    with tracer.span("emptiness") as span:
+        regular_by_var = {}
+        for constraint in problem.by_kind(RegularConstraint):
+            regular_by_var.setdefault(constraint.var.name, []).append(
+                constraint.nfa)
+        for name, nfa in derived_affix_constraints(problem, alphabet):
+            regular_by_var.setdefault(name, []).append(nfa)
+        span.set(variables=len(regular_by_var))
+        for name, nfas in regular_by_var.items():
+            combined = nfas[0]
+            for nfa in nfas[1:]:
+                combined = combined.intersect(nfa)
+            if combined.is_empty():
+                return OverapproxOutcome(
+                    "unsat",
+                    "regular constraints on %s are inconsistent" % name)
 
-    formula = length_abstraction(problem, alphabet)
+    with tracer.span("abstract"):
+        formula = length_abstraction(problem, alphabet)
     if formula is TRUE:
         return OverapproxOutcome("inconclusive")
     result = solve_formula(formula, deadline=deadline, config=config)

@@ -10,6 +10,13 @@
    by the concrete evaluator before being returned.  No model means the
    restriction was too small: the next refinement round retries with larger
    PFAs, and after the schedule is exhausted the solver answers UNKNOWN.
+
+Observability: every phase and every refinement round runs inside a
+``repro.obs`` span, and the flat metrics view is merged into
+``SolveResult.stats`` alongside ``elapsed_s``/``rounds``/``phase``.  The
+default context is the zero-overhead null tracer; pass ``tracer=`` (and
+optionally ``metrics=``) to the constructor, or install a context with
+``repro.obs.scope``, to collect data.
 """
 
 import time
@@ -25,6 +32,8 @@ from repro.core.strategy import (
     analyze_lengths, build_restriction, loop_length_hint,
 )
 from repro.errors import SolverError
+from repro.logic.formula import variables_of
+from repro.obs import scope as obs_scope
 from repro.smt import solve_formula
 from repro.strings.ast import StringProblem
 from repro.strings.eval import check_model, failing_constraints
@@ -49,10 +58,12 @@ class TrauSolver:
     """PFA-based string constraint solver (the paper's Z3-Trau)."""
 
     def __init__(self, config=None, alphabet=DEFAULT_ALPHABET,
-                 validate=True):
+                 validate=True, tracer=None, metrics=None):
         self.config = config or DEFAULT_CONFIG
         self.alphabet = alphabet
         self.validate = validate
+        self.tracer = tracer        # None -> ambient repro.obs context
+        self.metrics = metrics
 
     def solve(self, problem, timeout=None):
         """Decide a :class:`StringProblem` (or a builder holding one)."""
@@ -61,62 +72,110 @@ class TrauSolver:
         if not isinstance(problem, StringProblem):
             raise SolverError("expected a StringProblem")
         deadline = Deadline(timeout)
-        names = NameFactory()
-        stats = {"rounds": 0, "started": time.monotonic()}
+        started = time.monotonic()
+        with obs_scope(self.tracer, self.metrics) as (tracer, metrics):
+            with tracer.span("solve") as root:
+                result = self._solve(problem, deadline, tracer, metrics)
+                root.set(status=result.status)
+            result.stats["elapsed_s"] = time.monotonic() - started
+            if metrics.enabled:
+                metrics.gauge("refinement.rounds",
+                              result.stats.get("rounds", 0))
+                result.stats.update(metrics.flat())
+        return result
 
-        normalized = normalize(problem, self.alphabet)
+    def _solve(self, problem, deadline, tracer, metrics):
+        names = NameFactory()
+        stats = {"rounds": 0}
+
+        with tracer.span("normalize"):
+            normalized = normalize(problem, self.alphabet)
         if normalized.infeasible:
             stats["phase"] = "normalization"
             return SolveResult("unsat", stats=stats)
         expanded = expand_duplicates(normalized.problem, names)
 
         if self.config.use_overapproximation:
-            outcome = overapproximate(expanded, self.alphabet, deadline,
-                                      self.config)
+            with tracer.span("overapprox") as span:
+                outcome = overapproximate(expanded, self.alphabet, deadline,
+                                          self.config)
+                span.set(status=outcome.status)
             if outcome.status == "unsat":
                 stats["phase"] = "overapproximation"
                 stats["reason"] = outcome.reason
                 return SolveResult("unsat", stats=stats)
-        if deadline.expired():
+        if deadline.checkpoint(tracer):
+            stats["stopped_by"] = "deadline"
             return SolveResult("unknown", stats=stats)
 
         hints = {}
         if self.config.use_static_analysis:
-            hints = analyze_lengths(expanded, self.alphabet, deadline,
-                                    self.config)
+            with tracer.span("analyze") as span:
+                hints = analyze_lengths(expanded, self.alphabet, deadline,
+                                        self.config)
+                span.set(hints=len(hints))
         q0 = loop_length_hint(expanded, self.config.initial_loop_length)
 
         for round_index, step in enumerate(self.config.schedule(q0)):
-            if deadline.expired():
+            if deadline.checkpoint(tracer):
+                stats["stopped_by"] = "deadline"
                 break
             stats["rounds"] = round_index + 1
+            with tracer.span("round", round=round_index + 1,
+                             m=step.numeric_m, p=step.loops,
+                             q=step.loop_length) as round_span:
+                result = self._round(problem, normalized, expanded, step,
+                                     names, hints, round_index, deadline,
+                                     tracer, metrics, stats)
+                round_span.set(status="refine" if result is None
+                               else result.status)
+            if result is not None:
+                return result
+            # UNSAT of the under-approximation is inconclusive; refine.
+        if "stopped_by" not in stats and deadline.expired():
+            stats["stopped_by"] = "deadline"
+        stats.setdefault("stopped_by", "refinement-exhausted")
+        return SolveResult("unknown", stats=stats)
+
+    def _round(self, problem, normalized, expanded, step, names, hints,
+               round_index, deadline, tracer, metrics, stats):
+        """One refinement round; None means "too small, refine"."""
+        with tracer.span("restrict"):
             restriction, complete = build_restriction(
                 expanded, step, names, self.alphabet, hints, round_index)
+        with tracer.span("flatten") as span:
             flattener = Flattener(expanded, restriction, self.alphabet,
                                   names, self.config.parikh_counter_bound)
             formula = flattener.flatten()
-            result = solve_formula(formula, deadline=deadline,
-                                   config=self.config)
-            if result.status == "unsat" and complete:
-                # Every variable's restriction provably covers all of its
-                # possible values (sound length bounds + straight PFAs),
-                # so the under-approximation is exact and its
-                # unsatisfiability transfers to the input.
-                stats["phase"] = "complete-underapproximation"
-                return SolveResult("unsat", stats=stats)
-            if result.status == "sat":
+            if metrics.enabled:
+                lia_vars = len(variables_of(formula))
+                span.set(lia_vars=lia_vars)
+                metrics.observe("flatten.lia_vars", lia_vars)
+        result = solve_formula(formula, deadline=deadline,
+                               config=self.config)
+        if result.status == "unsat" and complete:
+            # Every variable's restriction provably covers all of its
+            # possible values (sound length bounds + straight PFAs),
+            # so the under-approximation is exact and its
+            # unsatisfiability transfers to the input.
+            stats["phase"] = "complete-underapproximation"
+            return SolveResult("unsat", stats=stats)
+        if result.status == "sat":
+            with tracer.span("decode"):
                 interp = self._decode(problem, normalized, restriction,
                                       result.model)
-                if self.validate and not check_model(problem, interp,
-                                                     self.alphabet):
+            if self.validate:
+                with tracer.span("validate") as span:
+                    ok = check_model(problem, interp, self.alphabet)
+                    span.set(ok=ok)
+                if not ok:
                     raise SolverError(
                         "decoded model fails validation on %r"
                         % failing_constraints(problem, interp,
                                               self.alphabet))
-                stats["phase"] = "underapproximation"
-                return SolveResult("sat", model=interp, stats=stats)
-            # UNSAT of the under-approximation is inconclusive; refine.
-        return SolveResult("unknown", stats=stats)
+            stats["phase"] = "underapproximation"
+            return SolveResult("sat", model=interp, stats=stats)
+        return None
 
     def _decode(self, problem, normalized, restriction, model):
         """Turn an LIA model into a string/integer interpretation.

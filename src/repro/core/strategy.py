@@ -23,6 +23,7 @@ from repro.core.overapprox import length_abstraction
 from repro.core.pfa import numeric_pfa, standard_pfa, straight_pfa
 from repro.logic.intervals import propagate_intervals, range_of
 from repro.logic.presolve import presolve
+from repro.obs import current_metrics
 from repro.strings.ast import CharNeq, RegularConstraint, ToNum, length_var
 
 LENGTH_HINT_THRESHOLD = 40
@@ -60,6 +61,7 @@ def analyze_lengths(problem, alphabet=DEFAULT_ALPHABET, deadline=None,
         _, hi = bounds.get(length_var(v.name), (-inf, inf))
         if hi is not inf and 0 <= hi <= LENGTH_HINT_THRESHOLD:
             hints[v.name] = int(hi)
+    current_metrics().gauge("strategy.length_hints", len(hints))
     return hints
 
 

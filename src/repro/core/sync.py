@@ -26,6 +26,7 @@ from repro.core.pfa import count_var
 from repro.logic.formula import FALSE, TRUE, conj, eq, ge, implies
 from repro.logic.sets import member_of
 from repro.logic.terms import const, var as int_var
+from repro.obs import current_metrics
 
 IDLE = None
 """Marker for the idling side of an asynchronous product transition."""
@@ -112,6 +113,10 @@ def synchronization_formula(pa_left, pa_right, prefix, counter_bound=None):
     (``track_counts=False``) contribute theirs locally.
     """
     product = asynchronous_product(pa_left, pa_right)
+    metrics = current_metrics()
+    if metrics.enabled:
+        metrics.observe("sync.product_states", product.num_states)
+        metrics.observe("sync.product_pairs", len(product.transitions))
     if product.num_states == 0 or not product.finals:
         return FALSE
 

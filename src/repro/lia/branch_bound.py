@@ -32,6 +32,7 @@ from math import ceil, floor, gcd
 from repro.config import Deadline
 from repro.errors import ResourceLimit
 from repro.lia.simplex import Simplex
+from repro.obs import current_metrics
 
 
 class IntResult:
@@ -145,7 +146,14 @@ class IntegerSolver:
         merges cores across branches, and small cores make far stronger
         theory lemmas for the SMT loop.
         """
+        metrics = current_metrics()
+        pivots_before = self._simplex.pivots if metrics.enabled else 0
         result = self._check_once(tagged_exprs, node_limit)
+        if metrics.enabled:
+            metrics.add("bb.checks")
+            metrics.add("bb.nodes", self._nodes)
+            metrics.add("simplex.pivots",
+                        self._simplex.pivots - pivots_before)
         if not shrink or result.status != "unsat":
             return result
         core = result.conflict
@@ -164,6 +172,7 @@ class IntegerSolver:
         return IntResult("unsat", conflict=core)
 
     def _check_once(self, tagged_exprs, node_limit=None):
+        self._nodes = 0     # so early-conflict exits report a clean count
         self._simplex.push()
         try:
             for expr, tag in tagged_exprs:

@@ -39,6 +39,7 @@ class Simplex:
         self._trail = []        # (var, "lo"/"up", old _Bound or None)
         self._marks = []
         self.conflict = None    # list of tags after an unsat check
+        self.pivots = 0         # lifetime pivot count (repro.obs reads it)
 
     # -- setup ----------------------------------------------------------------
 
@@ -138,6 +139,7 @@ class Simplex:
         self._pivot(basic, nonbasic)
 
     def _pivot(self, basic, nonbasic):
+        self.pivots += 1
         row = self._rows.pop(basic)
         a = row.pop(nonbasic)
         for x in row:

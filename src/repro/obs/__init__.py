@@ -1,0 +1,42 @@
+"""repro.obs — solver-wide tracing and metrics.
+
+The observability substrate for the whole pipeline:
+
+* :class:`Tracer` / :class:`NullTracer` — nestable wall-clock spans with
+  attributes and events; the null variant is a zero-overhead default.
+* :class:`Metrics` — named counters, gauges and histograms with a flat
+  ``{name: number}`` export merged into ``SolveResult.stats``.
+* :func:`current_tracer` / :func:`current_metrics` / :func:`scope` —
+  thread-local context so deep modules (SAT core, simplex, automata)
+  report without parameter plumbing.
+* :mod:`repro.obs.export` — tree report, JSON-lines log, per-phase
+  breakdown for the benchmark runner.
+
+Typical use::
+
+    from repro import TrauSolver
+    from repro.obs import Tracer, render_report
+
+    tracer = Tracer()
+    result = TrauSolver(tracer=tracer).solve(problem, timeout=10)
+    print(render_report(tracer))
+    print(result.stats["elapsed_s"], result.stats.get("sat.conflicts"))
+"""
+
+from repro.obs.export import (
+    dump_jsonl, iter_records, load_jsonl, phase_seconds, render_metrics,
+    render_report, render_tree,
+)
+from repro.obs.metrics import Histogram, Metrics, NULL_METRICS, NullMetrics
+from repro.obs.tracer import (
+    NULL_TRACER, NullTracer, Span, Tracer, current_metrics, current_tracer,
+    scope,
+)
+
+__all__ = [
+    "Tracer", "NullTracer", "Span", "NULL_TRACER",
+    "Metrics", "NullMetrics", "Histogram", "NULL_METRICS",
+    "current_tracer", "current_metrics", "scope",
+    "render_tree", "render_metrics", "render_report",
+    "iter_records", "dump_jsonl", "load_jsonl", "phase_seconds",
+]

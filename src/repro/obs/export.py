@@ -1,0 +1,166 @@
+"""Exporters for the tracing/metrics subsystem.
+
+Three output shapes, matching three consumers:
+
+* :func:`render_report` — a human-readable span tree plus a metrics table,
+  for ``repro --trace`` and ``repro selfcheck --trace``;
+* :func:`iter_records` / :func:`dump_jsonl` / :func:`load_jsonl` — a flat
+  JSON-lines event log (one ``span``/``event``/``metric`` object per
+  line), for ``repro --trace-json FILE`` and offline tooling;
+* :func:`phase_seconds` — the per-phase duration breakdown the benchmark
+  runner attaches to its rows (summing direct children of the ``solve``
+  root, which is why those children must tile the solve wall time).
+"""
+
+import json
+
+
+def _fmt_value(value):
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def _fmt_attrs(attrs):
+    return " ".join("%s=%s" % (k, _fmt_value(v))
+                    for k, v in sorted(attrs.items()))
+
+
+def render_tree(tracer):
+    """Human-readable span tree with durations and attributes."""
+    entries = list(tracer.walk())
+    open_below = []        # open_below[d]: more siblings coming at depth d
+    rendered = []
+    for i, (depth, span) in enumerate(entries):
+        next_at_depth = False
+        for d, _ in entries[i + 1:]:
+            if d < depth:
+                break
+            if d == depth:
+                next_at_depth = True
+                break
+        while len(open_below) <= depth:
+            open_below.append(False)
+        open_below[depth] = next_at_depth
+
+        if depth == 0:
+            prefix = ""
+        else:
+            prefix = "".join("|  " if open_below[d] else "   "
+                             for d in range(1, depth))
+            prefix += "+- "
+        took = "     ?  " if span.duration is None \
+            else "%7.3fs" % span.duration
+        text = "%s%-*s %s" % (prefix, max(1, 36 - len(prefix)),
+                              span.name, took)
+        extras = dict(span.attrs)
+        if span.status not in (None, "ok"):
+            extras["status"] = span.status
+        if extras:
+            text += "  " + _fmt_attrs(extras)
+        rendered.append(text)
+        for name, attrs in span.events:
+            marker = prefix.replace("+- ", "|  ") if depth else ""
+            line = "%s   * %s" % (marker, name)
+            if attrs:
+                line += "  " + _fmt_attrs(attrs)
+            rendered.append(line)
+    return "\n".join(rendered)
+
+
+def render_metrics(metrics):
+    """Aligned ``name value`` table of the flat metrics view."""
+    flat = metrics.flat()
+    if not flat:
+        return ""
+    width = max(len(name) for name in flat)
+    lines = []
+    for name in sorted(flat):
+        lines.append("%-*s  %s" % (width, name, _fmt_value(flat[name])))
+    return "\n".join(lines)
+
+
+def render_report(tracer, metrics=None):
+    """Span tree followed by the metrics table."""
+    parts = []
+    tree = render_tree(tracer)
+    if tree:
+        parts.append(tree)
+    if metrics is not None and metrics.enabled:
+        table = render_metrics(metrics)
+        if table:
+            parts.append("metrics:")
+            parts.append(table)
+    return "\n".join(parts)
+
+
+# -- JSON-lines event log -----------------------------------------------------
+
+
+def iter_records(tracer, metrics=None):
+    """Flat JSON-able records: spans (pre-order), events, then metrics."""
+    records = []
+    for depth, span in tracer.walk():
+        record = {
+            "type": "span",
+            "name": span.name,
+            "depth": depth,
+            "start_s": span.start,
+            "duration_s": span.duration,
+            "status": span.status,
+        }
+        if span.attrs:
+            record["attrs"] = dict(span.attrs)
+        records.append(record)
+        for name, attrs in span.events:
+            event = {"type": "event", "name": name, "span": span.name,
+                     "depth": depth + 1}
+            if attrs:
+                event["attrs"] = dict(attrs)
+            records.append(event)
+    if metrics is not None:
+        for name, value in sorted(metrics.flat().items()):
+            records.append({"type": "metric", "name": name, "value": value})
+    return records
+
+
+def dump_jsonl(tracer, metrics=None, fh=None):
+    """Serialize records as JSON-lines; returns the text when *fh* is None."""
+    lines = [json.dumps(record, sort_keys=True)
+             for record in iter_records(tracer, metrics)]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if fh is None:
+        return text
+    fh.write(text)
+    return None
+
+
+def load_jsonl(source):
+    """Parse a JSON-lines export back into a list of record dicts."""
+    if hasattr(source, "read"):
+        source = source.read()
+    records = []
+    for line in source.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+# -- benchmark integration -----------------------------------------------------
+
+
+def phase_seconds(tracer):
+    """Seconds per top-level phase: ``{"phase.<name>_s": seconds}``.
+
+    Sums the direct children of each root span (the per-phase spans of
+    ``TrauSolver.solve``); repeated phases (refinement rounds) accumulate.
+    """
+    breakdown = {}
+    for root in tracer.roots:
+        for child in root.children:
+            if child.duration is None:
+                continue
+            key = "phase.%s_s" % child.name
+            breakdown[key] = breakdown.get(key, 0.0) + child.duration
+    return breakdown

@@ -1,0 +1,142 @@
+"""Named counters, gauges and histograms for the solver pipeline.
+
+A :class:`Metrics` registry is a plain in-process aggregator:
+
+* **counters** (:meth:`Metrics.add`) — monotone totals such as
+  ``sat.conflicts`` or ``smt.iterations``;
+* **gauges** (:meth:`Metrics.gauge`) — last-write-wins values such as
+  ``refinement.rounds``;
+* **histograms** (:meth:`Metrics.observe`) — count/sum/min/max summaries
+  of per-event sizes such as ``nfa.product_states``.
+
+The disabled default is the :data:`NULL_METRICS` singleton, whose methods
+do nothing; hot modules therefore keep their counts in local integers and
+report once per call (see ``repro/sat/solver.py``), so the disabled-mode
+overhead is one no-op method call per solver invocation, not per loop
+iteration.  Check :attr:`Metrics.enabled` before computing an expensive
+value to record.
+
+``flat()`` renders everything into a one-level ``{name: number}`` dict
+(histograms expand to ``name.count/.sum/.min/.max``), which is what
+``TrauSolver`` merges into ``SolveResult.stats`` and the benchmark runner
+attaches to its rows.
+"""
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of observed values."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other):
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.minimum is None or (other.minimum is not None
+                                    and other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if self.maximum is None or (other.maximum is not None
+                                    and other.maximum > self.maximum):
+            self.maximum = other.maximum
+
+    def __repr__(self):
+        return "Histogram(count=%d, sum=%s)" % (self.count, self.total)
+
+
+class Metrics:
+    """Registry of named counters, gauges and histograms."""
+
+    enabled = True
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def add(self, name, value=1):
+        """Increment counter *name* by *value*."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name, value):
+        """Set gauge *name* to *value* (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name, value):
+        """Record one sample of histogram *name*."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def merge(self, other):
+        """Fold another registry into this one (counters add, gauges
+        overwrite, histograms combine)."""
+        for name, value in other.counters.items():
+            self.add(name, value)
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+
+    def flat(self):
+        """One-level ``{name: number}`` view of every instrument."""
+        out = dict(self.counters)
+        out.update(self.gauges)
+        for name, hist in self.histograms.items():
+            out[name + ".count"] = hist.count
+            out[name + ".sum"] = hist.total
+            out[name + ".min"] = hist.minimum
+            out[name + ".max"] = hist.maximum
+        return out
+
+    def __repr__(self):
+        return "Metrics(counters=%d, gauges=%d, histograms=%d)" % (
+            len(self.counters), len(self.gauges), len(self.histograms))
+
+
+class NullMetrics:
+    """Metrics disabled: every operation is a no-op."""
+
+    enabled = False
+    counters = {}
+    gauges = {}
+    histograms = {}
+
+    def add(self, name, value=1):
+        pass
+
+    def gauge(self, name, value):
+        pass
+
+    def observe(self, name, value):
+        pass
+
+    def merge(self, other):
+        pass
+
+    def flat(self):
+        return {}
+
+
+NULL_METRICS = NullMetrics()

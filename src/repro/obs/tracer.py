@@ -1,0 +1,257 @@
+"""Nestable wall-clock spans with a zero-overhead disabled mode.
+
+A :class:`Tracer` records a tree of :class:`Span` objects::
+
+    tracer = Tracer()
+    with tracer.span("overapprox", suite="cvc4pred"):
+        ...
+        with tracer.span("smt.solve"):
+            ...
+
+Every span records its start/end times (``time.monotonic``), an outcome
+status (``ok`` unless the body raised), free-form key-value attributes
+(:meth:`Span.set`) and point-in-time events (:meth:`Tracer.event`).
+
+The default tracer is the module singleton :data:`NULL_TRACER`, whose
+``span()`` hands back one shared no-op context manager — entering a span
+when tracing is off costs two attribute lookups and nothing else, so the
+instrumentation can stay in the hot pipeline permanently.
+
+The *current* tracer/metrics pair lives in thread-local storage
+(:func:`current_tracer`, :func:`current_metrics`, :func:`scope`) so deep
+modules (the SAT core, the simplex) report without any plumbing through
+the call stack.
+"""
+
+import threading
+import time
+
+from repro.obs.metrics import Metrics, NULL_METRICS
+
+
+class Span:
+    """One timed region; also its own context manager."""
+
+    __slots__ = ("name", "attrs", "events", "children", "status",
+                 "start", "end", "_tracer")
+
+    def __init__(self, name, tracer, attrs=None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.events = []            # [(name, attrs dict), ...]
+        self.children = []
+        self.status = None          # "ok" | "error" once closed
+        self.start = None
+        self.end = None
+        self._tracer = tracer
+
+    @property
+    def duration(self):
+        """Seconds spent inside the span (None while still open)."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def set(self, **attrs):
+        """Attach key-value attributes to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name, **attrs):
+        """Record a point-in-time event inside the span."""
+        self.events.append((name, attrs))
+        return self
+
+    def __enter__(self):
+        self._tracer._push(self)
+        self.start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.end = self._tracer._clock()
+        if self.status is None:
+            self.status = "ok" if exc_type is None else "error"
+        self._tracer._pop(self)
+        return False
+
+    def __repr__(self):
+        took = "open" if self.duration is None else "%.4fs" % self.duration
+        return "Span(%s, %s)" % (self.name, took)
+
+
+class Tracer:
+    """Collects a forest of spans (usually a single ``solve`` root)."""
+
+    enabled = True
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self.roots = []
+        self._stack = []
+
+    def span(self, name, **attrs):
+        """A new child span of the active span (context manager)."""
+        return Span(name, self, attrs)
+
+    def event(self, name, **attrs):
+        """Record an event on the active span (or as a detached root)."""
+        if self._stack:
+            self._stack[-1].event(name, **attrs)
+        else:
+            orphan = Span(name, self, attrs)
+            orphan.start = orphan.end = self._clock()
+            orphan.status = "event"
+            self.roots.append(orphan)
+
+    def current(self):
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, **attrs):
+        """Attach attributes to the active span, if any."""
+        if self._stack:
+            self._stack[-1].set(**attrs)
+
+    # -- span lifecycle (driven by Span.__enter__/__exit__) -----------------
+
+    def _push(self, span):
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span):
+        # Tolerate exits out of order (a span leaked across a generator):
+        # unwind down to and including the span being closed.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    def walk(self):
+        """Yield ``(depth, span)`` over the whole forest, pre-order."""
+        stack = [(0, root) for root in reversed(self.roots)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))
+
+
+class _NullSpan:
+    """Shared do-nothing span; every call returns immediately."""
+
+    __slots__ = ()
+
+    name = None
+    attrs = {}
+    events = ()
+    children = ()
+    status = None
+    start = None
+    end = None
+    duration = None
+
+    def set(self, **attrs):
+        return self
+
+    def event(self, name, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: all operations are no-ops on shared singletons."""
+
+    enabled = False
+    roots = ()
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def event(self, name, **attrs):
+        pass
+
+    def current(self):
+        return None
+
+    def annotate(self, **attrs):
+        pass
+
+    def walk(self):
+        return iter(())
+
+
+NULL_TRACER = NullTracer()
+
+_state = threading.local()
+
+
+def current_tracer():
+    """The thread's active tracer (:data:`NULL_TRACER` by default)."""
+    return getattr(_state, "tracer", NULL_TRACER)
+
+
+def current_metrics():
+    """The thread's active metrics registry (no-op by default)."""
+    return getattr(_state, "metrics", NULL_METRICS)
+
+
+class scope:
+    """Install a (tracer, metrics) pair as the thread's current context.
+
+    ``None`` arguments keep the ambient value, so nested scopes compose::
+
+        with scope(Tracer(), Metrics()) as (tracer, metrics):
+            solver.solve(problem)      # deep modules see this pair
+
+    Entering yields the resolved pair; exiting restores the previous one.
+    """
+
+    def __init__(self, tracer=None, metrics=None):
+        self._tracer = tracer
+        self._metrics = metrics
+        self._saved = None
+
+    def __enter__(self):
+        self._saved = (getattr(_state, "tracer", None),
+                       getattr(_state, "metrics", None))
+        tracer = self._tracer if self._tracer is not None \
+            else current_tracer()
+        metrics = self._metrics
+        if metrics is None:
+            # An enabled tracer wants numbers to go with its spans even if
+            # the caller did not supply a registry explicitly.
+            ambient = current_metrics()
+            metrics = Metrics() if tracer.enabled and not ambient.enabled \
+                else ambient
+        _state.tracer = tracer
+        _state.metrics = metrics
+        return tracer, metrics
+
+    def __exit__(self, exc_type, exc, tb):
+        saved_tracer, saved_metrics = self._saved
+        if saved_tracer is None:
+            try:
+                del _state.tracer
+            except AttributeError:
+                pass
+        else:
+            _state.tracer = saved_tracer
+        if saved_metrics is None:
+            try:
+                del _state.metrics
+            except AttributeError:
+                pass
+        else:
+            _state.metrics = saved_metrics
+        return False

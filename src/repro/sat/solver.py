@@ -12,6 +12,7 @@ variable ``v`` true, ``-v`` asserts it false.
 from heapq import heapify, heappop, heappush
 
 from repro.config import Deadline
+from repro.obs import current_metrics
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -307,45 +308,60 @@ class SatSolver:
             return UNSAT
 
         conflicts_total = 0
+        decisions = 0
+        restarts = 0
         luby_index = 1
         restart_limit = 32 * _luby(luby_index)
         conflicts_since_restart = 0
 
-        while True:
-            conflict = self._propagate()
-            if conflict is not None:
-                conflicts_total += 1
-                conflicts_since_restart += 1
-                if conflict_limit is not None and conflicts_total > conflict_limit:
-                    return UNKNOWN
-                if conflicts_total % 64 == 0 and deadline.expired():
-                    return UNKNOWN
-                if not self._trail_lim:
-                    self._ok = False
-                    return UNSAT
-                learnt, back_level = self._analyze(conflict)
-                self._backtrack(back_level)
-                if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
+        # Counts stay in local integers during the search (this is the
+        # hottest loop in the repo) and are reported once on the way out.
+        try:
+            while True:
+                conflict = self._propagate()
+                if conflict is not None:
+                    conflicts_total += 1
+                    conflicts_since_restart += 1
+                    if conflict_limit is not None \
+                            and conflicts_total > conflict_limit:
+                        return UNKNOWN
+                    if conflicts_total % 64 == 0 and deadline.expired():
+                        return UNKNOWN
+                    if not self._trail_lim:
+                        self._ok = False
+                        return UNSAT
+                    learnt, back_level = self._analyze(conflict)
+                    self._backtrack(back_level)
+                    if len(learnt) == 1:
+                        self._enqueue(learnt[0], None)
+                    else:
+                        clause = _Clause(learnt, learnt=True)
+                        self._learnts.append(clause)
+                        self._watch(clause)
+                        self._enqueue(learnt[0], clause)
+                    self._var_inc /= self._var_decay
+                    if conflicts_since_restart >= restart_limit:
+                        conflicts_since_restart = 0
+                        restarts += 1
+                        luby_index += 1
+                        restart_limit = 32 * _luby(luby_index)
+                        self._backtrack(0)
+                    if len(self._learnts) > 2000 + 4 * len(self._clauses):
+                        self._reduce_learnts()
                 else:
-                    clause = _Clause(learnt, learnt=True)
-                    self._learnts.append(clause)
-                    self._watch(clause)
-                    self._enqueue(learnt[0], clause)
-                self._var_inc /= self._var_decay
-                if conflicts_since_restart >= restart_limit:
-                    conflicts_since_restart = 0
-                    luby_index += 1
-                    restart_limit = 32 * _luby(luby_index)
-                    self._backtrack(0)
-                if len(self._learnts) > 2000 + 4 * len(self._clauses):
-                    self._reduce_learnts()
-            else:
-                lit = self._decide()
-                if lit == 0:
-                    return SAT
-                self._trail_lim.append(len(self._trail))
-                self._enqueue(lit, None)
+                    lit = self._decide()
+                    if lit == 0:
+                        return SAT
+                    decisions += 1
+                    self._trail_lim.append(len(self._trail))
+                    self._enqueue(lit, None)
+        finally:
+            metrics = current_metrics()
+            if metrics.enabled:
+                metrics.add("sat.conflicts", conflicts_total)
+                metrics.add("sat.decisions", decisions)
+                metrics.add("sat.restarts", restarts)
+                metrics.gauge("sat.learnts", len(self._learnts))
 
     def _reduce_learnts(self):
         """Throw away half of the learnt clauses (longest first)."""

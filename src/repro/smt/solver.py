@@ -26,6 +26,7 @@ from repro.lia.branch_bound import IntegerSolver
 from repro.logic.cnf import tseitin
 from repro.logic.formula import BoolConst, variables_of
 from repro.logic.presolve import presolve, reconstruct_model
+from repro.obs import current_metrics, current_tracer
 from repro.sat import SatSolver, SAT, UNSAT
 
 
@@ -45,13 +46,26 @@ class SmtResult:
 
 def solve_formula(formula, deadline=None, config=None, simplify=True):
     """Decide satisfiability of a linear-atom formula over the integers."""
+    tracer = current_tracer()
+    with tracer.span("smt.solve") as span:
+        result = _solve_formula(formula, deadline, config, simplify, tracer)
+        span.set(status=result.status, **result.stats)
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.add("smt.calls")
+            metrics.add("smt.iterations", result.stats.get("iterations", 0))
+    return result
+
+
+def _solve_formula(formula, deadline, config, simplify, tracer):
     deadline = deadline or Deadline.unbounded()
     config = config or DEFAULT_CONFIG
 
     all_vars = variables_of(formula)
     steps = []
     if simplify:
-        formula, steps = presolve(formula)
+        with tracer.span("smt.presolve"):
+            formula, steps = presolve(formula)
 
     if isinstance(formula, BoolConst):
         if not formula.value:
@@ -61,7 +75,13 @@ def solve_formula(formula, deadline=None, config=None, simplify=True):
             model.setdefault(name, 0)
         return SmtResult("sat", model=model)
 
-    clauses, registry = tseitin(formula)
+    with tracer.span("smt.tseitin") as span:
+        clauses, registry = tseitin(formula)
+        span.set(clauses=len(clauses), variables=registry.variable_count)
+    metrics = current_metrics()
+    if metrics.enabled:
+        metrics.observe("smt.vars", len(all_vars))
+        metrics.observe("smt.clauses", len(clauses))
     sat = SatSolver()
     sat.ensure_var(registry.variable_count)
     for clause in clauses:
@@ -119,5 +139,7 @@ def solve_formula(formula, deadline=None, config=None, simplify=True):
         core = result.conflict
         if not core:
             raise SolverError("theory conflict with empty core")
+        metrics.add("smt.theory_conflicts")
+        metrics.observe("smt.core_size", len(core))
         if not sat.add_clause([-tag for tag in core]):
             return SmtResult("unsat", stats={"iterations": iterations})

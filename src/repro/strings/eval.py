@@ -8,6 +8,7 @@ baseline and by the property-based tests.
 
 from repro.alphabet import DEFAULT_ALPHABET
 from repro.logic.formula import evaluate as eval_formula, variables_of
+from repro.obs import current_tracer
 from repro.strings.ast import (
     CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
 )
@@ -68,14 +69,19 @@ def evaluate_constraint(constraint, interp, alphabet=DEFAULT_ALPHABET):
 
 def check_model(problem, interp, alphabet=DEFAULT_ALPHABET):
     """All constraints of *problem* hold under *interp* (missing vars fail)."""
-    interp = dict(interp)
-    for v in problem.string_vars():
-        if v.name not in interp:
-            return False
-    for name in problem.int_vars():
-        if name not in interp:
-            return False
-    return all(evaluate_constraint(c, interp, alphabet) for c in problem)
+    with current_tracer().span("eval.check_model") as span:
+        interp = dict(interp)
+        for v in problem.string_vars():
+            if v.name not in interp:
+                span.set(ok=False)
+                return False
+        for name in problem.int_vars():
+            if name not in interp:
+                span.set(ok=False)
+                return False
+        ok = all(evaluate_constraint(c, interp, alphabet) for c in problem)
+        span.set(ok=ok)
+        return ok
 
 
 def failing_constraints(problem, interp, alphabet=DEFAULT_ALPHABET):

@@ -1,0 +1,392 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.config import Deadline
+from repro.core.solver import TrauSolver
+from repro.logic import eq, ge
+from repro.logic.terms import var
+from repro.obs import (
+    Metrics, NullMetrics, NullTracer, NULL_METRICS, NULL_TRACER, Tracer,
+    current_metrics, current_tracer, dump_jsonl, load_jsonl, phase_seconds,
+    render_metrics, render_report, render_tree, scope,
+)
+from repro.strings import ProblemBuilder, str_len
+
+
+class TestTracerSpans:
+    def test_single_span_records_duration(self):
+        t = Tracer()
+        with t.span("work") as s:
+            pass
+        assert s.name == "work"
+        assert s.duration >= 0.0
+        assert t.roots == [s]
+
+    def test_nesting(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                with t.span("leaf"):
+                    pass
+            with t.span("sibling"):
+                pass
+        (outer,) = t.roots
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+
+    def test_walk_preorder_with_depth(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+            with t.span("c"):
+                pass
+        assert [(d, s.name) for d, s in t.walk()] == [
+            (0, "a"), (1, "b"), (1, "c")]
+
+    def test_attrs_and_events(self):
+        t = Tracer()
+        with t.span("phase", kind="test") as s:
+            s.set(rows=7)
+            t.annotate(extra=True)
+            t.event("milestone", step=2)
+        assert s.attrs == {"kind": "test", "rows": 7, "extra": True}
+        assert len(s.events) == 1
+        assert s.events[0][0] == "milestone"
+
+    def test_exception_marks_status(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("no")
+        assert t.roots[0].status == "error"
+
+    def test_current_returns_active_span(self):
+        t = Tracer()
+        assert t.current() is None
+        with t.span("a") as a:
+            assert t.current() is a
+        assert t.current() is None
+
+
+class TestNullTracer:
+    def test_span_is_noop_and_shared(self):
+        t = NullTracer()
+        with t.span("x") as a:
+            with t.span("y") as b:
+                pass
+        assert a is b  # one shared singleton, no allocation per span
+        assert not t.enabled
+        assert list(t.roots) == []
+        # the null span swallows attribute/event writes
+        a.set(key="value")
+        a.event("ignored")
+
+    def test_null_tracer_does_not_suppress_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("x"):
+                raise RuntimeError("must propagate")
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        m = Metrics()
+        m.add("hits")
+        m.add("hits", 4)
+        assert m.counters["hits"] == 5
+
+    def test_gauge_overwrites(self):
+        m = Metrics()
+        m.gauge("depth", 3)
+        m.gauge("depth", 1)
+        assert m.gauges["depth"] == 1
+
+    def test_histogram_aggregates(self):
+        m = Metrics()
+        for v in (2, 8, 5):
+            m.observe("size", v)
+        h = m.histograms["size"]
+        assert (h.count, h.total, h.minimum, h.maximum) == (3, 15, 2, 8)
+        assert h.mean == 5.0
+
+    def test_flat_expands_histograms(self):
+        m = Metrics()
+        m.add("c", 2)
+        m.gauge("g", 7)
+        m.observe("h", 3)
+        flat = m.flat()
+        assert flat["c"] == 2
+        assert flat["g"] == 7
+        assert flat["h.count"] == 1
+        assert flat["h.sum"] == 3
+        assert flat["h.min"] == 3
+        assert flat["h.max"] == 3
+
+    def test_merge(self):
+        a, b = Metrics(), Metrics()
+        a.add("c", 1)
+        b.add("c", 2)
+        b.observe("h", 4)
+        a.merge(b)
+        assert a.counters["c"] == 3
+        assert a.histograms["h"].count == 1
+
+    def test_null_metrics_noop(self):
+        assert not NULL_METRICS.enabled
+        NULL_METRICS.add("x")
+        NULL_METRICS.gauge("y", 1)
+        NULL_METRICS.observe("z", 2)
+        assert NULL_METRICS.flat() == {}
+        assert isinstance(NULL_METRICS, NullMetrics)
+
+
+class TestAmbientScope:
+    def test_defaults_are_null(self):
+        assert not current_tracer().enabled
+        assert not current_metrics().enabled
+
+    def test_scope_installs_and_restores(self):
+        t, m = Tracer(), Metrics()
+        with scope(t, m) as (st, sm):
+            assert st is t and sm is m
+            assert current_tracer() is t
+            assert current_metrics() is m
+        assert not current_tracer().enabled
+        assert not current_metrics().enabled
+
+    def test_scope_is_thread_local(self):
+        t = Tracer()
+        seen = []
+        with scope(t, Metrics()):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_tracer().enabled))
+            thread.start()
+            thread.join()
+        assert seen == [False]  # other threads keep the null default
+
+
+class TestExport:
+    def _sample(self):
+        t, m = Tracer(), Metrics()
+        with t.span("solve") as root:
+            with t.span("overapprox") as s:
+                s.set(status="inconclusive")
+            with t.span("round", round=1):
+                t.event("deadline_expired")
+        root.set(status="sat")
+        m.add("sat.conflicts", 12)
+        m.observe("flatten.lia_vars", 30)
+        return t, m
+
+    def test_render_tree_shape(self):
+        t, _ = self._sample()
+        text = render_tree(t)
+        lines = text.splitlines()
+        assert "solve" in lines[0]
+        assert any("overapprox" in line and "+-" in line for line in lines)
+        assert "status=sat" in text
+
+    def test_render_report_includes_metrics(self):
+        t, m = self._sample()
+        text = render_report(t, m)
+        assert "sat.conflicts" in text
+        assert "12" in text
+
+    def test_jsonl_round_trip(self):
+        t, m = self._sample()
+        text = dump_jsonl(t, m)
+        for line in text.splitlines():  # every line is valid JSON
+            json.loads(line)
+        records = load_jsonl(io.StringIO(text))
+        spans = [r for r in records if r["type"] == "span"]
+        events = [r for r in records if r["type"] == "event"]
+        metric_rows = [r for r in records if r["type"] == "metric"]
+        assert {s["name"] for s in spans} == {"solve", "overapprox", "round"}
+        root = next(s for s in spans if s["name"] == "solve")
+        assert root["depth"] == 0
+        assert root["attrs"]["status"] == "sat"
+        assert any(e["name"] == "deadline_expired" for e in events)
+        assert {r["name"] for r in metric_rows} >= {"sat.conflicts"}
+
+    def test_phase_seconds_sums_children(self):
+        t, _ = self._sample()
+        phases = phase_seconds(t)
+        assert set(phases) == {"phase.overapprox_s", "phase.round_s"}
+        assert all(v >= 0.0 for v in phases.values())
+
+    def test_render_metrics_empty(self):
+        assert render_metrics(Metrics()) == ""
+
+
+class TestDeadlineCheckpoint:
+    def test_not_expired_returns_false(self):
+        t = Tracer()
+        with t.span("s") as span:
+            assert Deadline(60.0).checkpoint(t) is False
+        assert span.events == []
+
+    def test_expired_records_event_and_attr(self):
+        t = Tracer()
+        with t.span("s") as span:
+            assert Deadline(0.0).checkpoint(t) is True
+        assert span.attrs.get("deadline_expired") is True
+        assert any(name == "deadline_expired" for name, _ in span.events)
+
+    def test_works_without_tracer(self):
+        assert Deadline(0.0).checkpoint() is True
+        assert Deadline(None).checkpoint() is False
+
+
+def _conversion_problem():
+    b = ProblemBuilder()
+    x = b.str_var("x")
+    n = b.to_num(x)
+    b.require_int(eq(var(n), 42))
+    b.require_int(ge(str_len(x), 3))
+    return b.problem
+
+
+def _unsat_problem():
+    b = ProblemBuilder()
+    y = b.str_var("y")
+    b.member(y, "[0-9]{2}")
+    b.require_int(ge(str_len(y), 3))
+    return b.problem
+
+
+class TestSolverIntegration:
+    def test_traced_status_matches_untraced(self):
+        for problem in (_conversion_problem(), _unsat_problem()):
+            plain = TrauSolver().solve(problem, timeout=30.0)
+            tracer, metrics = Tracer(), Metrics()
+            with scope(tracer, metrics):
+                traced = TrauSolver().solve(problem, timeout=30.0)
+            assert traced.status == plain.status
+
+    def test_trace_has_solve_root_and_phases(self):
+        tracer, metrics = Tracer(), Metrics()
+        with scope(tracer, metrics):
+            result = TrauSolver().solve(_conversion_problem(), timeout=30.0)
+        assert result.status == "sat"
+        (root,) = tracer.roots
+        assert root.name == "solve"
+        assert root.attrs.get("status") == "sat"
+        names = {c.name for c in root.children}
+        assert "normalize" in names and "overapprox" in names
+
+    def test_phase_durations_sum_close_to_total(self):
+        tracer = Tracer()
+        with scope(tracer, Metrics()):
+            TrauSolver().solve(_conversion_problem(), timeout=30.0)
+        (root,) = tracer.roots
+        child_total = sum(c.duration for c in root.children)
+        assert child_total <= root.duration
+        # acceptance criterion: phases account for >=90% of the total
+        assert child_total >= 0.9 * root.duration
+
+    def test_metrics_merged_into_result_stats(self):
+        tracer, metrics = Tracer(), Metrics()
+        with scope(tracer, metrics):
+            result = TrauSolver().solve(_conversion_problem(), timeout=30.0)
+        assert result.stats["refinement.rounds"] == result.stats["rounds"]
+        assert "smt.calls" in result.stats
+
+    def test_untraced_stats_stay_minimal(self):
+        result = TrauSolver().solve(_conversion_problem(), timeout=30.0)
+        assert "elapsed_s" in result.stats
+        assert result.stats["elapsed_s"] >= 0.0
+        assert "started" not in result.stats
+        assert not any(key.startswith("sat.") for key in result.stats)
+
+    def test_elapsed_s_present_on_unsat_path(self):
+        result = TrauSolver().solve(_unsat_problem(), timeout=30.0)
+        assert result.status == "unsat"
+        assert "started" not in result.stats
+        assert result.stats["elapsed_s"] >= 0.0
+
+
+class TestCliTrace:
+    def test_selfcheck_smoke(self, capsys):
+        from repro.cli import selfcheck
+        assert selfcheck(["--timeout", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "selfcheck: ok" in out
+
+    def test_trace_flag_prints_comment_tree(self, tmp_path, capsys):
+        from repro.cli import main
+        smt = tmp_path / "q.smt2"
+        smt.write_text("""
+(set-logic QF_SLIA)
+(declare-fun x () String)
+(assert (= (str.len x) 2))
+(check-sat)
+""")
+        assert main([str(smt), "--trace"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0] == "sat"
+        assert any(line.startswith("; ") and "solve" in line
+                   for line in lines[1:])
+
+    def test_trace_json_file_round_trips(self, tmp_path, capsys):
+        from repro.cli import main
+        smt = tmp_path / "q.smt2"
+        smt.write_text("""
+(set-logic QF_SLIA)
+(declare-fun x () String)
+(assert (= (str.len x) 2))
+(check-sat)
+""")
+        trace = tmp_path / "trace.jsonl"
+        assert main([str(smt), "--trace-json", str(trace)]) == 0
+        capsys.readouterr()
+        with open(trace) as handle:
+            records = load_jsonl(handle)
+        assert any(r["type"] == "span" and r["name"] == "solve"
+                   for r in records)
+
+
+class TestBenchStats:
+    def test_runner_attaches_stats(self):
+        from repro.bench.runner import BenchmarkRunner
+        from repro.symbex import pythonlib
+        instances = pythonlib.generate(1, seed=0)
+        runner = BenchmarkRunner(solvers={"pfa": TrauSolver()}, timeout=30.0,
+                                 collect_stats=True)
+        outcome = runner.run_instance(instances[0], "pfa")
+        assert outcome.stats
+        assert "elapsed_s" in outcome.stats
+        assert any(key.startswith("phase.") for key in outcome.stats)
+        row = outcome.as_dict()
+        assert row["stats"] == outcome.stats
+        json.dumps(row)  # exported rows must be JSON-able
+
+    def test_runner_without_stats_keeps_rows_lean(self):
+        from repro.bench.runner import BenchmarkRunner
+        from repro.symbex import pythonlib
+        instances = pythonlib.generate(1, seed=0)
+        runner = BenchmarkRunner(solvers={"pfa": TrauSolver()}, timeout=30.0)
+        outcome = runner.run_instance(instances[0], "pfa")
+        assert outcome.stats == {}
+        assert "stats" not in outcome.as_dict()
+
+    def test_stats_breakdown_renders(self):
+        from repro.bench.runner import RunOutcome
+        from repro.bench.tables import (aggregate_stats,
+                                        format_stats_breakdown)
+        runs = [RunOutcome("i0", "pfa", "SAT", 0.5, "sat",
+                           stats={"elapsed_s": 0.5, "rounds": 1}),
+                RunOutcome("i1", "pfa", "SAT", 1.5, "sat",
+                           stats={"elapsed_s": 1.5, "rounds": 3})]
+        means = aggregate_stats(runs)
+        assert means == {"elapsed_s": 1.0, "rounds": 2.0}
+        text = format_stats_breakdown("T", {"pfa": runs},
+                                      ["elapsed_s", "rounds", "missing"])
+        assert "pfa" in text
+        assert "1.000" in text  # elapsed mean, 3 decimals
+        assert "-" in text  # missing key renders as dash

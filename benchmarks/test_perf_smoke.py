@@ -1,0 +1,68 @@
+"""Perf-smoke gate: the quick set solves correctly, with counters, and
+the answers do not depend on the caching/incrementality knobs."""
+
+import pytest
+
+from repro.bench import perfsmoke
+
+EXPECTED = {
+    "luhn": "sat",
+    "tonum": "sat",
+}
+
+
+@pytest.fixture(scope="module")
+def quick_run():
+    return perfsmoke.run_set(quick=True)
+
+
+def test_quick_set_statuses(quick_run):
+    assert quick_run["results"], "empty smoke set"
+    for row in quick_run["results"]:
+        expected = EXPECTED.get(row["suite"])
+        if expected is not None:
+            assert row["status"] == expected, row
+        else:
+            assert row["status"] in ("sat", "unsat"), row
+
+
+def test_quick_set_reports_counters(quick_run):
+    """The multi-round instances must show incrementality at work."""
+    multi_round = [row for row in quick_run["results"] if row["rounds"] > 1]
+    assert multi_round, "smoke set lost its multi-round instances"
+    assert any("counters" in row for row in multi_round)
+    reused = sum(row.get("counters", {}).get("smt.clauses_reused", 0)
+                 for row in quick_run["results"])
+    assert reused > 0
+
+
+def test_statuses_identical_without_caches(quick_run):
+    plain = perfsmoke.run_set(no_cache=True, no_incremental=True,
+                              quick=True)
+    cached = {row["name"]: row["status"] for row in quick_run["results"]}
+    uncached = {row["name"]: row["status"] for row in plain["results"]}
+    assert cached == uncached
+
+
+def test_compare_attaches_geomean():
+    doc = {"results": [
+        {"suite": "luhn", "name": "a", "status": "sat", "seconds": 1.0},
+        {"suite": "luhn", "name": "b", "status": "sat", "seconds": 2.0},
+        {"suite": "pythonlib", "name": "c", "status": "sat",
+         "seconds": 1.0},
+        {"suite": "pythonlib", "name": "d", "status": "sat",
+         "seconds": 1.0}]}
+    base = {"results": [
+        {"name": "a", "status": "sat", "seconds": 2.0},
+        {"name": "b", "status": "sat", "seconds": 8.0},
+        {"name": "c", "status": "sat", "seconds": 8.0},
+        {"name": "d", "status": "unsat", "seconds": 9.0}]}
+    merged = perfsmoke.compare(doc, base)
+    assert merged["results"][0]["speedup"] == 2.0
+    assert merged["results"][1]["speedup"] == 4.0
+    # The gate geomean covers the gate suites only ...
+    assert merged["geomean_speedup"] == pytest.approx(2.828, abs=1e-3)
+    # ... the "all" geomean adds c (8x) but skips the status-mismatched d.
+    assert merged["results"][3].get("speedup") is None
+    assert merged["results"][3]["baseline_status_differs"] == "unsat"
+    assert merged["geomean_speedup_all"] == pytest.approx(4.0, abs=1e-3)

@@ -33,6 +33,7 @@ class Alphabet:
     """
 
     def __init__(self, extra_chars=_OTHER):
+        self._signature = None
         self._char_to_code = {}
         self._code_to_char = {}
         for code, char in enumerate(_DIGITS):
@@ -56,6 +57,14 @@ class Alphabet:
     def max_code(self):
         """Largest character code in the alphabet."""
         return len(self._char_to_code) - 1
+
+    def signature(self):
+        """Hashable identity of the char/code bijection (for cache keys)."""
+        sig = self._signature
+        if sig is None:
+            sig = self._signature = "".join(
+                self._code_to_char[c] for c in range(len(self)))
+        return sig
 
     def chars(self):
         """All characters, in code order."""

@@ -10,29 +10,52 @@ The class is immutable by convention: every operation returns a new NFA.
 
 from collections import deque
 
-from repro.errors import SolverError
+from repro import cache as _cache
+from repro.errors import ResourceLimit, SolverError
 from repro.obs import current_metrics
 
 EPS = None
 """Epsilon transition label."""
 
+# Bounded memoization of the pure automata constructions (repro.cache).
+# Keys are structural fingerprints, so equal automata share results no
+# matter where they were built; values are NFAs, which are immutable by
+# convention, so sharing them between callers is safe.
+_EPSFREE_CACHE = _cache.LRUCache("nfa.without_epsilon", 512)
+_TRIM_CACHE = _cache.LRUCache("nfa.trim", 512)
+_DETERMINIZE_CACHE = _cache.LRUCache("nfa.determinize", 256)
+_MINIMIZE_CACHE = _cache.LRUCache("nfa.minimize", 256)
+_INTERSECT_CACHE = _cache.LRUCache("nfa.intersect", 256)
+
 
 class NFA:
     """An NFA with one initial state and a set of final states."""
 
-    __slots__ = ("num_states", "transitions", "initial", "finals", "_adj")
+    __slots__ = ("num_states", "transitions", "initial", "finals", "_adj",
+                 "_fp")
 
     def __init__(self, num_states, transitions, initial, finals):
         self.num_states = num_states
         self.transitions = tuple(transitions)
         self.initial = initial
         self.finals = frozenset(finals)
+        self._fp = None
         adj = [[] for _ in range(num_states)]
         for src, sym, dst in self.transitions:
             if not (0 <= src < num_states and 0 <= dst < num_states):
                 raise SolverError("transition out of range")
             adj[src].append((sym, dst))
         self._adj = adj
+
+    def fingerprint(self):
+        """Structural identity for memoization: two NFAs with the same
+        fingerprint have identical states, transitions and finals (and
+        hence the same language), so cached operation results transfer."""
+        fp = self._fp
+        if fp is None:
+            fp = self._fp = (self.num_states, self.initial, self.finals,
+                             self.transitions)
+        return fp
 
     # -- constructors ---------------------------------------------------------
 
@@ -136,6 +159,10 @@ class NFA:
         """Equivalent epsilon-free NFA (same state space)."""
         if self.is_epsilon_free():
             return self
+        key = self.fingerprint()
+        cached = _EPSFREE_CACHE.get(key)
+        if cached is not _cache.MISSING:
+            return cached
         closures = [self._eps_closure([s]) for s in range(self.num_states)]
         transitions = set()
         finals = set()
@@ -147,22 +174,38 @@ class NFA:
                 for sym, t in self._adj[r]:
                     if sym is not EPS:
                         transitions.add((s, sym, t))
-        return NFA(self.num_states, sorted(transitions, key=_trans_key),
-                   self.initial, finals).trim()
+        result = NFA(self.num_states, sorted(transitions, key=_trans_key),
+                     self.initial, finals).trim()
+        _EPSFREE_CACHE.put(key, result)
+        return result
 
-    def determinize(self, alphabet=None):
-        """Subset construction; result is a complete DFA over *alphabet*."""
+    def determinize(self, alphabet=None, deadline=None):
+        """Subset construction; result is a complete DFA over *alphabet*.
+
+        The construction is exponential in the worst case, so it checks
+        *deadline* as it discovers states and raises
+        :class:`~repro.errors.ResourceLimit` when the budget is gone.
+        """
         base = self.without_epsilon()
         if alphabet is None:
             alphabet = sorted(base.alphabet(), key=_sym_key)
         else:
             alphabet = sorted(set(alphabet), key=_sym_key)
+        key = (base.fingerprint(), tuple(alphabet))
+        cached = _DETERMINIZE_CACHE.get(key)
+        if cached is not _cache.MISSING:
+            return cached
         start = frozenset([base.initial])
         index = {start: 0}
         worklist = deque([start])
         transitions = []
         finals = set()
+        steps = 0
         while worklist:
+            steps += 1
+            if deadline is not None and not steps & 63 \
+                    and deadline.expired():
+                raise ResourceLimit("determinization hit the deadline")
             current = worklist.popleft()
             ci = index[current]
             if current & base.finals:
@@ -177,7 +220,9 @@ class NFA:
         metrics = current_metrics()
         if metrics.enabled:
             metrics.observe("nfa.determinize_states", len(index))
-        return NFA(len(index), transitions, 0, finals)
+        result = NFA(len(index), transitions, 0, finals)
+        _DETERMINIZE_CACHE.put(key, result)
+        return result
 
     def complement(self, alphabet):
         """Automaton for the complement language over *alphabet*."""
@@ -185,10 +230,19 @@ class NFA:
         finals = set(range(dfa.num_states)) - set(dfa.finals)
         return NFA(dfa.num_states, dfa.transitions, dfa.initial, finals)
 
-    def intersect(self, other):
-        """Product automaton for the language intersection."""
+    def intersect(self, other, deadline=None):
+        """Product automaton for the language intersection.
+
+        Product construction can blow up quadratically, so it checks
+        *deadline* per explored pair and raises
+        :class:`~repro.errors.ResourceLimit` when the budget is gone.
+        """
         a = self.without_epsilon()
         b = other.without_epsilon()
+        key = (a.fingerprint(), b.fingerprint())
+        cached = _INTERSECT_CACHE.get(key)
+        if cached is not _cache.MISSING:
+            return cached
         index = {}
         transitions = []
         finals = []
@@ -205,7 +259,12 @@ class NFA:
         for s in range(b.num_states):
             for sym, t in b._adj[s]:
                 b_by_sym[s].setdefault(sym, []).append(t)
+        steps = 0
         while worklist:
+            steps += 1
+            if deadline is not None and not steps & 63 \
+                    and deadline.expired():
+                raise ResourceLimit("product construction hit the deadline")
             p, q = worklist.popleft()
             if p in a.finals and q in b.finals:
                 finals.append(index[(p, q)])
@@ -220,13 +279,25 @@ class NFA:
         if metrics.enabled:
             metrics.observe("nfa.product_states", len(index))
         if not index:
-            return NFA.empty()
-        return NFA(len(index), transitions, start, finals).trim()
+            result = NFA.empty()
+        else:
+            result = NFA(len(index), transitions, start, finals).trim()
+        _INTERSECT_CACHE.put(key, result)
+        return result
 
     # -- structural cleanup -----------------------------------------------------------
 
     def trim(self):
         """Restrict to states both reachable and co-reachable."""
+        key = self.fingerprint()
+        cached = _TRIM_CACHE.get(key)
+        if cached is not _cache.MISSING:
+            return cached
+        result = self._trim()
+        _TRIM_CACHE.put(key, result)
+        return result
+
+    def _trim(self):
         forward = self._reach_from({self.initial}, self._adj)
         rev = [[] for _ in range(self.num_states)]
         for s, a, t in self.transitions:
@@ -255,9 +326,20 @@ class NFA:
                     stack.append(t)
         return seen
 
-    def minimize(self, alphabet=None):
+    def minimize(self, alphabet=None, deadline=None):
         """Hopcroft minimization of the determinized automaton."""
-        dfa = self.determinize(alphabet)
+        key = (self.fingerprint(),
+               None if alphabet is None
+               else tuple(sorted(set(alphabet), key=_sym_key)))
+        cached = _MINIMIZE_CACHE.get(key)
+        if cached is not _cache.MISSING:
+            return cached
+        result = self._minimize(alphabet, deadline)
+        _MINIMIZE_CACHE.put(key, result)
+        return result
+
+    def _minimize(self, alphabet, deadline):
+        dfa = self.determinize(alphabet, deadline=deadline)
         dfa = dfa.trim()
         if dfa.num_states == 0:
             return NFA.empty()
@@ -271,7 +353,12 @@ class NFA:
         non_finals = set(range(dfa.num_states)) - finals
         partition = [blk for blk in (finals, non_finals) if blk]
         worklist = [blk for blk in partition]
+        steps = 0
         while worklist:
+            steps += 1
+            if deadline is not None and not steps & 63 \
+                    and deadline.expired():
+                raise ResourceLimit("minimization hit the deadline")
             splitter = worklist.pop()
             for a in symbols:
                 x = set()
@@ -304,7 +391,8 @@ class NFA:
     # -- queries ------------------------------------------------------------------------
 
     def is_empty(self):
-        return self.trim().num_states == 0 or not self.trim().finals
+        trimmed = self.trim()
+        return trimmed.num_states == 0 or not trimmed.finals
 
     def accepts(self, word):
         """Membership test for a sequence of symbols."""

@@ -12,6 +12,7 @@ Expressions operate over an :class:`~repro.alphabet.Alphabet`, so symbol
 sets are sets of numeric character codes.
 """
 
+from repro import cache as _cache
 from repro.alphabet import DEFAULT_ALPHABET
 from repro.automata.nfa import NFA
 from repro.errors import ParseError
@@ -260,10 +261,23 @@ def parse_regex(text, alphabet=DEFAULT_ALPHABET):
     return _RegexParser(text, alphabet).parse()
 
 
+_COMPILE_CACHE = _cache.LRUCache("regex.compile", 512)
+
+
 def regex_to_nfa(text_or_regex, alphabet=DEFAULT_ALPHABET):
-    """Parse (if needed) and convert to a trimmed epsilon-free NFA."""
-    if isinstance(text_or_regex, str):
-        regex = parse_regex(text_or_regex, alphabet)
-    else:
-        regex = text_or_regex
-    return regex.to_nfa().without_epsilon().trim()
+    """Parse (if needed) and convert to a trimmed epsilon-free NFA.
+
+    Compilation of a pattern string is memoized per alphabet: benchmark
+    suites and repeated solver calls compile the same membership
+    patterns over and over, and the resulting NFA is immutable.
+    """
+    if not isinstance(text_or_regex, str):
+        return text_or_regex.to_nfa().without_epsilon().trim()
+    key = (text_or_regex, alphabet.signature())
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not _cache.MISSING:
+        return cached
+    regex = parse_regex(text_or_regex, alphabet)
+    result = regex.to_nfa().without_epsilon().trim()
+    _COMPILE_CACHE.put(key, result)
+    return result

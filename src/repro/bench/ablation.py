@@ -36,7 +36,7 @@ BREAKDOWN_KEYS = ("elapsed_s", "phase.overapprox_s", "phase.round_s",
                   "rounds", "smt.iterations", "sat.conflicts")
 
 
-def overapprox_ablation(count=12, timeout=10.0, seed=0):
+def overapprox_ablation(count=12, timeout=10.0, seed=0, jobs=1):
     """UNSAT-heavy suite, over-approximation on versus off."""
     instances = cvc4.generate(count, seed, flavor="pred")
     solvers = {
@@ -45,7 +45,7 @@ def overapprox_ablation(count=12, timeout=10.0, seed=0):
             use_overapproximation=False)),
     }
     runner = BenchmarkRunner(solvers=solvers, timeout=timeout,
-                             collect_stats=True)
+                             collect_stats=True, jobs=jobs)
     outcomes = runner.run_suite(instances)
     return [("cvc4pred", summarize(outcomes))], outcomes
 
@@ -65,7 +65,7 @@ def static_analysis_ablation(max_loops=6, timeout=30.0):
     return rows
 
 
-def numeric_pfa_ablation(count=10, timeout=10.0, seed=0):
+def numeric_pfa_ablation(count=10, timeout=10.0, seed=0, jobs=1):
     """Conversion suite with hints disabled, so conversion variables rely
     on the numeric-PFA machinery alone (versus the hinted fast path)."""
     instances = pythonlib.generate(count, seed)
@@ -75,7 +75,7 @@ def numeric_pfa_ablation(count=10, timeout=10.0, seed=0):
             use_static_analysis=False)),
     }
     runner = BenchmarkRunner(solvers=solvers, timeout=timeout,
-                             collect_stats=True)
+                             collect_stats=True, jobs=jobs)
     outcomes = runner.run_suite(instances)
     return [("pythonlib", summarize(outcomes))], outcomes
 
@@ -84,6 +84,8 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--count", type=int, default=10)
     parser.add_argument("--timeout", type=float, default=10.0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the benchmark grid")
     parser.add_argument("--results-json", metavar="FILE",
                         help="also dump every per-query row (timings + "
                              "phase breakdown + counters) as JSON-lines")
@@ -91,7 +93,8 @@ def main(argv=None):
 
     all_outcomes = {}
 
-    suites, outcomes = overapprox_ablation(args.count, args.timeout)
+    suites, outcomes = overapprox_ablation(args.count, args.timeout,
+                                       jobs=args.jobs)
     print(format_table("Ablation A: over-approximation on/off",
                        suites, ["with-oa", "without-oa"]))
     print()
@@ -101,7 +104,8 @@ def main(argv=None):
         all_outcomes.setdefault("A/" + solver, []).extend(runs)
     print()
 
-    suites, outcomes = numeric_pfa_ablation(args.count, args.timeout)
+    suites, outcomes = numeric_pfa_ablation(args.count, args.timeout,
+                                        jobs=args.jobs)
     print(format_table("Ablation B: static length analysis on/off",
                        suites, ["full", "no-hints"]))
     print()

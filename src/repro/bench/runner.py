@@ -12,6 +12,7 @@ into the constraints (their "validator"); answers are classified as
                        or the model fails validation.
 """
 
+import multiprocessing
 import time
 import traceback
 
@@ -91,10 +92,12 @@ class BenchmarkRunner:
     tables measure the un-instrumented solver.
     """
 
-    def __init__(self, solvers=None, timeout=10.0, collect_stats=False):
+    def __init__(self, solvers=None, timeout=10.0, collect_stats=False,
+                 jobs=1):
         self.solvers = solvers or default_solvers()
         self.timeout = timeout
         self.collect_stats = collect_stats
+        self.jobs = max(1, int(jobs))
 
     def run_instance(self, instance, solver_name):
         solver = self.solvers[solver_name]
@@ -138,10 +141,40 @@ class BenchmarkRunner:
         return ERROR
 
     def run_suite(self, instances, solver_names=None):
-        """All outcomes: {solver: [RunOutcome, ...]}."""
+        """All outcomes: {solver: [RunOutcome, ...]}.
+
+        With ``jobs > 1`` the (instance, solver) grid runs on a process
+        pool.  ``Pool.map`` returns results in submission order, so the
+        output — including row order within each solver — is identical to
+        the sequential run, whatever the workers' scheduling.
+        """
         solver_names = solver_names or list(self.solvers)
+        tasks = [(instance, name)
+                 for instance in instances for name in solver_names]
+        if self.jobs > 1 and len(tasks) > 1:
+            with multiprocessing.Pool(
+                    min(self.jobs, len(tasks)), _init_worker,
+                    (self.solvers, self.timeout,
+                     self.collect_stats)) as pool:
+                rows = pool.map(_run_task, tasks)
+        else:
+            rows = [self.run_instance(instance, name)
+                    for instance, name in tasks]
         outcomes = {name: [] for name in solver_names}
-        for instance in instances:
-            for name in solver_names:
-                outcomes[name].append(self.run_instance(instance, name))
+        for (_, name), row in zip(tasks, rows):
+            outcomes[name].append(row)
         return outcomes
+
+
+_WORKER_RUNNER = None
+
+
+def _init_worker(solvers, timeout, collect_stats):
+    """Build one sequential runner per worker process."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = BenchmarkRunner(solvers, timeout, collect_stats)
+
+
+def _run_task(task):
+    instance, solver_name = task
+    return _WORKER_RUNNER.run_instance(instance, solver_name)

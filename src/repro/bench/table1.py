@@ -24,8 +24,8 @@ def suites_for(count, seed=0):
     ]
 
 
-def run(count=10, timeout=10.0, solver_names=SOLVERS, seed=0):
-    runner = BenchmarkRunner(timeout=timeout)
+def run(count=10, timeout=10.0, solver_names=SOLVERS, seed=0, jobs=1):
+    runner = BenchmarkRunner(timeout=timeout, jobs=jobs)
     results = []
     for suite_name, instances in suites_for(count, seed):
         outcomes = runner.run_suite(instances, list(solver_names))
@@ -40,8 +40,10 @@ def main(argv=None):
     parser.add_argument("--timeout", type=float, default=10.0,
                         help="per-instance timeout (seconds)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the benchmark grid")
     args = parser.parse_args(argv)
-    results = run(args.count, args.timeout, seed=args.seed)
+    results = run(args.count, args.timeout, seed=args.seed, jobs=args.jobs)
     print(format_table(
         "Table 1: basic string constraint benchmarks "
         "(pfa = Z3-Trau's procedure)", results, list(SOLVERS)))

@@ -18,14 +18,14 @@ def instances_for(max_loops=12):
             for k in range(2, max_loops + 1)]
 
 
-def run(timeout=120.0, max_loops=12, solver_names=SOLVERS):
-    runner = BenchmarkRunner(timeout=timeout)
+def run(timeout=120.0, max_loops=12, solver_names=SOLVERS, jobs=1):
+    runner = BenchmarkRunner(timeout=timeout, jobs=jobs)
+    instances = instances_for(max_loops)
+    outcomes = runner.run_suite(instances, list(solver_names))
     rows = []
-    for instance in instances_for(max_loops):
-        by_solver = {}
-        for name in solver_names:
-            by_solver[name] = runner.run_instance(instance, name)
-        rows.append((instance.name, by_solver))
+    for i, instance in enumerate(instances):
+        rows.append((instance.name,
+                     {name: outcomes[name][i] for name in solver_names}))
     return rows
 
 
@@ -33,8 +33,10 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--timeout", type=float, default=120.0)
     parser.add_argument("--max-loops", type=int, default=12)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the benchmark grid")
     args = parser.parse_args(argv)
-    rows = run(args.timeout, args.max_loops)
+    rows = run(args.timeout, args.max_loops, jobs=args.jobs)
     print(format_per_instance(
         "Table 3: checkLuhn with 2..%d loops (pfa = Z3-Trau's procedure)"
         % args.max_loops, rows, list(SOLVERS)))

@@ -1,0 +1,140 @@
+"""Solver-wide bounded memoization caches.
+
+The refinement loop and the benchmark suites re-run the same automata
+constructions over and over (the same regexes compile per instance, the
+same intersections re-run per round).  This module provides the shared
+bounded-LRU caches those operations memoize through, with hit/miss
+counters wired into :mod:`repro.obs` so ``--trace`` shows exactly what
+the caches bought.
+
+Discipline (see DESIGN.md Section 6):
+
+* only **pure, immutable-result** operations may be memoized — every
+  cached value is shared between callers, so callers must never mutate
+  a returned object;
+* keys must capture the *full* semantic input of the operation (for
+  automata: the structural fingerprint plus any alphabet argument);
+* every cache is bounded (LRU eviction), so memoization can change
+  running time but never the memory asymptotics or the results.
+
+Caches are process-global and survive across solver instances on
+purpose: cross-instance reuse is where benchmark suites win.  The
+``--no-cache`` CLI flag (and ``SolverConfig.use_caches=False``) routes
+through :func:`set_enabled` / :class:`disabled`; with caching disabled
+every lookup misses and nothing is stored, so results are identical by
+construction.
+"""
+
+from collections import OrderedDict
+
+from repro.obs import current_metrics
+
+MISSING = object()
+"""Sentinel returned by :meth:`LRUCache.get` on a miss (values may be None)."""
+
+_enabled = True
+
+_REGISTRY = {}
+
+
+def enabled():
+    """Is memoization globally enabled?"""
+    return _enabled
+
+
+def set_enabled(flag):
+    """Globally enable/disable all caches; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+class disabled:
+    """Context manager: run a block with every cache bypassed."""
+
+    def __enter__(self):
+        self._previous = set_enabled(False)
+        return self
+
+    def __exit__(self, *exc):
+        set_enabled(self._previous)
+        return False
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Instances register themselves in a module-level registry under
+    *name* so :func:`stats` and :func:`clear_all` can reach every cache,
+    and hit/miss counters are reported to the ambient metrics context as
+    ``cache.<name>.hits`` / ``cache.<name>.misses``.
+    """
+
+    __slots__ = ("name", "maxsize", "_data", "hits", "misses")
+
+    def __init__(self, name, maxsize=256):
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.name = name
+        self.maxsize = maxsize
+        self._data = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        _REGISTRY[name] = self
+
+    def __len__(self):
+        return len(self._data)
+
+    def get(self, key):
+        """The cached value, or :data:`MISSING`; counts the access."""
+        if not _enabled:
+            return MISSING
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            self.misses += 1
+            metrics = current_metrics()
+            if metrics.enabled:
+                metrics.add("cache.%s.misses" % self.name)
+            return MISSING
+        data.move_to_end(key)
+        self.hits += 1
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.add("cache.%s.hits" % self.name)
+        return value
+
+    def put(self, key, value):
+        """Store *value*, evicting the least recently used entry if full."""
+        if not _enabled:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def clear(self):
+        self._data.clear()
+
+    def info(self):
+        return {"size": len(self._data), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses}
+
+    def __repr__(self):
+        return "LRUCache(%s, %d/%d, hits=%d, misses=%d)" % (
+            self.name, len(self._data), self.maxsize, self.hits, self.misses)
+
+
+def stats():
+    """Per-cache ``{name: {size, maxsize, hits, misses}}`` snapshot."""
+    return {name: cache.info() for name, cache in sorted(_REGISTRY.items())}
+
+
+def clear_all():
+    """Empty every registered cache (process-lifetime counters survive)."""
+    for cache in _REGISTRY.values():
+        cache.clear()

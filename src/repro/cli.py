@@ -21,6 +21,7 @@ import argparse
 import sys
 
 from repro.baselines import EnumerativeSolver, SplittingSolver
+from repro.config import SolverConfig
 from repro.core.solver import TrauSolver
 from repro.obs import Metrics, Tracer, dump_jsonl, render_report, scope
 from repro.smtlib import load_problem
@@ -80,11 +81,18 @@ def main(argv=None):
     parser.add_argument("--trace-json", metavar="FILE",
                         help="write the trace as JSON-lines to FILE "
                              "('-' for stdout)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the memoization caches and "
+                             "cross-round incremental solving")
     args = parser.parse_args(argv)
 
     text = sys.stdin.read() if args.file == "-" else open(args.file).read()
     script = load_problem(text)
-    solver = _SOLVERS[args.solver]()
+    if args.solver == "pfa" and args.no_cache:
+        solver = TrauSolver(config=SolverConfig(use_caches=False,
+                                                use_incremental=False))
+    else:
+        solver = _SOLVERS[args.solver]()
 
     tracing = args.trace or args.trace_json
     tracer = Tracer() if tracing else None
@@ -152,14 +160,20 @@ def selfcheck(argv=None):
     parser.add_argument("--trace", action="store_true",
                         help="print one span tree + metrics per query")
     parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the memoization caches and "
+                             "cross-round incremental solving")
     args = parser.parse_args(argv)
 
+    config = SolverConfig(use_caches=False, use_incremental=False) \
+        if args.no_cache else SolverConfig()
     failures = 0
     for name, problem, expected in _selfcheck_problems():
         tracer = Tracer() if args.trace else None
         metrics = Metrics() if args.trace else None
         with scope(tracer, metrics):
-            result = TrauSolver().solve(problem, timeout=args.timeout)
+            result = TrauSolver(config=config).solve(
+                problem, timeout=args.timeout)
         ok = result.status == expected
         failures += 0 if ok else 1
         print("%-14s %-7s expected=%-7s %s  (%.3fs)"

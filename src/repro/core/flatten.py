@@ -50,12 +50,18 @@ class Flattener:
     """Builds ``flatten_R(problem)`` for a fixed domain restriction."""
 
     def __init__(self, problem, restriction, alphabet, names,
-                 counter_bound=None):
+                 counter_bound=None, fragment_cache=None):
         self.problem = problem
         self.restriction = restriction      # var name -> PFA
         self.alphabet = alphabet
         self.names = names
         self.counter_bound = counter_bound
+        # Cross-round memo: fragment key -> (deps, formula), where *deps*
+        # are the PFA objects the fragment was flattened from.  PFAs are
+        # compared by identity — the strategy hands the same object back
+        # when a variable's (m, p, q) step did not change — so a hit means
+        # the formula (and its variable names) is reusable verbatim.
+        self.fragment_cache = fragment_cache
 
     def pfa_of(self, string_var):
         try:
@@ -66,38 +72,96 @@ class Flattener:
     # -- global structure -------------------------------------------------------
 
     def flatten(self):
+        """The full flattening as one formula (conjunction of fragments)."""
+        return conj(*[formula for _, formula in self.fragments()])
+
+    def fragments(self):
+        """The flattening as keyed fragments for incremental solving.
+
+        Returns an ordered list of ``(key, formula)`` pairs — one fragment
+        per restricted variable (its PFA structure) and one per constraint.
+        Their conjunction equals :meth:`flatten`.  With a
+        ``fragment_cache``, a fragment whose source PFAs are the identical
+        objects as last round is returned verbatim, fresh-name counters
+        untouched, so the incremental SMT session recognizes it by
+        identity.
+        """
         metrics = current_metrics()
         if metrics.enabled:
             metrics.add("flatten.calls")
             metrics.observe(
                 "flatten.pfa_vars",
                 sum(len(p.char_vars) for p in self.restriction.values()))
-        parts = [self._global_parts()]
+        cache = self.fragment_cache
+        reused = 0
+        frags = []
+        for name, pfa in self.restriction.items():
+            key = ("var", name)
+            if cache is not None:
+                hit = cache.get(key)
+                if hit is not None and hit[0] is pfa:
+                    frags.append((key, hit[1]))
+                    reused += 1
+                    continue
+            formula = self._var_fragment(name, pfa)
+            if cache is not None:
+                cache[key] = (pfa, formula)
+            frags.append((key, formula))
         count = 0
-        for constraint in self.problem:
+        for i, constraint in enumerate(self.problem):
             count += 1
-            parts.append(self.flatten_constraint(constraint))
-        metrics.add("flatten.constraints", count)
-        return conj(*parts)
+            key = ("constraint", i)
+            deps = self._constraint_deps(constraint)
+            if cache is not None:
+                hit = cache.get(key)
+                if hit is not None and len(hit[0]) == len(deps) \
+                        and all(a is b for a, b in zip(hit[0], deps)):
+                    frags.append((key, hit[1]))
+                    reused += 1
+                    continue
+            formula = self.flatten_constraint(constraint)
+            if cache is not None:
+                cache[key] = (deps, formula)
+            frags.append((key, formula))
+        if metrics.enabled:
+            metrics.add("flatten.constraints", count)
+            if cache is not None:
+                metrics.add("flatten.fragments_reused", reused)
+        return frags
 
-    def _global_parts(self):
+    def _constraint_deps(self, constraint):
+        """The PFA objects a constraint's flattening depends on."""
+        names = []
+        if isinstance(constraint, WordEquation):
+            for term in (constraint.lhs, constraint.rhs):
+                for element in term:
+                    if isinstance(element, StrVar):
+                        names.append(element.name)
+        elif isinstance(constraint, (RegularConstraint, ToNum)):
+            names.append(constraint.var.name)
+        elif isinstance(constraint, CharNeq):
+            names.append(constraint.left.name)
+            names.append(constraint.right.name)
+        return tuple(self.restriction[n] for n in names
+                     if n in self.restriction)
+
+    def _var_fragment(self, name, pfa):
         """Per-PFA structure shared by all constraints: interpretation
-        constraints, flat Parikh images, character domains, and length
-        definitions for every string variable."""
+        constraints, flat Parikh image, character domains, and the length
+        definition of the variable."""
         parts = []
         max_code = self.alphabet.max_code
-        for name, pfa in self.restriction.items():
-            if pfa.psi is not TRUE:
-                parts.append(pfa.psi)
-            parts.append(pfa.parikh_formula(self.counter_bound))
-            for v in pfa.char_vars:
-                bound = pfa.binding_of(v)
-                if bound is not None:
-                    parts.append(eq(int_var(v), bound))
-                else:
-                    parts.append(ge(int_var(v), EPSILON))
-                    parts.append(le(int_var(v), max_code))
-            parts.append(self._length_definition(name, pfa))
+        if pfa.psi is not TRUE:
+            parts.append(pfa.psi)
+        parts.append(pfa.parikh_formula(self.counter_bound))
+        for v in pfa.char_vars:
+            bound = pfa.binding_of(v)
+            if bound is not None:
+                parts.append(eq(int_var(v), bound))
+            else:
+                parts.append(ge(int_var(v), EPSILON))
+                parts.append(le(int_var(v), max_code))
+        parts.append(self._length_definition(name, pfa))
         return conj(*parts)
 
     def _length_definition(self, name, pfa):
@@ -402,14 +466,15 @@ class Flattener:
         all_eps = conj(*[eq(v, EPSILON) for v in chain_vars])
 
         # Psi_toInt: the last non-epsilon chain variable is v_k and the
-        # digits v_1..v_k spell n most-significant first.
+        # digits v_1..v_k spell n most-significant first.  `value` and
+        # `digit_conds` grow incrementally with k — rebuilding them from
+        # scratch per case would make construction cubic in m.
         to_int_cases = []
+        value = const(0)
+        digit_conds = []
         for k in range(1, m + 1):
-            value = const(0)
-            digit_conds = []
-            for i in range(k):
-                value = value * 10 + chain_vars[i]
-                digit_conds.append(ge(chain_vars[i], 0))
+            value = value * 10 + chain_vars[k - 1]
+            digit_conds.append(ge(chain_vars[k - 1], 0))
             last = TRUE if k == m else eq(chain_vars[k], EPSILON)
             to_int_cases.append(conj(last, eq(n, value), *digit_conds))
 

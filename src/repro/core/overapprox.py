@@ -32,7 +32,7 @@ from repro.strings.ast import (
     CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
     str_len,
 )
-from repro.errors import UnsupportedConstraint
+from repro.errors import ResourceLimit, UnsupportedConstraint
 
 # toNum(x) with n >= 10^18 is out of scope for the value/length bracketing;
 # larger numbers simply lose the |x|-side constraints (still sound).
@@ -216,6 +216,7 @@ def overapproximate(problem, alphabet=DEFAULT_ALPHABET, deadline=None,
 
     # Immediate emptiness check on intersected regular constraints,
     # strengthened by literal prefixes/suffixes the equations entail.
+    # A deadline expiring inside a product leaves the phase inconclusive.
     with tracer.span("emptiness") as span:
         regular_by_var = {}
         for constraint in problem.by_kind(RegularConstraint):
@@ -224,14 +225,17 @@ def overapproximate(problem, alphabet=DEFAULT_ALPHABET, deadline=None,
         for name, nfa in derived_affix_constraints(problem, alphabet):
             regular_by_var.setdefault(name, []).append(nfa)
         span.set(variables=len(regular_by_var))
-        for name, nfas in regular_by_var.items():
-            combined = nfas[0]
-            for nfa in nfas[1:]:
-                combined = combined.intersect(nfa)
-            if combined.is_empty():
-                return OverapproxOutcome(
-                    "unsat",
-                    "regular constraints on %s are inconsistent" % name)
+        try:
+            for name, nfas in regular_by_var.items():
+                combined = nfas[0]
+                for nfa in nfas[1:]:
+                    combined = combined.intersect(nfa, deadline=deadline)
+                if combined.is_empty():
+                    return OverapproxOutcome(
+                        "unsat",
+                        "regular constraints on %s are inconsistent" % name)
+        except ResourceLimit:
+            return OverapproxOutcome("inconclusive")
 
     with tracer.span("abstract"):
         formula = length_abstraction(problem, alphabet)

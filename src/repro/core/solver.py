@@ -21,6 +21,7 @@ optionally ``metrics=``) to the constructor, or install a context with
 
 import time
 
+from repro import cache as _cache
 from repro.alphabet import DEFAULT_ALPHABET
 from repro.config import DEFAULT_CONFIG, Deadline
 from repro.core.flatten import Flattener
@@ -31,10 +32,10 @@ from repro.core.preprocess import expand_duplicates
 from repro.core.strategy import (
     analyze_lengths, build_restriction, loop_length_hint,
 )
-from repro.errors import SolverError
+from repro.errors import ResourceLimit, SolverError
 from repro.logic.formula import variables_of
 from repro.obs import scope as obs_scope
-from repro.smt import solve_formula
+from repro.smt import IncrementalSmtSession, solve_formula
 from repro.strings.ast import StringProblem
 from repro.strings.eval import check_model, failing_constraints
 from repro.strings.ops import ProblemBuilder
@@ -75,7 +76,12 @@ class TrauSolver:
         started = time.monotonic()
         with obs_scope(self.tracer, self.metrics) as (tracer, metrics):
             with tracer.span("solve") as root:
-                result = self._solve(problem, deadline, tracer, metrics)
+                if self.config.use_caches:
+                    result = self._solve(problem, deadline, tracer, metrics)
+                else:
+                    with _cache.disabled():
+                        result = self._solve(problem, deadline, tracer,
+                                             metrics)
                 root.set(status=result.status)
             result.stats["elapsed_s"] = time.monotonic() - started
             if metrics.enabled:
@@ -116,6 +122,15 @@ class TrauSolver:
                 span.set(hints=len(hints))
         q0 = loop_length_hint(expanded, self.config.initial_loop_length)
 
+        # Cross-round incremental state: one SMT session (SAT solver +
+        # Tseitin cache) for all rounds, plus the carriers that keep
+        # fragments identical between rounds — the PFA objects themselves
+        # and their flattened formulas.
+        incremental = self.config.use_incremental
+        session = IncrementalSmtSession(self.config) if incremental else None
+        pfa_reuse = {} if incremental else None
+        frag_cache = {} if incremental else None
+
         for round_index, step in enumerate(self.config.schedule(q0)):
             if deadline.checkpoint(tracer):
                 stats["stopped_by"] = "deadline"
@@ -124,9 +139,15 @@ class TrauSolver:
             with tracer.span("round", round=round_index + 1,
                              m=step.numeric_m, p=step.loops,
                              q=step.loop_length) as round_span:
-                result = self._round(problem, normalized, expanded, step,
-                                     names, hints, round_index, deadline,
-                                     tracer, metrics, stats)
+                try:
+                    result = self._round(problem, normalized, expanded, step,
+                                         names, hints, round_index, deadline,
+                                         tracer, metrics, stats,
+                                         session, pfa_reuse, frag_cache)
+                except ResourceLimit:
+                    stats["stopped_by"] = "deadline"
+                    round_span.set(status="deadline")
+                    return SolveResult("unknown", stats=stats)
                 round_span.set(status="refine" if result is None
                                else result.status)
             if result is not None:
@@ -138,21 +159,31 @@ class TrauSolver:
         return SolveResult("unknown", stats=stats)
 
     def _round(self, problem, normalized, expanded, step, names, hints,
-               round_index, deadline, tracer, metrics, stats):
+               round_index, deadline, tracer, metrics, stats,
+               session=None, pfa_reuse=None, frag_cache=None):
         """One refinement round; None means "too small, refine"."""
         with tracer.span("restrict"):
             restriction, complete = build_restriction(
-                expanded, step, names, self.alphabet, hints, round_index)
+                expanded, step, names, self.alphabet, hints, round_index,
+                reuse=pfa_reuse)
         with tracer.span("flatten") as span:
             flattener = Flattener(expanded, restriction, self.alphabet,
-                                  names, self.config.parikh_counter_bound)
-            formula = flattener.flatten()
-            if metrics.enabled:
-                lia_vars = len(variables_of(formula))
-                span.set(lia_vars=lia_vars)
-                metrics.observe("flatten.lia_vars", lia_vars)
-        result = solve_formula(formula, deadline=deadline,
-                               config=self.config)
+                                  names, self.config.parikh_counter_bound,
+                                  fragment_cache=frag_cache)
+            if session is not None:
+                fragments = flattener.fragments()
+                formula = None
+            else:
+                formula = flattener.flatten()
+                if metrics.enabled:
+                    lia_vars = len(variables_of(formula))
+                    span.set(lia_vars=lia_vars)
+                    metrics.observe("flatten.lia_vars", lia_vars)
+        if session is not None:
+            result = session.solve(fragments, deadline=deadline)
+        else:
+            result = solve_formula(formula, deadline=deadline,
+                                   config=self.config)
         if result.status == "unsat" and complete:
             # Every variable's restriction provably covers all of its
             # possible values (sound length bounds + straight PFAs),

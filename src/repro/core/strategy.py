@@ -108,24 +108,50 @@ def _shortest_cycle_length(nfa):
 
 
 def build_restriction(problem, step, names, alphabet=DEFAULT_ALPHABET,
-                      length_hints=None, round_index=0):
+                      length_hints=None, round_index=0, reuse=None):
     """The flat domain restriction R: string var name -> PFA.
 
     Returns ``(restriction, complete)``.  *complete* is True when every
     variable received a straight-line PFA whose length is a *sound* upper
     bound from the static analysis: the restriction then loses no
     solutions, so an unsatisfiable flattening proves the input UNSAT.
+
+    *reuse*, when given, is a dict carried across refinement rounds mapping
+    variable name to ``(shape, pfa)``.  A variable whose requested shape is
+    unchanged since the previous round gets the *same* PFA object back, so
+    its character variables — and everything flattened from them — stay
+    identical and downstream caches (fragment reuse, incremental SMT) hit.
     """
     length_hints = length_hints or {}
     tonum_vars, single_char_vars = classify_variables(problem)
     restriction = {}
     complete = True
+    reused = 0
+
+    def pfa_for(name, shape):
+        nonlocal reused
+        if reuse is not None:
+            cached = reuse.get(name)
+            if cached is not None and cached[0] == shape:
+                reused += 1
+                return cached[1]
+        namer = names.char_namer(name)
+        kind = shape[0]
+        if kind == "straight":
+            pfa = straight_pfa(namer, shape[1])
+        elif kind == "numeric":
+            pfa = numeric_pfa(namer, shape[1])
+        else:
+            pfa = standard_pfa(namer, shape[1], shape[2])
+        if reuse is not None:
+            reuse[name] = (shape, pfa)
+        return pfa
+
     for v in sorted(problem.string_vars(), key=lambda s: s.name):
         name = v.name
-        namer = names.char_namer(name)
         hint = length_hints.get(name)
         if name in single_char_vars:
-            restriction[name] = straight_pfa(namer, 1)
+            restriction[name] = pfa_for(name, ("straight", 1))
             if hint is None or hint > 1:
                 complete = False
         elif name in tonum_vars:
@@ -133,15 +159,18 @@ def build_restriction(problem, step, names, alphabet=DEFAULT_ALPHABET,
                 # A sound length bound makes the plain chain lossless even
                 # for conversions (leading zeros are just digit values),
                 # and keeps the variable eligible for positional equations.
-                restriction[name] = straight_pfa(
-                    namer, min(hint, LENGTH_HINT_THRESHOLD))
+                restriction[name] = pfa_for(
+                    name, ("straight", min(hint, LENGTH_HINT_THRESHOLD)))
             else:
-                restriction[name] = numeric_pfa(namer, step.numeric_m)
+                restriction[name] = pfa_for(name, ("numeric", step.numeric_m))
                 complete = False
         elif hint is not None:
-            restriction[name] = straight_pfa(namer, hint)
+            restriction[name] = pfa_for(name, ("straight", hint))
         else:
-            restriction[name] = standard_pfa(namer, step.loops,
-                                             step.loop_length)
+            restriction[name] = pfa_for(
+                name, ("standard", step.loops, step.loop_length))
             complete = False
+    metrics = current_metrics()
+    if metrics.enabled and reuse is not None:
+        metrics.add("strategy.pfas_reused", reused)
     return restriction, complete

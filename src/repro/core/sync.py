@@ -22,6 +22,7 @@ from collections import deque
 from repro.alphabet import EPSILON
 from repro.automata.nfa import NFA
 from repro.automata.parikh import parikh_formula
+from repro.errors import ResourceLimit
 from repro.core.pfa import count_var
 from repro.logic.formula import FALSE, TRUE, conj, eq, ge, implies
 from repro.logic.sets import member_of
@@ -67,11 +68,13 @@ def _compatible(pa_left, pa_right, left, right):
     return lv == rv
 
 
-def asynchronous_product(pa_left, pa_right):
+def asynchronous_product(pa_left, pa_right, deadline=None):
     """The trimmed asynchronous product NFA over pair symbols.
 
     Symbols are ``(left_label, right_label)`` where a component is a
-    character variable or :data:`IDLE`.
+    character variable or :data:`IDLE`.  The product can be quadratic in
+    the automata sizes, so *deadline* is checked per explored pair and
+    :class:`~repro.errors.ResourceLimit` raised when the budget is gone.
     """
     left, right = pa_left.nfa, pa_right.nfa
     start = (left.initial, pa_right.initial)
@@ -86,7 +89,12 @@ def asynchronous_product(pa_left, pa_right):
             worklist.append(pair)
         return index[pair]
 
+    steps = 0
     while worklist:
+        steps += 1
+        if deadline is not None and not steps & 63 and deadline.expired():
+            raise ResourceLimit(
+                "asynchronous product hit the deadline")
         p, q = worklist.popleft()
         src = index[(p, q)]
         for lv, pt in left.out_edges(p):
@@ -104,7 +112,8 @@ def asynchronous_product(pa_left, pa_right):
     return product.trim()
 
 
-def synchronization_formula(pa_left, pa_right, prefix, counter_bound=None):
+def synchronization_formula(pa_left, pa_right, prefix, counter_bound=None,
+                            deadline=None):
     """``Psi_{P x P'}`` (Lemma 7.1) over pair-count and character variables.
 
     *prefix* namespaces the pair-count and flow variables.  The
@@ -112,7 +121,7 @@ def synchronization_formula(pa_left, pa_right, prefix, counter_bound=None):
     conjoined here — the flattening adds them once globally; throwaway PAs
     (``track_counts=False``) contribute theirs locally.
     """
-    product = asynchronous_product(pa_left, pa_right)
+    product = asynchronous_product(pa_left, pa_right, deadline)
     metrics = current_metrics()
     if metrics.enabled:
         metrics.observe("sync.product_states", product.num_states)

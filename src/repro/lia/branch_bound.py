@@ -26,8 +26,7 @@ branches, sound because the two branch bounds are exhaustive over the
 integers).
 """
 
-from fractions import Fraction
-from math import ceil, floor, gcd
+from math import floor, gcd
 
 from repro.config import Deadline
 from repro.errors import ResourceLimit
@@ -69,6 +68,7 @@ class IntegerSolver:
         self._slack_of = {}        # row signature -> (slack name, gcd)
         self._slack_counter = 0
         self._variables = set()
+        self._sorted_vars = None   # sorted view, rebuilt on new variables
         self._nodes = 0
         self._prepare_cache = {}   # LinExpr -> prepared bound assertions
 
@@ -77,7 +77,7 @@ class IntegerSolver:
     def _prepare(self, expr):
         """Bound assertions for the atom ``expr <= 0``.
 
-        Returns a list of ``(var, is_upper, Fraction bound)``, defining
+        Returns a list of ``(var, is_upper, int bound)``, defining
         slack rows as a side effect.  Constant atoms return ``None`` when
         trivially true and an empty-conflict marker when trivially false.
         Results are cached: the lazy SMT loop re-checks the same atoms with
@@ -94,20 +94,25 @@ class IntegerSolver:
     def _prepare_uncached(self, expr):
         if expr.is_constant():
             return None if expr.constant <= 0 else "false"
-        bound = Fraction(-expr.constant)     # sum c x <= bound
+        # Bounds stay plain ints end to end: the expression's constant and
+        # coefficients are ints and every division below floors/ceils, so
+        # wrapping in Fraction would only cost the simplex a conversion.
+        bound = -expr.constant     # sum c x <= bound
         if len(expr.coeffs) == 1:
             (x, c), = expr.coeffs.items()
             self._variables.add(x)
+            self._sorted_vars = None
             self._simplex.add_variable(x)
             if c > 0:
-                return [(x, True, _floor_div(bound, c))]
-            return [(x, False, _ceil_div(bound, c))]
+                return [(x, True, bound // c)]
+            return [(x, False, bound // c + (1 if bound % c else 0))]
         key, sign = _row_key(expr)
         if key not in self._slack_of:
             slack = "__s%d" % self._slack_counter
             self._slack_counter += 1
             coeffs = dict(key)
             self._variables.update(coeffs)
+            self._sorted_vars = None
             g = 0
             for c in coeffs.values():
                 g = gcd(g, abs(c))
@@ -115,8 +120,8 @@ class IntegerSolver:
             self._slack_of[key] = (slack, max(g, 1))
         slack, g = self._slack_of[key]
         if sign > 0:
-            return [(slack, True, Fraction(g * floor(Fraction(bound, g))))]
-        return [(slack, False, Fraction(g * ceil(Fraction(-bound, g))))]
+            return [(slack, True, g * (bound // g))]
+        return [(slack, False, -g * (bound // g))]   # g*ceil(-b/g)
 
     def _assert(self, prepared, tag):
         for var, is_upper, value in prepared:
@@ -213,8 +218,12 @@ class IntegerSolver:
             return IntResult("unsat", conflict=core)
         branch_var = None
         branch_val = None
-        for var in sorted(self._variables):
-            value = self._simplex.value(var)
+        variables = self._sorted_vars
+        if variables is None:
+            variables = self._sorted_vars = sorted(self._variables)
+        value_of = self._simplex.value
+        for var in variables:
+            value = value_of(var)
             if value.denominator != 1:
                 branch_var, branch_val = var, value
                 break
@@ -225,7 +234,7 @@ class IntegerSolver:
 
         lo = floor(branch_val)
         cores = []
-        for is_upper, bound in ((True, Fraction(lo)), (False, Fraction(lo + 1))):
+        for is_upper, bound in ((True, lo), (False, lo + 1)):
             self._simplex.push()
             conflict = (self._simplex.assert_upper(branch_var, bound, None)
                         if is_upper
@@ -249,14 +258,6 @@ class IntegerSolver:
                     seen.add(tag)
                     merged.append(tag)
         return IntResult("unsat", conflict=merged)
-
-
-def _floor_div(a, b):
-    return Fraction(floor(Fraction(a, b)))
-
-
-def _ceil_div(a, b):
-    return Fraction(ceil(Fraction(a, b)))
 
 
 def solve_atoms(tagged_atoms, node_limit=200000, deadline=None):

@@ -18,6 +18,29 @@ from repro.errors import ResourceLimit, SolverError
 SimplexResult = str    # "sat" | "unsat"
 
 
+def _norm(value):
+    """Collapse integral rationals to plain ints.
+
+    The tableau is almost always integral — fractions only enter through
+    pivots and usually cancel right back out — and Python's int
+    arithmetic and comparisons are an order of magnitude faster than
+    ``Fraction``'s, so keeping values as ints whenever exact pays for
+    the check many times over.
+    """
+    if value.__class__ is Fraction and value.denominator == 1:
+        return value.numerator
+    return value
+
+
+def _exact_div(num, den):
+    """``num / den`` exactly: int when it divides, Fraction otherwise."""
+    if isinstance(num, int) and isinstance(den, int):
+        if num % den == 0:
+            return num // den
+        return Fraction(num, den)
+    return _norm(num / den)
+
+
 class _Bound:
     __slots__ = ("value", "tag")
 
@@ -47,7 +70,7 @@ class Simplex:
         if var in self._order:
             return
         self._order[var] = len(self._order)
-        self._value[var] = Fraction(0)
+        self._value[var] = 0
         self._cols.setdefault(var, set())
 
     def define(self, slack, coeffs):
@@ -61,19 +84,18 @@ class Simplex:
                 continue
             if x not in self._order:
                 self.add_variable(x)
-            c = Fraction(c)
             if x in self._rows:
                 # x is already basic: substitute its row.
                 for y, cy in self._rows[x].items():
-                    row[y] = row.get(y, Fraction(0)) + c * cy
+                    row[y] = row.get(y, 0) + c * cy
             else:
-                row[x] = row.get(x, Fraction(0)) + c
-        row = {x: c for x, c in row.items() if c != 0}
+                row[x] = row.get(x, 0) + c
+        row = {x: _norm(c) for x, c in row.items() if c != 0}
         self._rows[slack] = row
         for x in row:
             self._cols[x].add(slack)
-        self._value[slack] = sum(
-            (c * self._value[x] for x, c in row.items()), Fraction(0))
+        self._value[slack] = _norm(sum(
+            c * self._value[x] for x, c in row.items()))
 
     # -- bound assertion ---------------------------------------------------------
 
@@ -92,7 +114,8 @@ class Simplex:
 
     def assert_lower(self, var, value, tag):
         """Assert ``var >= value``; returns None or a conflict tag list."""
-        value = Fraction(value)
+        if not isinstance(value, int):
+            value = _norm(Fraction(value))
         low = self._lower.get(var)
         if low is not None and value <= low.value:
             return None
@@ -107,7 +130,8 @@ class Simplex:
 
     def assert_upper(self, var, value, tag):
         """Assert ``var <= value``; returns None or a conflict tag list."""
-        value = Fraction(value)
+        if not isinstance(value, int):
+            value = _norm(Fraction(value))
         up = self._upper.get(var)
         if up is not None and value >= up.value:
             return None
@@ -125,17 +149,20 @@ class Simplex:
     def _update(self, nonbasic, value):
         delta = value - self._value[nonbasic]
         for basic in self._cols[nonbasic]:
-            self._value[basic] += self._rows[basic][nonbasic] * delta
+            self._value[basic] = _norm(
+                self._value[basic] + self._rows[basic][nonbasic] * delta)
         self._value[nonbasic] = value
 
     def _pivot_and_update(self, basic, nonbasic, value):
         a = self._rows[basic][nonbasic]
-        theta = (value - self._value[basic]) / a
+        theta = _exact_div(value - self._value[basic], a)
         self._value[basic] = value
-        self._value[nonbasic] += theta
+        self._value[nonbasic] = _norm(self._value[nonbasic] + theta)
         for other in self._cols[nonbasic]:
             if other != basic:
-                self._value[other] += self._rows[other][nonbasic] * theta
+                self._value[other] = _norm(
+                    self._value[other]
+                    + self._rows[other][nonbasic] * theta)
         self._pivot(basic, nonbasic)
 
     def _pivot(self, basic, nonbasic):
@@ -146,16 +173,16 @@ class Simplex:
             self._cols[x].discard(basic)
         self._cols[nonbasic].discard(basic)
         # nonbasic = (basic - sum row)/a
-        new_row = {basic: Fraction(1) / a}
+        new_row = {basic: _exact_div(1, a)}
         for x, c in row.items():
-            new_row[x] = -c / a
+            new_row[x] = _exact_div(-c, a)
         # Substitute into every other row that used `nonbasic`.
         for other in list(self._cols[nonbasic]):
             orow = self._rows[other]
             factor = orow.pop(nonbasic)
             self._cols[nonbasic].discard(other)
             for x, c in new_row.items():
-                nc = orow.get(x, Fraction(0)) + factor * c
+                nc = _norm(orow.get(x, 0) + factor * c)
                 if nc == 0:
                     if x in orow:
                         del orow[x]

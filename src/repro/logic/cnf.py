@@ -9,36 +9,24 @@ Atoms are canonicalized before being given SAT variables so that an atom and
 its integer complement (``e <= 0`` versus ``1 - e <= 0``) map to opposite
 literals of one variable.  This halves the theory's work and lets the SAT
 core see the propositional structure of comparisons.
+
+The encoder is incremental-friendly: :func:`encode_into` accepts a
+persistent registry and node->literal cache, so an
+:class:`~repro.smt.session.IncrementalSmtSession` can feed successive
+round formulas through one registry and re-encode only the subformulas it
+has never seen.  Definitional clauses are valid on their own (they only
+constrain fresh label variables), which is what makes sharing them across
+rounds sound.
 """
 
-from math import gcd
-
-from repro.logic.terms import LinExpr
 from repro.logic.formula import (
-    Atom, And, Or, BoolConst, nnf,
+    Atom, And, Or, BoolConst, canonical_atom_key, nnf,
 )
 from repro.errors import SolverError
 
-
-def _canonical(expr):
-    """Canonical key of the atom ``expr <= 0``.
-
-    Divides through by the gcd of the coefficients, tightening the constant
-    with integer floor division, so equivalent integer atoms collide.
-    Returns ``(coeff_tuple, constant)``.
-    """
-    coeffs = sorted(expr.coeffs.items())
-    g = 0
-    for _, c in coeffs:
-        g = gcd(g, abs(c))
-    if g > 1:
-        # sum c x <= -k  ==>  sum (c/g) x <= floor(-k/g)
-        bound = (-expr.constant) // g
-        coeffs = [(v, c // g) for v, c in coeffs]
-        constant = -bound
-    else:
-        constant = expr.constant
-    return tuple(coeffs), constant
+# Backwards-compatible alias: the canonicalization now lives with the Atom
+# class so its result can be cached per atom object.
+_canonical = canonical_atom_key
 
 
 class AtomRegistry:
@@ -62,12 +50,13 @@ class AtomRegistry:
 
     def literal(self, atom):
         """SAT literal for *atom*, reusing the complement's variable."""
-        key = _canonical(atom.expr)
-        if key in self._key_to_var:
-            return self._key_to_var[key]
-        complement_key = _canonical(LinExpr.of_const(1) - atom.expr)
-        if complement_key in self._key_to_var:
-            return -self._key_to_var[complement_key]
+        key, complement_key = atom.canonical_keys()
+        var = self._key_to_var.get(key)
+        if var is not None:
+            return var
+        var = self._key_to_var.get(complement_key)
+        if var is not None:
+            return -var
         v = self.fresh_var()
         self._key_to_var[key] = v
         self._var_to_atom[v] = atom
@@ -94,26 +83,21 @@ class AtomRegistry:
         return list(self._var_to_atom)
 
 
-def tseitin(formula, registry=None):
-    """Convert *formula* to CNF clauses.
+def encode_into(formula, registry, cache, clauses):
+    """Encode an NNF *formula*, appending definitional clauses to *clauses*.
 
-    Returns ``(clauses, registry)`` where *clauses* is a list of lists of
-    non-zero integer literals and *registry* maps literals back to atoms.
-    An unsatisfiable input yields the empty clause; a valid one yields no
-    clauses.
+    Returns the root literal.  *cache* maps already-encoded nodes to their
+    literals; entries (and the clauses they stand for) may be reused across
+    calls as long as the same *registry* keeps numbering the variables —
+    every emitted clause only relates label variables to their definition,
+    so it stays valid in any later formula.  The root assertion is NOT
+    appended; the caller asserts (or guards) the returned literal.
     """
-    if registry is None:
-        registry = AtomRegistry()
-    formula = nnf(formula)
-    if isinstance(formula, BoolConst):
-        return ([] if formula.value else [[]]), registry
-
-    clauses = []
-    cache = {}
 
     def encode(f):
-        if f in cache:
-            return cache[f]
+        lit = cache.get(f)
+        if lit is not None:
+            return lit
         if isinstance(f, Atom):
             lit = registry.literal(f)
             registry.note_occurrence(lit)
@@ -134,6 +118,27 @@ def tseitin(formula, registry=None):
         cache[f] = lit
         return lit
 
-    root = encode(formula)
+    return encode(formula)
+
+
+def tseitin(formula, registry=None, cache=None):
+    """Convert *formula* to CNF clauses.
+
+    Returns ``(clauses, registry)`` where *clauses* is a list of lists of
+    non-zero integer literals and *registry* maps literals back to atoms.
+    An unsatisfiable input yields the empty clause; a valid one yields no
+    clauses.  Pass a persistent *registry* and *cache* to share variable
+    numbering and subformula encodings across calls.
+    """
+    if registry is None:
+        registry = AtomRegistry()
+    if cache is None:
+        cache = {}
+    formula = nnf(formula)
+    if isinstance(formula, BoolConst):
+        return ([] if formula.value else [[]]), registry
+
+    clauses = []
+    root = encode_into(formula, registry, cache, clauses)
     clauses.append([root])
     return clauses, registry

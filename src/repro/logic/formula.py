@@ -7,10 +7,39 @@ Negated atoms stay atoms: ``not (e <= 0)`` is ``1 - e <= 0``.
 
 Constructors :func:`conj` and :func:`disj` fold constants and flatten nested
 connectives so the formulas handed to the CNF converter are small.
+
+Nodes are hash-consed lightly: every node caches its hash, atoms cache
+their gcd-canonical key (see :func:`canonical_atom_key`), and the
+comparison builders intern atoms so the same comparison built twice is
+the same object.  Identical subformulas across refinement rounds
+therefore compare (and map to Tseitin variables) at pointer speed.
 """
+
+from math import gcd
 
 from repro.logic.terms import LinExpr
 from repro.errors import SolverError
+
+
+def canonical_atom_key(expr):
+    """Canonical key of the atom ``expr <= 0``.
+
+    Divides through by the gcd of the coefficients, tightening the
+    constant with integer floor division, so equivalent integer atoms
+    collide.  Returns ``(coeff_tuple, constant)``.
+    """
+    coeffs = expr.sorted_coeffs()
+    g = 0
+    for _, c in coeffs:
+        g = gcd(g, abs(c))
+    if g > 1:
+        # sum c x <= -k  ==>  sum (c/g) x <= floor(-k/g)
+        bound = (-expr.constant) // g
+        coeffs = tuple((v, c // g) for v, c in coeffs)
+        constant = -bound
+    else:
+        constant = expr.constant
+    return coeffs, constant
 
 
 class Formula:
@@ -51,71 +80,130 @@ FALSE = BoolConst(False)
 class Atom(Formula):
     """The linear atom ``expr <= 0``."""
 
-    __slots__ = ("expr",)
+    __slots__ = ("expr", "_hash", "_canon")
 
     def __init__(self, expr):
         self.expr = expr
+        self._hash = None
+        self._canon = None
 
     def negate(self):
         """``not (e <= 0)`` is ``e >= 1`` is ``1 - e <= 0``."""
-        return Atom(LinExpr.of_const(1) - self.expr)
+        return _intern_atom(LinExpr.of_const(1) - self.expr)
+
+    def canonical_keys(self):
+        """``(key, complement_key)`` of this atom and its integer negation,
+        computed once (the atom registry resolves literals through this)."""
+        canon = self._canon
+        if canon is None:
+            canon = self._canon = (
+                canonical_atom_key(self.expr),
+                canonical_atom_key(LinExpr.of_const(1) - self.expr))
+        return canon
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, Atom) and self.expr == other.expr
 
     def __hash__(self):
-        return hash(("atom", self.expr))
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(("atom", self.expr))
+        return h
 
     def __repr__(self):
         return "(%r <= 0)" % self.expr
 
 
 class And(Formula):
-    __slots__ = ("args",)
+    __slots__ = ("args", "_hash")
 
     def __init__(self, args):
         self.args = tuple(args)
+        self._hash = None
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, And) and self.args == other.args
 
     def __hash__(self):
-        return hash(("and", self.args))
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(("and", self.args))
+        return h
 
     def __repr__(self):
         return "(and %s)" % " ".join(map(repr, self.args))
 
 
 class Or(Formula):
-    __slots__ = ("args",)
+    __slots__ = ("args", "_hash")
 
     def __init__(self, args):
         self.args = tuple(args)
+        self._hash = None
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, Or) and self.args == other.args
 
     def __hash__(self):
-        return hash(("or", self.args))
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(("or", self.args))
+        return h
 
     def __repr__(self):
         return "(or %s)" % " ".join(map(repr, self.args))
 
 
 class Not(Formula):
-    __slots__ = ("arg",)
+    __slots__ = ("arg", "_hash")
 
     def __init__(self, arg):
         self.arg = arg
+        self._hash = None
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, Not) and self.arg == other.arg
 
     def __hash__(self):
-        return hash(("not", self.arg))
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(("not", self.arg))
+        return h
 
     def __repr__(self):
         return "(not %r)" % self.arg
+
+
+# -- atom interning ---------------------------------------------------------
+
+_ATOM_INTERN = {}
+_ATOM_INTERN_LIMIT = 1 << 16
+
+
+def _intern_atom(expr):
+    """The canonical :class:`Atom` object for ``expr <= 0``.
+
+    The same comparison built twice (e.g. across refinement rounds)
+    returns the same object, so equality checks and dict lookups on
+    formulas short-circuit on identity.  The table resets when full,
+    which only costs sharing, never correctness.
+    """
+    key = expr._key()
+    atom = _ATOM_INTERN.get(key)
+    if atom is None:
+        if len(_ATOM_INTERN) >= _ATOM_INTERN_LIMIT:
+            _ATOM_INTERN.clear()
+        atom = Atom(expr)
+        _ATOM_INTERN[key] = atom
+    return atom
 
 
 # -- smart constructors ----------------------------------------------------
@@ -191,7 +279,7 @@ def le(a, b):
     diff = LinExpr.coerce(a) - LinExpr.coerce(b)
     if diff.is_constant():
         return TRUE if diff.constant <= 0 else FALSE
-    return Atom(diff)
+    return _intern_atom(diff)
 
 
 def lt(a, b):
@@ -287,7 +375,7 @@ def substitute(formula, mapping):
         expr = formula.expr.substitute(mapping)
         if expr.is_constant():
             return TRUE if expr.constant <= 0 else FALSE
-        return Atom(expr)
+        return _intern_atom(expr)
     if isinstance(formula, Not):
         return neg(substitute(formula.arg, mapping))
     if isinstance(formula, And):

@@ -21,6 +21,28 @@ from math import inf
 from repro.logic.formula import And, Atom, BoolConst, Or
 
 
+class _Overlay(dict):
+    """Branch-local bounds: writes land here, reads fall back to *base*.
+
+    Branch refinement inside a disjunction only ever touches the
+    variables of the branch's atoms, so copying the whole (large) global
+    bounds dict per branch per fixpoint round is wasted work; the overlay
+    makes branch refinement O(branch) instead of O(formula).  Only
+    ``get`` and ``[...]=`` are used on branch-local bounds.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base):
+        dict.__init__(self)
+        self.base = base
+
+    def get(self, key, default=None):
+        if key in self:
+            return dict.get(self, key)
+        return self.base.get(key, default)
+
+
 class IntervalState:
     """Result of propagation: bounds per variable plus a feasibility flag."""
 
@@ -54,8 +76,12 @@ def range_of(expr, bounds):
     return lo, hi
 
 
-def _refine_atom(atom, bounds):
-    """Tighten *bounds* in place with one atom; returns (changed, feasible)."""
+def _refine_atom(atom, bounds, changed_vars=None):
+    """Tighten *bounds* in place with one atom; returns (changed, feasible).
+
+    With *changed_vars*, every variable whose interval actually tightened
+    is added to the set (the propagation driver's worklist).
+    """
     coeffs = atom.expr.coeffs
     k = atom.expr.constant
     lo_e, _ = range_of(atom.expr, bounds)
@@ -80,18 +106,20 @@ def _refine_atom(atom, bounds):
         lo, hi = bounds.get(target, (-inf, inf))
         if c > 0:
             new_hi = budget // c
-            if new_hi < hi:
-                hi = new_hi
-                changed = True
+            if new_hi >= hi:
+                continue
+            hi = new_hi
         else:
             new_lo = _ceil_div(budget, c)
-            if new_lo > lo:
-                lo = new_lo
-                changed = True
-        if lo > hi:
-            bounds[target] = (lo, hi)
-            return True, False
+            if new_lo <= lo:
+                continue
+            lo = new_lo
+        changed = True
         bounds[target] = (lo, hi)
+        if changed_vars is not None:
+            changed_vars.add(target)
+        if lo > hi:
+            return True, False
     return changed, True
 
 
@@ -118,17 +146,38 @@ def propagate_intervals(formula, max_rounds=40):
         conjuncts = [formula]
     atoms = [f for f in conjuncts if isinstance(f, Atom)]
     disjunctions = [f for f in conjuncts if isinstance(f, Or)]
+    # Branch atom lists are stable across fixpoint rounds; scan each
+    # branch once.
+    branch_atom_cache = {}
+    # Worklist support: which variables each conjunct reads.  After the
+    # first full round, a conjunct is only re-refined when one of its
+    # variables tightened in the previous round — re-running it otherwise
+    # would recompute exactly the same intervals.
+    atom_vars = [frozenset(a.expr.coeffs) for a in atoms]
+    disj_vars = []
+    for disjunction in disjunctions:
+        read = set()
+        for branch in disjunction.args:
+            for atom in _branch_atoms(branch):
+                read.update(atom.expr.coeffs)
+        disj_vars.append(read)
 
     bounds = {}
+    prev_changed = None         # None: first round, refine everything
     for _ in range(max_rounds):
-        changed = False
-        for atom in atoms:
-            did, feasible = _refine_atom(atom, bounds)
+        changed_vars = set()
+        for i, atom in enumerate(atoms):
+            if prev_changed is not None \
+                    and prev_changed.isdisjoint(atom_vars[i]):
+                continue
+            _, feasible = _refine_atom(atom, bounds, changed_vars)
             if not feasible:
                 return IntervalState(bounds, False)
-            changed = changed or did
 
-        for disjunction in disjunctions:
+        for j, disjunction in enumerate(disjunctions):
+            if prev_changed is not None \
+                    and prev_changed.isdisjoint(disj_vars[j]):
+                continue
             surviving = []
             opaque = False
             for branch in disjunction.args:
@@ -137,11 +186,14 @@ def propagate_intervals(formula, max_rounds=40):
                         opaque = True
                         break
                     continue
-                branch_atoms = _branch_atoms(branch)
+                branch_atoms = branch_atom_cache.get(id(branch))
+                if branch_atoms is None:
+                    branch_atoms = _branch_atoms(branch)
+                    branch_atom_cache[id(branch)] = branch_atoms
                 if not branch_atoms:
                     opaque = True     # cannot analyze: assume satisfiable
                     break
-                local = dict(bounds)
+                local = _Overlay(bounds)
                 ok = True
                 for _ in range(2):
                     for atom in branch_atoms:
@@ -159,24 +211,25 @@ def propagate_intervals(formula, max_rounds=40):
                 return IntervalState(bounds, False)
             # Hull the branch intervals for every variable any branch
             # touched; a variable untouched by some branch keeps its
-            # global interval there.
+            # global interval there (the overlay's base fallback).
             touched = set()
             for local in surviving:
                 touched.update(local.keys())
             for v in touched:
-                lo = min(local.get(v, bounds.get(v, (-inf, inf)))[0]
+                lo = min(local.get(v, (-inf, inf))[0]
                          for local in surviving)
-                hi = max(local.get(v, bounds.get(v, (-inf, inf)))[1]
+                hi = max(local.get(v, (-inf, inf))[1]
                          for local in surviving)
                 old = bounds.get(v, (-inf, inf))
                 new = (max(old[0], lo), min(old[1], hi))
                 if new != old:
                     bounds[v] = new
-                    changed = True
+                    changed_vars.add(v)
                     if new[0] > new[1]:
                         return IntervalState(bounds, False)
-        if not changed:
+        if not changed_vars:
             break
+        prev_changed = changed_vars
     return IntervalState(bounds, True)
 
 

@@ -21,27 +21,43 @@ from repro.logic.formula import (
 from repro.logic.terms import LinExpr
 
 
-def presolve(formula, max_passes=50):
+def presolve(formula, max_passes=50, allowed=None, ambient=None):
     """Simplify *formula*; returns ``(reduced, steps)``.
 
     ``steps`` is a list of ``(var, LinExpr)`` eliminations in the order
-    they were applied.
+    they were applied.  When *allowed* is given, only variables in it are
+    eligible for elimination — the incremental solver presolves each
+    flattened fragment separately and must keep variables shared with
+    other fragments intact.  *ambient* supplies extra variable bounds that
+    hold in the surrounding conjunction (other fragments' top-level
+    bounds); they sharpen interval folding but are never themselves part
+    of the formula.
     """
     steps = []
     for _ in range(max_passes):
         if isinstance(formula, BoolConst):
             break
-        substitutions = _collect_substitutions(formula)
+        substitutions = _collect_substitutions(formula, allowed)
         if substitutions:
             formula = _apply(formula, substitutions)
             steps.extend(substitutions.items())
             continue
         intervals = _collect_intervals(formula)
+        if ambient:
+            for v, (lo, hi) in ambient.items():
+                own_lo, own_hi = intervals.get(v, (-inf, inf))
+                intervals[v] = (max(lo, own_lo), min(hi, own_hi))
         folded, changed = _fold_by_intervals(formula, intervals)
         if not changed:
             break
         formula = folded
     return formula, steps
+
+
+def collect_bounds(formula):
+    """Public view of the interval harvest: var -> (lo, hi) implied by the
+    top-level single-variable atoms of *formula*."""
+    return _collect_intervals(formula)
 
 
 def reconstruct_model(model, steps):
@@ -68,14 +84,15 @@ def _key(expr):
     return (tuple(sorted(expr.coeffs.items())), expr.constant)
 
 
-def _collect_substitutions(formula):
+def _collect_substitutions(formula, allowed=None):
     """Greedy batch of variable definitions from top-level equalities.
 
     An equality is a pair of top-level atoms ``e <= 0`` and ``-e <= 0``.
-    A variable with a unit coefficient in ``e`` becomes a definition.
-    Definitions are resolved against each other so the returned map is
-    closed (no definition references an eliminated variable), which keeps
-    one-pass substitution correct.
+    A variable with a unit coefficient in ``e`` becomes a definition
+    (restricted to *allowed* when given).  Definitions are resolved
+    against each other so the returned map is closed (no definition
+    references an eliminated variable), which keeps one-pass substitution
+    correct.
     """
     conjuncts = _top_conjuncts(formula)
     atom_keys = set()
@@ -114,7 +131,8 @@ def _collect_substitutions(formula):
         # expr == 0 must hold; find a variable with a unit coefficient.
         chosen = None
         for v, c in sorted(expr.coeffs.items()):
-            if c in (1, -1) and v not in pending and v not in blocked:
+            if c in (1, -1) and v not in pending and v not in blocked \
+                    and (allowed is None or v in allowed):
                 chosen = (v, c)
                 break
         if chosen is None:
@@ -139,11 +157,22 @@ def _apply(formula, substitutions):
             return TRUE if expr.constant <= 0 else FALSE
         return Atom(expr)
     if isinstance(formula, Not):
-        return neg(_apply(formula.arg, substitutions))
+        arg = _apply(formula.arg, substitutions)
+        if arg is formula.arg:
+            return formula
+        return neg(arg)
+    # As in _fold_by_intervals: skip the conj/disj rebuild when no
+    # subformula mentioned a substituted variable.
     if isinstance(formula, And):
-        return conj(*[_apply(a, substitutions) for a in formula.args])
+        args = [_apply(a, substitutions) for a in formula.args]
+        if all(a is b for a, b in zip(args, formula.args)):
+            return formula
+        return conj(*args)
     if isinstance(formula, Or):
-        return disj(*[_apply(a, substitutions) for a in formula.args])
+        args = [_apply(a, substitutions) for a in formula.args]
+        if all(a is b for a, b in zip(args, formula.args)):
+            return formula
+        return disj(*args)
     return formula
 
 
@@ -206,12 +235,23 @@ def _fold_by_intervals(formula, intervals):
                 return FALSE
             return f
         if isinstance(f, Not):
-            out = neg(fold(f.arg, False))
-            return out
+            arg = fold(f.arg, False)
+            if arg is f.arg:
+                return f
+            return neg(arg)
+        # Rebuild And/Or nodes only when a child actually folded —
+        # conj/disj re-normalisation on an unchanged argument list is
+        # pure allocation churn on the fixpoint's quiescent passes.
         if isinstance(f, And):
-            return conj(*[fold(a, top_level) for a in f.args])
+            args = [fold(a, top_level) for a in f.args]
+            if all(a is b for a, b in zip(args, f.args)):
+                return f
+            return conj(*args)
         if isinstance(f, Or):
-            return disj(*[fold(a, False) for a in f.args])
+            args = [fold(a, False) for a in f.args]
+            if all(a is b for a, b in zip(args, f.args)):
+                return f
+            return disj(*args)
         return f
 
     return fold(formula, True), changed[0]

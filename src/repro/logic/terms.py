@@ -12,7 +12,7 @@ from repro.errors import SolverError
 class LinExpr:
     """An immutable linear expression: coefficient map plus constant."""
 
-    __slots__ = ("coeffs", "constant", "_hash")
+    __slots__ = ("coeffs", "constant", "_hash", "_sorted")
 
     def __init__(self, coeffs=None, constant=0):
         if coeffs:
@@ -21,6 +21,7 @@ class LinExpr:
             self.coeffs = {}
         self.constant = constant
         self._hash = None
+        self._sorted = None
 
     # -- construction -----------------------------------------------------
 
@@ -98,10 +99,19 @@ class LinExpr:
 
     # -- identity -----------------------------------------------------------
 
+    def sorted_coeffs(self):
+        """The coefficient map as a sorted tuple, computed once."""
+        items = self._sorted
+        if items is None:
+            items = self._sorted = tuple(sorted(self.coeffs.items()))
+        return items
+
     def _key(self):
-        return (tuple(sorted(self.coeffs.items())), self.constant)
+        return (self.sorted_coeffs(), self.constant)
 
     def __eq__(self, other):
+        if self is other:
+            return True
         return isinstance(other, LinExpr) and self._key() == other._key()
 
     def __hash__(self):

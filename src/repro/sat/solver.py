@@ -136,14 +136,22 @@ class SatSolver:
         return True
 
     def _propagate(self):
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._queue_head < len(self._trail):
-            lit = self._trail[self._queue_head]
+        """Unit propagation; returns a conflicting clause or None.
+
+        The inner loop hand-inlines ``_value`` and ``_enqueue`` — this is
+        the solver's hottest path and the call overhead is measurable.
+        """
+        assign = self._assign
+        watches = self._watches
+        trail = self._trail
+        while self._queue_head < len(trail):
+            lit = trail[self._queue_head]
             self._queue_head += 1
-            watchers = self._watches[lit]
-            self._watches[lit] = []
+            watchers = watches[lit]
+            watches[lit] = []
             i = 0
-            while i < len(watchers):
+            n = len(watchers)
+            while i < n:
                 clause = watchers[i]
                 i += 1
                 lits = clause.lits
@@ -151,27 +159,35 @@ class SatSolver:
                 if lits[0] == -lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                if self._value(first) is True:
-                    self._watches[lit].append(clause)
+                v = assign.get(first if first > 0 else -first)
+                value = v if first > 0 or v is None else not v
+                if value is True:
+                    watches[lit].append(clause)
                     continue
                 # Search for a new literal to watch.
                 found = False
                 for k in range(2, len(lits)):
-                    if self._value(lits[k]) is not False:
+                    lk = lits[k]
+                    v = assign.get(lk if lk > 0 else -lk)
+                    if v is None or (v if lk > 0 else not v):
                         lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[-lits[1]].append(clause)
+                        watches[-lits[1]].append(clause)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
-                self._watches[lit].append(clause)
-                if self._value(first) is False:
+                watches[lit].append(clause)
+                if value is False:
                     # Conflict: restore remaining watchers.
-                    self._watches[lit].extend(watchers[i:])
-                    self._queue_head = len(self._trail)
+                    watches[lit].extend(watchers[i:])
+                    self._queue_head = len(trail)
                     return clause
-                self._enqueue(first, clause)
+                var = first if first > 0 else -first
+                assign[var] = first > 0
+                self._level[var] = len(self._trail_lim)
+                self._reason[var] = clause
+                trail.append(first)
         return None
 
     def _backtrack(self, level):
@@ -295,13 +311,55 @@ class SatSolver:
             return list(self._trail[:limit])
         return list(self._trail)
 
-    def solve(self, deadline=None, conflict_limit=None):
-        """Run the CDCL loop; returns SAT, UNSAT or UNKNOWN (budget)."""
+    def propagate_assumptions(self, assumptions):
+        """Literals implied by unit propagation under *assumptions*.
+
+        Places the assumptions like :meth:`solve` but performs no search,
+        then undoes everything.  Returns the propagated trail (including
+        level-zero facts and the assumptions themselves), or ``None`` when
+        propagation alone refutes the assumptions (check :attr:`_ok` —
+        still ``True`` — to tell assumption-UNSAT from global UNSAT).
+        """
+        if not self._ok:
+            return None
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return None
+        for lit in assumptions:
+            self.ensure_var(abs(lit))
+            value = self._value(lit)
+            if value is False:
+                self._backtrack(0)
+                return None
+            self._trail_lim.append(len(self._trail))
+            if value is None:
+                self._enqueue(lit, None)
+                if self._propagate() is not None:
+                    self._backtrack(0)
+                    return None
+        implied = list(self._trail)
+        self._backtrack(0)
+        return implied
+
+    def solve(self, deadline=None, conflict_limit=None, assumptions=None):
+        """Run the CDCL loop; returns SAT, UNSAT or UNKNOWN (budget).
+
+        *assumptions* is a sequence of literals treated as pseudo-decisions
+        at levels ``1..k`` (MiniSat style): a SAT answer satisfies all of
+        them, an UNSAT answer means the clause set is inconsistent *with
+        the assumptions* — the solver itself stays usable, keeping every
+        learnt clause, which is what makes incremental SMT sessions cheap.
+        Only a conflict at level zero marks the solver permanently unsat.
+        """
         if deadline is None:
             deadline = Deadline.unbounded()
+        assumptions = list(assumptions or ())
         if not self._ok:
             return UNSAT
         self._backtrack(0)
+        for lit in assumptions:
+            self.ensure_var(abs(lit))
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
@@ -349,6 +407,21 @@ class SatSolver:
                     if len(self._learnts) > 2000 + 4 * len(self._clauses):
                         self._reduce_learnts()
                 else:
+                    if len(self._trail_lim) < len(assumptions):
+                        # Place the next assumption as a pseudo-decision.
+                        # Restarts backtrack to level 0, so placement
+                        # simply re-runs; an already-true assumption gets
+                        # an empty level, keeping "assumption i is the
+                        # decision of level i+1" for conflict analysis.
+                        lit = assumptions[len(self._trail_lim)]
+                        value = self._value(lit)
+                        if value is False:
+                            self._backtrack(0)
+                            return UNSAT
+                        self._trail_lim.append(len(self._trail))
+                        if value is None:
+                            self._enqueue(lit, None)
+                        continue
                     lit = self._decide()
                     if lit == 0:
                         return SAT

@@ -1,0 +1,138 @@
+"""Tests for the solver-wide memoization caches (repro.cache)."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro import cache
+from repro.alphabet import DEFAULT_ALPHABET as A
+from repro.automata.nfa import EPS, NFA
+from repro.automata.regex import regex_to_nfa
+from repro.obs import Metrics, scope
+
+
+def w(text):
+    return A.encode_word(text)
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        c = cache.LRUCache("t.basic", 4)
+        assert c.get("k") is cache.MISSING
+        c.put("k", 41)
+        assert c.get("k") == 41
+        assert c.hits == 1 and c.misses == 1
+
+    def test_eviction_is_lru(self):
+        c = cache.LRUCache("t.evict", 2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1         # refresh "a"; "b" becomes oldest
+        c.put("c", 3)
+        assert c.get("b") is cache.MISSING
+        assert c.get("a") == 1 and c.get("c") == 3
+        assert len(c) <= 2
+
+    def test_clear_and_info(self):
+        c = cache.LRUCache("t.info", 4)
+        c.put("a", 1)
+        c.get("a")
+        c.get("zzz")
+        info = c.info()
+        assert info["size"] == 1 and info["hits"] == 1 \
+            and info["misses"] == 1
+        c.clear()
+        assert len(c) == 0
+
+    def test_disabled_context(self):
+        c = cache.LRUCache("t.disabled", 4)
+        c.put("k", 1)
+        with cache.disabled():
+            assert c.get("k") is cache.MISSING
+            assert not cache.enabled()
+        assert cache.enabled()
+        assert c.get("k") == 1
+
+    def test_stats_registry(self):
+        c = cache.LRUCache("t.registry", 4)
+        c.put("x", 1)
+        assert "t.registry" in cache.stats()
+
+    def test_counters_reach_metrics(self):
+        c = cache.LRUCache("t.metrics", 4)
+        metrics = Metrics()
+        with scope(None, metrics):
+            c.get("nope")
+            c.put("k", 1)
+            c.get("k")
+        flat = metrics.flat()
+        assert flat.get("cache.t.metrics.misses") == 1
+        assert flat.get("cache.t.metrics.hits") == 1
+
+
+# -- cached automata operations are language-equivalent ------------------------
+
+
+CODES = tuple(w("ab"))
+
+
+def _language(nfa, max_len=4):
+    accepted = set()
+    for length in range(max_len + 1):
+        for word in itertools.product(CODES, repeat=length):
+            if nfa.accepts(list(word)):
+                accepted.add(word)
+    return accepted
+
+
+@st.composite
+def nfas(draw):
+    num_states = draw(st.integers(1, 4))
+    symbols = list(CODES) + [EPS]
+    n_transitions = draw(st.integers(0, 8))
+    transitions = [
+        (draw(st.integers(0, num_states - 1)),
+         draw(st.sampled_from(symbols)),
+         draw(st.integers(0, num_states - 1)))
+        for _ in range(n_transitions)]
+    finals = draw(st.lists(st.integers(0, num_states - 1), max_size=3))
+    return NFA(num_states, transitions, 0, finals)
+
+
+class TestCachedOperationsEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(nfas())
+    def test_determinize_minimize_trim(self, nfa):
+        with cache.disabled():
+            plain = (_language(nfa.without_epsilon()),
+                     _language(nfa.trim()),
+                     _language(nfa.determinize()),
+                     _language(nfa.minimize()))
+        cached = (_language(nfa.without_epsilon()),
+                  _language(nfa.trim()),
+                  _language(nfa.determinize()),
+                  _language(nfa.minimize()))
+        # And once more, so the second lookup exercises the hit path.
+        cached_again = (_language(nfa.without_epsilon()),
+                        _language(nfa.trim()),
+                        _language(nfa.determinize()),
+                        _language(nfa.minimize()))
+        assert plain == cached == cached_again
+
+    @settings(max_examples=40, deadline=None)
+    @given(nfas(), nfas())
+    def test_intersect(self, left, right):
+        with cache.disabled():
+            plain = _language(left.intersect(right))
+        assert plain == _language(left.intersect(right))
+        assert plain == _language(left.intersect(right))
+        assert plain == _language(left) & _language(right)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(["a*b*", "(ab)*|aab", "a{2,4}", "[ab]+",
+                            "a(ba)*", "b?a+b?"]))
+    def test_regex_compile(self, pattern):
+        with cache.disabled():
+            plain = _language(regex_to_nfa(pattern))
+        assert plain == _language(regex_to_nfa(pattern))
+        assert plain == _language(regex_to_nfa(pattern))

@@ -11,6 +11,7 @@ The class is immutable by convention: every operation returns a new NFA.
 from collections import deque
 
 from repro import cache as _cache
+from repro import faults as _faults
 from repro.errors import ResourceLimit, SolverError
 from repro.obs import current_metrics
 
@@ -183,9 +184,13 @@ class NFA:
         """Subset construction; result is a complete DFA over *alphabet*.
 
         The construction is exponential in the worst case, so it checks
-        *deadline* as it discovers states and raises
-        :class:`~repro.errors.ResourceLimit` when the budget is gone.
+        *deadline* as it discovers states — both the wall clock and,
+        when the deadline is a :class:`~repro.config.Budget`, the
+        automata state-count guard — and raises an attributable
+        :class:`~repro.errors.ResourceLimit` when a budget is gone.
         """
+        if _faults.ARMED:
+            _faults.point("automata.determinize")
         base = self.without_epsilon()
         if alphabet is None:
             alphabet = sorted(base.alphabet(), key=_sym_key)
@@ -200,12 +205,20 @@ class NFA:
         worklist = deque([start])
         transitions = []
         finals = set()
+        state_limit = None if deadline is None \
+            else deadline.automata_state_limit
         steps = 0
         while worklist:
             steps += 1
-            if deadline is not None and not steps & 63 \
-                    and deadline.expired():
-                raise ResourceLimit("determinization hit the deadline")
+            if deadline is not None:
+                # The state guard is exact (an inline compare per state,
+                # the method call only on the way out); the wall-clock
+                # check is amortized over 64 expansions.
+                if state_limit is not None and len(index) > state_limit:
+                    deadline.charge_states(len(index), op="determinization")
+                if not steps & 63 and deadline.expired():
+                    raise ResourceLimit("determinization hit the deadline",
+                                        reason="deadline")
             current = worklist.popleft()
             ci = index[current]
             if current & base.finals:
@@ -234,9 +247,13 @@ class NFA:
         """Product automaton for the language intersection.
 
         Product construction can blow up quadratically, so it checks
-        *deadline* per explored pair and raises
-        :class:`~repro.errors.ResourceLimit` when the budget is gone.
+        *deadline* per explored pair — wall clock plus the
+        :class:`~repro.config.Budget` state-count guard — and raises an
+        attributable :class:`~repro.errors.ResourceLimit` when a budget
+        is gone.
         """
+        if _faults.ARMED:
+            _faults.point("automata.intersect")
         a = self.without_epsilon()
         b = other.without_epsilon()
         key = (a.fingerprint(), b.fingerprint())
@@ -259,12 +276,18 @@ class NFA:
         for s in range(b.num_states):
             for sym, t in b._adj[s]:
                 b_by_sym[s].setdefault(sym, []).append(t)
+        state_limit = None if deadline is None \
+            else deadline.automata_state_limit
         steps = 0
         while worklist:
             steps += 1
-            if deadline is not None and not steps & 63 \
-                    and deadline.expired():
-                raise ResourceLimit("product construction hit the deadline")
+            if deadline is not None:
+                if state_limit is not None and len(index) > state_limit:
+                    deadline.charge_states(len(index), op="product")
+                if not steps & 63 and deadline.expired():
+                    raise ResourceLimit(
+                        "product construction hit the deadline",
+                        reason="deadline")
             p, q = worklist.popleft()
             if p in a.finals and q in b.finals:
                 finals.append(index[(p, q)])
@@ -358,7 +381,8 @@ class NFA:
             steps += 1
             if deadline is not None and not steps & 63 \
                     and deadline.expired():
-                raise ResourceLimit("minimization hit the deadline")
+                raise ResourceLimit("minimization hit the deadline",
+                                    reason="deadline")
             splitter = worklist.pop()
             for a in symbols:
                 x = set()

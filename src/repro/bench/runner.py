@@ -10,9 +10,20 @@ into the constraints (their "validator"); answers are classified as
 * ERROR              — the solver crashed,
 * INCORRECT          — the answer contradicts the certified ground truth
                        or the model fails validation.
+
+With ``jobs > 1`` every (instance, solver) task gets its own worker
+process, and the parent supervises: a worker that hangs past the
+per-instance timeout (plus a grace period for interpreter overhead) is
+hard-killed and the task retried once in a fresh worker — a second hang
+classifies as TIMEOUT with answer ``"hard-killed"``.  A worker that
+*dies* (segfault, OOM kill) is likewise retried once; a second death
+classifies as ERROR carrying the exit code, never as TIMEOUT.  One bad
+instance therefore costs at most ``2 * (timeout + grace)`` wall-clock
+and cannot wedge or skew a whole table run.
 """
 
 import multiprocessing
+from multiprocessing import connection as _mpconn
 import time
 import traceback
 
@@ -93,11 +104,12 @@ class BenchmarkRunner:
     """
 
     def __init__(self, solvers=None, timeout=10.0, collect_stats=False,
-                 jobs=1):
+                 jobs=1, grace=5.0):
         self.solvers = solvers or default_solvers()
         self.timeout = timeout
         self.collect_stats = collect_stats
         self.jobs = max(1, int(jobs))
+        self.grace = float(grace)
 
     def run_instance(self, instance, solver_name):
         solver = self.solvers[solver_name]
@@ -143,20 +155,17 @@ class BenchmarkRunner:
     def run_suite(self, instances, solver_names=None):
         """All outcomes: {solver: [RunOutcome, ...]}.
 
-        With ``jobs > 1`` the (instance, solver) grid runs on a process
-        pool.  ``Pool.map`` returns results in submission order, so the
-        output — including row order within each solver — is identical to
-        the sequential run, whatever the workers' scheduling.
+        With ``jobs > 1`` the (instance, solver) grid runs on supervised
+        worker processes (one per task, ``jobs`` at a time).  Results are
+        collected by task index, so the output — including row order
+        within each solver — is identical to the sequential run, whatever
+        the workers' scheduling.
         """
         solver_names = solver_names or list(self.solvers)
         tasks = [(instance, name)
                  for instance in instances for name in solver_names]
         if self.jobs > 1 and len(tasks) > 1:
-            with multiprocessing.Pool(
-                    min(self.jobs, len(tasks)), _init_worker,
-                    (self.solvers, self.timeout,
-                     self.collect_stats)) as pool:
-                rows = pool.map(_run_task, tasks)
+            rows = self._run_supervised(tasks)
         else:
             rows = [self.run_instance(instance, name)
                     for instance, name in tasks]
@@ -165,16 +174,97 @@ class BenchmarkRunner:
             outcomes[name].append(row)
         return outcomes
 
+    # -- supervised parallel execution ------------------------------------
 
-_WORKER_RUNNER = None
+    def _spawn(self, index, instance, name, retry):
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(child_conn, self.solvers, self.timeout,
+                  self.collect_stats, instance, name),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        return _Attempt(index, instance, name, process, parent_conn,
+                        time.monotonic() + self.timeout + self.grace, retry)
+
+    def _run_supervised(self, tasks):
+        results = [None] * len(tasks)
+        queue = [(index, instance, name, 0)
+                 for index, (instance, name) in enumerate(tasks)]
+        live = {}
+        while queue or live:
+            while queue and len(live) < self.jobs:
+                index, instance, name, retry = queue.pop(0)
+                attempt = self._spawn(index, instance, name, retry)
+                live[attempt.conn] = attempt
+            wait_for = min(a.deadline for a in live.values()) \
+                - time.monotonic()
+            ready = _mpconn.wait(list(live), max(0.0, wait_for))
+            for conn in ready:
+                attempt = live.pop(conn)
+                try:
+                    outcome = conn.recv()
+                except (EOFError, OSError):
+                    outcome = None
+                conn.close()
+                attempt.process.join(self.grace)
+                if outcome is not None:
+                    results[attempt.index] = outcome
+                elif attempt.retry == 0:
+                    # Worker died before reporting (crash, OOM kill):
+                    # one retry in a fresh process.
+                    queue.insert(0, (attempt.index, attempt.instance,
+                                     attempt.name, 1))
+                else:
+                    results[attempt.index] = RunOutcome(
+                        attempt.instance.name, attempt.name, ERROR,
+                        self.timeout,
+                        "worker died with exit code %s"
+                        % attempt.process.exitcode)
+            now = time.monotonic()
+            for conn in [c for c, a in live.items() if a.deadline <= now]:
+                attempt = live.pop(conn)
+                _kill(attempt.process)
+                conn.close()
+                if attempt.retry == 0:
+                    queue.insert(0, (attempt.index, attempt.instance,
+                                     attempt.name, 1))
+                else:
+                    results[attempt.index] = RunOutcome(
+                        attempt.instance.name, attempt.name, TIMEOUT,
+                        self.timeout + self.grace, "hard-killed")
+        return results
 
 
-def _init_worker(solvers, timeout, collect_stats):
-    """Build one sequential runner per worker process."""
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = BenchmarkRunner(solvers, timeout, collect_stats)
+class _Attempt:
+    """One in-flight worker process and its supervision state."""
+
+    __slots__ = ("index", "instance", "name", "process", "conn", "deadline",
+                 "retry")
+
+    def __init__(self, index, instance, name, process, conn, deadline,
+                 retry):
+        self.index = index
+        self.instance = instance
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+        self.retry = retry
 
 
-def _run_task(task):
-    instance, solver_name = task
-    return _WORKER_RUNNER.run_instance(instance, solver_name)
+def _kill(process):
+    """Hard-kill: terminate, then SIGKILL if it ignores that."""
+    process.terminate()
+    process.join(1.0)
+    if process.is_alive():
+        process.kill()
+        process.join()
+
+
+def _worker_main(conn, solvers, timeout, collect_stats, instance, name):
+    """Child entry point: one task, one result on the pipe."""
+    runner = BenchmarkRunner(solvers, timeout, collect_stats)
+    conn.send(runner.run_instance(instance, name))
+    conn.close()

@@ -27,6 +27,7 @@ construction.
 
 from collections import OrderedDict
 
+from repro import faults as _faults
 from repro.obs import current_metrics
 
 MISSING = object()
@@ -90,6 +91,8 @@ class LRUCache:
         """The cached value, or :data:`MISSING`; counts the access."""
         if not _enabled:
             return MISSING
+        if _faults.ARMED:
+            _faults.point("cache.lookup")
         data = self._data
         try:
             value = data[key]
@@ -104,12 +107,18 @@ class LRUCache:
         metrics = current_metrics()
         if metrics.enabled:
             metrics.add("cache.%s.hits" % self.name)
+        if _faults.ARMED:
+            # A corrupted lookup degrades to a miss: dropping the hit is
+            # the only corruption that cannot leak a wrong result.
+            return _faults.corrupt("cache.lookup", value, lambda _: MISSING)
         return value
 
     def put(self, key, value):
         """Store *value*, evicting the least recently used entry if full."""
         if not _enabled:
             return
+        if _faults.ARMED:
+            _faults.point("cache.store")
         data = self._data
         if key in data:
             data.move_to_end(key)

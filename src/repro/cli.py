@@ -5,7 +5,10 @@ Usage::
     python -m repro FILE.smt2 [--timeout S] [--solver pfa|splitting|enum]
                               [--model] [--validate]
                               [--trace] [--trace-json FILE]
-    python -m repro selfcheck [--trace]
+                              [--max-bb-nodes N] [--max-smt-iterations N]
+                              [--max-automata-states N]
+                              [--inject-fault SPEC]
+    python -m repro selfcheck [--trace] [--allow-unknown] [budget flags]
 
 Prints ``sat``/``unsat``/``unknown`` like an SMT solver; ``--model`` adds
 a ``(model ...)`` block with the string/integer assignments.  ``--trace``
@@ -13,13 +16,24 @@ appends the per-phase span tree and metrics table (as ``;``-prefixed
 SMT-LIB comments, so the output stays parseable); ``--trace-json FILE``
 writes the same data as a JSON-lines event log.
 
+Robustness knobs: the ``--max-*`` flags bound individual resource
+dimensions of the unified :class:`~repro.config.Budget` (an exhausted
+budget yields an UNKNOWN whose ``stopped_by`` names the tripped limit),
+and ``--inject-fault SPEC`` (repeatable; also the ``REPRO_INJECT_FAULT``
+environment variable) arms deterministic faults at internal seams to
+exercise the degradation ladder — see :mod:`repro.faults`.
+
 ``selfcheck`` runs a handful of built-in queries through the full
 pipeline and exits non-zero on any wrong status — a smoke test for CI.
+With ``--allow-unknown`` an UNKNOWN answer passes as long as it is
+*attributable* (its stats name the tripped budget), which is how the CI
+chaos job asserts tiny budgets degrade gracefully instead of erroring.
 """
 
 import argparse
 import sys
 
+from repro import faults
 from repro.baselines import EnumerativeSolver, SplittingSolver
 from repro.config import SolverConfig
 from repro.core.solver import TrauSolver
@@ -58,6 +72,39 @@ def _print_trace(tracer, metrics):
         print("; " + line if line else ";")
 
 
+def _add_budget_arguments(parser):
+    parser.add_argument("--max-bb-nodes", type=int, default=None, metavar="N",
+                        help="bound the branch-and-bound search tree; "
+                             "tripping it yields an attributable unknown")
+    parser.add_argument("--max-smt-iterations", type=int, default=None,
+                        metavar="N",
+                        help="bound DPLL(T) iterations per solver call")
+    parser.add_argument("--max-automata-states", type=int, default=None,
+                        metavar="N",
+                        help="bound the state count of automata products "
+                             "and determinizations")
+
+
+def _build_config(args):
+    """A SolverConfig from the CLI's robustness flags."""
+    kwargs = {}
+    if getattr(args, "no_cache", False):
+        kwargs.update(use_caches=False, use_incremental=False)
+    if args.max_bb_nodes is not None:
+        kwargs["bb_node_limit"] = args.max_bb_nodes
+    if args.max_smt_iterations is not None:
+        kwargs["smt_iteration_limit"] = args.max_smt_iterations
+    if args.max_automata_states is not None:
+        kwargs["automata_state_limit"] = args.max_automata_states
+    if getattr(args, "inject_fault", None):
+        try:
+            specs = tuple(faults.parse_spec(s) for s in args.inject_fault)
+        except ValueError as exc:
+            raise SystemExit("repro: bad --inject-fault spec: %s" % exc)
+        kwargs["fault_specs"] = specs
+    return SolverConfig(**kwargs)
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
@@ -84,13 +131,19 @@ def main(argv=None):
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the memoization caches and "
                              "cross-round incremental solving")
+    _add_budget_arguments(parser)
+    parser.add_argument("--inject-fault", action="append", default=[],
+                        metavar="SPEC",
+                        help="arm a deterministic fault at an internal seam "
+                             "(repeatable); SPEC is point[:mode[:k=v,...]], "
+                             "e.g. smt.session.solve:raise:after=1")
     args = parser.parse_args(argv)
 
+    faults.arm_from_env()
     text = sys.stdin.read() if args.file == "-" else open(args.file).read()
     script = load_problem(text)
-    if args.solver == "pfa" and args.no_cache:
-        solver = TrauSolver(config=SolverConfig(use_caches=False,
-                                                use_incremental=False))
+    if args.solver == "pfa":
+        solver = TrauSolver(config=_build_config(args))
     else:
         solver = _SOLVERS[args.solver]()
 
@@ -154,6 +207,8 @@ def _selfcheck_problems():
 
 def selfcheck(argv=None):
     """Solve the built-in queries; non-zero exit on any wrong status."""
+    from repro.errors import BUDGET_REASONS
+
     parser = argparse.ArgumentParser(
         prog="repro selfcheck",
         description="smoke-test the solver pipeline on built-in queries")
@@ -163,10 +218,19 @@ def selfcheck(argv=None):
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the memoization caches and "
                              "cross-round incremental solving")
+    _add_budget_arguments(parser)
+    parser.add_argument("--inject-fault", action="append", default=[],
+                        metavar="SPEC",
+                        help="arm a deterministic fault (repeatable); "
+                             "see `python -m repro --help`")
+    parser.add_argument("--allow-unknown", action="store_true",
+                        help="accept unknown answers whose stats name the "
+                             "tripped budget (attributable unknowns); "
+                             "unattributed unknowns still fail")
     args = parser.parse_args(argv)
 
-    config = SolverConfig(use_caches=False, use_incremental=False) \
-        if args.no_cache else SolverConfig()
+    faults.arm_from_env()
+    config = _build_config(args)
     failures = 0
     for name, problem, expected in _selfcheck_problems():
         tracer = Tracer() if args.trace else None
@@ -174,11 +238,20 @@ def selfcheck(argv=None):
         with scope(tracer, metrics):
             result = TrauSolver(config=config).solve(
                 problem, timeout=args.timeout)
+        stats = result.stats
+        reason = stats.get("budget_tripped") or stats.get("stopped_by")
         ok = result.status == expected
+        note = ""
+        if not ok and result.status == "unknown" and args.allow_unknown:
+            ok = reason in BUDGET_REASONS
+            note = "  [%s]" % (("stopped_by=%s" % reason) if ok
+                               else "unattributed unknown")
+        if stats.get("degraded_to"):
+            note += "  [degraded_to=%s]" % stats["degraded_to"]
         failures += 0 if ok else 1
-        print("%-14s %-7s expected=%-7s %s  (%.3fs)"
+        print("%-14s %-7s expected=%-7s %s  (%.3fs)%s"
               % (name, result.status, expected, "ok" if ok else "FAIL",
-                 result.stats.get("elapsed_s", 0.0)))
+                 stats.get("elapsed_s", 0.0), note))
         if args.trace:
             _print_trace(tracer, metrics)
     print("selfcheck: %s" % ("ok" if failures == 0

@@ -3,14 +3,33 @@
 Every long-running component takes a :class:`Deadline` so a single wall-clock
 budget can be threaded through the SAT core, the simplex, and the automata
 constructions without relying on signals (which do not compose with pytest).
+
+:class:`Budget` extends the deadline into *unified resource governance*
+(modelled on cvc5's resource manager): one object carries the wall clock,
+the branch-and-bound node budget, the DPLL(T) iteration budget, the
+automata state-count guard and the Parikh counter bound, and every
+:class:`~repro.errors.ResourceLimit` it raises names the budget that
+tripped so an UNKNOWN answer is attributable.
 """
 
 import time
 from dataclasses import dataclass
 
+from repro.errors import ResourceLimit
+
 
 class Deadline:
-    """A wall-clock deadline checked cooperatively in inner loops."""
+    """A wall-clock deadline checked cooperatively in inner loops.
+
+    The class-level limit attributes make a plain deadline a degenerate
+    :class:`Budget`: components read ``deadline.bb_node_limit`` etc.
+    without caring which of the two they were handed.
+    """
+
+    bb_node_limit = None
+    smt_iteration_limit = None
+    automata_state_limit = None
+    parikh_counter_bound = None
 
     def __init__(self, seconds=None):
         self._expires_at = None if seconds is None else time.monotonic() + seconds
@@ -39,6 +58,39 @@ class Deadline:
         if self._expires_at is None:
             return None
         return max(0.0, self._expires_at - time.monotonic())
+
+    def charge_states(self, count, op="automata"):
+        """Guard an automata construction against state-count blowup.
+
+        Raises an attributable :class:`~repro.errors.ResourceLimit` once
+        *count* exceeds the state budget (a no-op on plain deadlines,
+        whose limit is ``None``).
+        """
+        limit = self.automata_state_limit
+        if limit is not None and count > limit:
+            raise ResourceLimit(
+                "%s exceeded the automata state budget (%d > %d)"
+                % (op, count, limit), reason="automata-states")
+
+
+class Budget(Deadline):
+    """Unified resource governance for one ``solve`` call.
+
+    Subsumes the wall-clock :class:`Deadline` and the per-component
+    budget knobs that used to travel separately (``bb_node_limit``,
+    ``smt_iteration_limit``, ``parikh_counter_bound``), and adds the
+    automata state-count guard.  Passing ``None`` for a limit makes that
+    dimension unbounded.  Components receive the budget wherever they
+    used to receive a deadline.
+    """
+
+    def __init__(self, seconds=None, bb_nodes=None, smt_iterations=None,
+                 automata_states=None, parikh_bound=None):
+        super().__init__(seconds)
+        self.bb_node_limit = bb_nodes
+        self.smt_iteration_limit = smt_iterations
+        self.automata_state_limit = automata_states
+        self.parikh_counter_bound = parikh_bound
 
 
 @dataclass
@@ -78,6 +130,9 @@ class SolverConfig:
     # Solver-wide memoization caches (automata operations, regex
     # compilation); repro.cache.disabled() wraps the run when False.
     use_caches: bool = True
+    # Run the logic presolve (variable elimination + interval folding)
+    # before SMT solving; the last degradation rung turns it off.
+    use_presolve: bool = True
     # Upper bound imposed on every Parikh counter so branch-and-bound
     # terminates on unbounded polyhedra (see DESIGN.md Section 5).
     parikh_counter_bound: int = 10 ** 9
@@ -85,6 +140,20 @@ class SolverConfig:
     bb_node_limit: int = 200000
     # DPLL(T) iteration budget.
     smt_iteration_limit: int = 100000
+    # State-count guard on determinize/product constructions (the
+    # subset construction is exponential in the worst case).
+    automata_state_limit: int = 200000
+    # Fault-injection specs armed for the duration of each solve call
+    # (e.g. ("cache.lookup:raise:after=2",)); see repro.faults.
+    fault_specs: tuple = ()
+
+    def budget(self, seconds=None):
+        """A fresh :class:`Budget` carrying this config's limits."""
+        return Budget(seconds=seconds,
+                      bb_nodes=self.bb_node_limit,
+                      smt_iterations=self.smt_iteration_limit,
+                      automata_states=self.automata_state_limit,
+                      parikh_bound=self.parikh_counter_bound)
 
     def schedule(self, q0=None):
         """The sequence of refinement steps, largest-first growth per paper."""

@@ -21,6 +21,7 @@ Per constraint kind:
   the two one-transition PFAs' character variables.
 """
 
+from repro import faults as _faults
 from repro.alphabet import EPSILON
 from repro.automata.nfa import EPS
 from repro.core.pfa import PA, count_var, literal_pfa
@@ -50,12 +51,15 @@ class Flattener:
     """Builds ``flatten_R(problem)`` for a fixed domain restriction."""
 
     def __init__(self, problem, restriction, alphabet, names,
-                 counter_bound=None, fragment_cache=None):
+                 counter_bound=None, fragment_cache=None, deadline=None):
         self.problem = problem
         self.restriction = restriction      # var name -> PFA
         self.alphabet = alphabet
         self.names = names
         self.counter_bound = counter_bound
+        # Resource budget threaded into the automata products (the
+        # asynchronous product can blow up quadratically).
+        self.deadline = deadline
         # Cross-round memo: fragment key -> (deps, formula), where *deps*
         # are the PFA objects the fragment was flattened from.  PFAs are
         # compared by identity — the strategy hands the same object back
@@ -97,6 +101,8 @@ class Flattener:
         frags = []
         for name, pfa in self.restriction.items():
             key = ("var", name)
+            if _faults.ARMED:
+                _faults.point("flatten.fragment")
             if cache is not None:
                 hit = cache.get(key)
                 if hit is not None and hit[0] is pfa:
@@ -111,6 +117,8 @@ class Flattener:
         for i, constraint in enumerate(self.problem):
             count += 1
             key = ("constraint", i)
+            if _faults.ARMED:
+                _faults.point("flatten.fragment")
             deps = self._constraint_deps(constraint)
             if cache is not None:
                 hit = cache.get(key)
@@ -241,7 +249,8 @@ class Flattener:
         right = self._side_pfa(constraint.rhs)
         prefix = self.names.fresh("eq.")
         formula = synchronization_formula(left, right, prefix,
-                                          self.counter_bound)
+                                          self.counter_bound,
+                                          deadline=self.deadline)
         # Concatenation introduced fresh epsilon and literal variables whose
         # interpretation constraints are local to this equation.
         extras = [left.psi, right.psi]
@@ -355,7 +364,8 @@ class Flattener:
         throwaway = self._pa_of_nfa(constraint.compact_nfa())
         prefix = self.names.fresh("re.")
         return synchronization_formula(target, throwaway, prefix,
-                                       self.counter_bound)
+                                       self.counter_bound,
+                                       deadline=self.deadline)
 
     def _membership_unrolled(self, pfa, dfa):
         """Membership of a straight (shifted) PFA by DFA unrolling.

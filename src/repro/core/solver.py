@@ -17,13 +17,28 @@ Observability: every phase and every refinement round runs inside a
 default context is the zero-overhead null tracer; pass ``tracer=`` (and
 optionally ``metrics=``) to the constructor, or install a context with
 ``repro.obs.scope``, to collect data.
+
+Resilience (DESIGN.md Section 7): the procedure is best-effort by
+construction — it may answer UNKNOWN, never crash or lie.  ``solve``
+therefore runs a **graceful-degradation ladder**: an internal failure
+(a :class:`SolverError`, a cache inconsistency, a decoded model failing
+concrete validation) does not escape but triggers a retry on the next
+rung — incremental session → one-shot solve → caches disabled → minimal
+pipeline (presolve/overapproximation/analysis off).  The rung taken is
+recorded in ``stats["degraded_to"]`` and as a tracer event per failed
+rung; a validation-failing model is quarantined, never returned.
+Resource exhaustion is *not* degraded (retrying would burn more budget):
+it returns UNKNOWN with ``stats["stopped_by"]`` naming the tripped
+budget from :class:`~repro.errors.ResourceLimit.reason`.
 """
 
 import time
+from dataclasses import replace
 
 from repro import cache as _cache
+from repro import faults as _faults
 from repro.alphabet import DEFAULT_ALPHABET
-from repro.config import DEFAULT_CONFIG, Deadline
+from repro.config import DEFAULT_CONFIG
 from repro.core.flatten import Flattener
 from repro.core.names import NameFactory
 from repro.core.normalize import normalize
@@ -39,6 +54,37 @@ from repro.smt import IncrementalSmtSession, solve_formula
 from repro.strings.ast import StringProblem
 from repro.strings.eval import check_model, failing_constraints
 from repro.strings.ops import ProblemBuilder
+
+DEGRADATION_LADDER = ("incremental", "oneshot", "no-cache", "minimal",
+                      "give-up")
+"""Rung names of the degradation ladder, in the order they are tried.
+``give-up`` is the terminal rung: every configuration failed and the
+answer is an UNKNOWN attributed to ``internal-error``."""
+
+
+def _rung_name(config):
+    """The ladder rung a configuration corresponds to."""
+    if config.use_incremental:
+        return "incremental"
+    if config.use_caches:
+        return "oneshot"
+    if config.use_presolve:
+        return "no-cache"
+    return "minimal"
+
+
+def _corrupt_interp(interp):
+    """Mutator for the ``solver.decode`` corrupt-mode fault point:
+    perturb one decoded value so concrete validation rejects the model
+    and the quarantine path runs."""
+    for name in sorted(interp):
+        value = interp[name]
+        if isinstance(value, str):
+            interp[name] = value + "~"
+        else:
+            interp[name] = value + 1
+        break
+    return interp
 
 
 class SolveResult:
@@ -66,23 +112,28 @@ class TrauSolver:
         self.tracer = tracer        # None -> ambient repro.obs context
         self.metrics = metrics
 
-    def solve(self, problem, timeout=None):
-        """Decide a :class:`StringProblem` (or a builder holding one)."""
+    def solve(self, problem, timeout=None, budget=None):
+        """Decide a :class:`StringProblem` (or a builder holding one).
+
+        *budget* is an optional :class:`~repro.config.Budget`; when
+        omitted one is built from the config's limits and *timeout*.
+        The call never raises for an internal failure: the degradation
+        ladder retries on progressively simpler pipelines and the worst
+        case is an UNKNOWN with ``stats["stopped_by"]`` explaining why.
+        """
         if isinstance(problem, ProblemBuilder):
             problem = problem.problem
         if not isinstance(problem, StringProblem):
             raise SolverError("expected a StringProblem")
-        deadline = Deadline(timeout)
+        if budget is None:
+            budget = self.config.budget(timeout)
         started = time.monotonic()
         with obs_scope(self.tracer, self.metrics) as (tracer, metrics):
-            with tracer.span("solve") as root:
-                if self.config.use_caches:
-                    result = self._solve(problem, deadline, tracer, metrics)
-                else:
-                    with _cache.disabled():
-                        result = self._solve(problem, deadline, tracer,
-                                             metrics)
-                root.set(status=result.status)
+            with _faults.injected(specs=self.config.fault_specs):
+                with tracer.span("solve") as root:
+                    result = self._solve_ladder(problem, budget, tracer,
+                                                metrics)
+                    root.set(status=result.status)
             result.stats["elapsed_s"] = time.monotonic() - started
             if metrics.enabled:
                 metrics.gauge("refinement.rounds",
@@ -90,7 +141,81 @@ class TrauSolver:
                 result.stats.update(metrics.flat())
         return result
 
-    def _solve(self, problem, deadline, tracer, metrics):
+    def _ladder(self):
+        """The (rung name, config) sequence to try, starting from the
+        configured pipeline and shedding one subsystem per rung."""
+        base = self.config
+        candidates = [
+            base,
+            replace(base, use_incremental=False),
+            replace(base, use_incremental=False, use_caches=False),
+            replace(base, use_incremental=False, use_caches=False,
+                    use_presolve=False, use_overapproximation=False,
+                    use_static_analysis=False),
+        ]
+        rungs = []
+        seen = set()
+        for config in candidates:
+            name = _rung_name(config)
+            if name not in seen:
+                seen.add(name)
+                rungs.append((name, config))
+        return rungs
+
+    def _solve_ladder(self, problem, budget, tracer, metrics):
+        """Try each ladder rung until one completes; never raises."""
+        degradations = []
+        last_error = None
+        for attempt, (rung, config) in enumerate(self._ladder()):
+            if attempt and budget.expired():
+                # No budget left to retry on: the failure is reported as
+                # an attributable UNKNOWN rather than a silent stall.
+                break
+            try:
+                if config.use_caches:
+                    result = self._solve(problem, budget, tracer, metrics,
+                                         config)
+                else:
+                    with _cache.disabled():
+                        result = self._solve(problem, budget, tracer,
+                                             metrics, config)
+            except ResourceLimit as exc:
+                # Budget exhaustion is not an internal failure; a retry
+                # would only burn more of the budget that just tripped.
+                stats = {"stopped_by": exc.reason}
+                if degradations:
+                    stats["degraded_to"] = rung
+                    stats["degradations"] = degradations
+                return SolveResult("unknown", stats=stats)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                last_error = exc
+                degradations.append("%s: %s: %s"
+                                    % (rung, type(exc).__name__, exc))
+                tracer.event("degradation", rung_failed=rung,
+                             error=type(exc).__name__)
+                if metrics.enabled:
+                    metrics.add("resilience.degradations")
+                continue
+            if degradations:
+                result.stats["degraded_to"] = rung
+                result.stats["degradations"] = degradations
+                tracer.event("degraded_result", rung=rung)
+            return result
+        stats = {"stopped_by": "internal-error",
+                 "degraded_to": "give-up",
+                 "degradations": degradations}
+        if last_error is not None:
+            stats["error"] = "%s: %s" % (type(last_error).__name__,
+                                         last_error)
+        tracer.event("degradation_exhausted")
+        if metrics.enabled:
+            metrics.add("resilience.gave_up")
+        return SolveResult("unknown", stats=stats)
+
+    def _solve(self, problem, deadline, tracer, metrics, config=None):
+        config = config or self.config
         names = NameFactory()
         stats = {"rounds": 0}
 
@@ -101,10 +226,10 @@ class TrauSolver:
             return SolveResult("unsat", stats=stats)
         expanded = expand_duplicates(normalized.problem, names)
 
-        if self.config.use_overapproximation:
+        if config.use_overapproximation:
             with tracer.span("overapprox") as span:
                 outcome = overapproximate(expanded, self.alphabet, deadline,
-                                          self.config)
+                                          config)
                 span.set(status=outcome.status)
             if outcome.status == "unsat":
                 stats["phase"] = "overapproximation"
@@ -115,23 +240,23 @@ class TrauSolver:
             return SolveResult("unknown", stats=stats)
 
         hints = {}
-        if self.config.use_static_analysis:
+        if config.use_static_analysis:
             with tracer.span("analyze") as span:
                 hints = analyze_lengths(expanded, self.alphabet, deadline,
-                                        self.config)
+                                        config)
                 span.set(hints=len(hints))
-        q0 = loop_length_hint(expanded, self.config.initial_loop_length)
+        q0 = loop_length_hint(expanded, config.initial_loop_length)
 
         # Cross-round incremental state: one SMT session (SAT solver +
         # Tseitin cache) for all rounds, plus the carriers that keep
         # fragments identical between rounds — the PFA objects themselves
         # and their flattened formulas.
-        incremental = self.config.use_incremental
-        session = IncrementalSmtSession(self.config) if incremental else None
+        incremental = config.use_incremental
+        session = IncrementalSmtSession(config) if incremental else None
         pfa_reuse = {} if incremental else None
         frag_cache = {} if incremental else None
 
-        for round_index, step in enumerate(self.config.schedule(q0)):
+        for round_index, step in enumerate(config.schedule(q0)):
             if deadline.checkpoint(tracer):
                 stats["stopped_by"] = "deadline"
                 break
@@ -143,10 +268,14 @@ class TrauSolver:
                     result = self._round(problem, normalized, expanded, step,
                                          names, hints, round_index, deadline,
                                          tracer, metrics, stats,
-                                         session, pfa_reuse, frag_cache)
-                except ResourceLimit:
-                    stats["stopped_by"] = "deadline"
-                    round_span.set(status="deadline")
+                                         session, pfa_reuse, frag_cache,
+                                         config)
+                except ResourceLimit as exc:
+                    # The satellite fix: name the budget that actually
+                    # tripped instead of blaming the deadline for every
+                    # exhaustion.
+                    stats["stopped_by"] = exc.reason
+                    round_span.set(status=exc.reason)
                     return SolveResult("unknown", stats=stats)
                 round_span.set(status="refine" if result is None
                                else result.status)
@@ -160,16 +289,20 @@ class TrauSolver:
 
     def _round(self, problem, normalized, expanded, step, names, hints,
                round_index, deadline, tracer, metrics, stats,
-               session=None, pfa_reuse=None, frag_cache=None):
+               session=None, pfa_reuse=None, frag_cache=None, config=None):
         """One refinement round; None means "too small, refine"."""
+        config = config or self.config
+        counter_bound = deadline.parikh_counter_bound \
+            or config.parikh_counter_bound
         with tracer.span("restrict"):
             restriction, complete = build_restriction(
                 expanded, step, names, self.alphabet, hints, round_index,
                 reuse=pfa_reuse)
         with tracer.span("flatten") as span:
             flattener = Flattener(expanded, restriction, self.alphabet,
-                                  names, self.config.parikh_counter_bound,
-                                  fragment_cache=frag_cache)
+                                  names, counter_bound,
+                                  fragment_cache=frag_cache,
+                                  deadline=deadline)
             if session is not None:
                 fragments = flattener.fragments()
                 formula = None
@@ -183,7 +316,12 @@ class TrauSolver:
             result = session.solve(fragments, deadline=deadline)
         else:
             result = solve_formula(formula, deadline=deadline,
-                                   config=self.config)
+                                   config=config,
+                                   simplify=config.use_presolve)
+        if result.status == "unknown" and "stopped_by" in result.stats:
+            # Remember which budget cut the round short: a later
+            # refinement-exhausted UNKNOWN is then attributable too.
+            stats["budget_tripped"] = result.stats["stopped_by"]
         if result.status == "unsat" and complete:
             # Every variable's restriction provably covers all of its
             # possible values (sound length bounds + straight PFAs),
@@ -200,6 +338,12 @@ class TrauSolver:
                     ok = check_model(problem, interp, self.alphabet)
                     span.set(ok=ok)
                 if not ok:
+                    # Quarantine: the model is never returned.  Raising
+                    # SolverError hands control to the degradation
+                    # ladder, which retries on the next rung.
+                    tracer.event("model_quarantined")
+                    if metrics.enabled:
+                        metrics.add("resilience.quarantined_models")
                     raise SolverError(
                         "decoded model fails validation on %r"
                         % failing_constraints(problem, interp,
@@ -214,6 +358,8 @@ class TrauSolver:
         Variables eliminated by normalization come back from their pins;
         the rest decode from their PFAs (Lemma 5.1).
         """
+        if _faults.ARMED:
+            _faults.point("solver.decode")
         interp = {}
         for v in problem.string_vars():
             if v.name in restriction:
@@ -223,4 +369,7 @@ class TrauSolver:
                 interp[v.name] = normalized.pins.get(v.name, "")
         for name in problem.int_vars():
             interp[name] = model.get(name, 0)
+        if _faults.ARMED:
+            interp = _faults.corrupt("solver.decode", interp,
+                                     _corrupt_interp)
         return interp

@@ -18,6 +18,7 @@ PFAs so the disequality flattens to a single linear atom.
 
 from math import inf
 
+from repro import faults as _faults
 from repro.alphabet import DEFAULT_ALPHABET
 from repro.core.overapprox import length_abstraction
 from repro.core.pfa import numeric_pfa, standard_pfa, straight_pfa
@@ -122,6 +123,8 @@ def build_restriction(problem, step, names, alphabet=DEFAULT_ALPHABET,
     its character variables — and everything flattened from them — stay
     identical and downstream caches (fragment reuse, incremental SMT) hit.
     """
+    if _faults.ARMED:
+        _faults.point("strategy.restrict")
     length_hints = length_hints or {}
     tonum_vars, single_char_vars = classify_variables(problem)
     restriction = {}

@@ -89,12 +89,20 @@ def asynchronous_product(pa_left, pa_right, deadline=None):
             worklist.append(pair)
         return index[pair]
 
+    state_limit = None if deadline is None else deadline.automata_state_limit
     steps = 0
     while worklist:
         steps += 1
-        if deadline is not None and not steps & 63 and deadline.expired():
-            raise ResourceLimit(
-                "asynchronous product hit the deadline")
+        if deadline is not None:
+            # The state guard is exact (an inline compare per state, the
+            # method call only on the way out); the wall-clock check is
+            # amortized over 64 expansions.
+            if state_limit is not None and len(index) > state_limit:
+                deadline.charge_states(len(index), op="asynchronous product")
+            if not steps & 63 and deadline.expired():
+                raise ResourceLimit(
+                    "asynchronous product hit the deadline",
+                    reason="deadline")
         p, q = worklist.popleft()
         src = index[(p, q)]
         for lv, pt in left.out_edges(p):

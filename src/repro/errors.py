@@ -22,8 +22,41 @@ class SolverError(ReproError):
     """Internal invariant violation inside a solver component."""
 
 
+class FaultInjected(SolverError):
+    """An artificial failure raised by an armed :mod:`repro.faults` point.
+
+    A subclass of :class:`SolverError` on purpose: injected faults must
+    travel the exact recovery path a real internal failure would take
+    (the degradation ladder of ``TrauSolver.solve``), so chaos tests
+    exercise production behaviour, not a parallel code path.
+    """
+
+    def __init__(self, message, point=None):
+        super().__init__(message)
+        self.point = point
+
+
 class ResourceLimit(ReproError):
-    """A deadline or node budget was exhausted mid-search."""
+    """A resource budget was exhausted mid-search.
+
+    ``reason`` names *which* budget tripped — one of the
+    :data:`BUDGET_REASONS` kinds — so an UNKNOWN answer is attributable
+    (``stats["stopped_by"]``) instead of being blamed on the deadline
+    unconditionally.
+    """
+
+    def __init__(self, message, reason="deadline"):
+        super().__init__(message)
+        self.reason = reason
+
+
+BUDGET_REASONS = (
+    "deadline",          # wall-clock budget (Budget.seconds)
+    "bb-nodes",          # branch-and-bound node budget per LIA check
+    "smt-iterations",    # DPLL(T) lazy-loop iteration budget
+    "automata-states",   # determinize/product state-count guard
+)
+"""The budget kinds a :class:`ResourceLimit` can attribute itself to."""
 
 
 class UnsupportedConstraint(ReproError):

@@ -28,6 +28,7 @@ integers).
 
 from math import floor, gcd
 
+from repro import faults as _faults
 from repro.config import Deadline
 from repro.errors import ResourceLimit
 from repro.lia.simplex import Simplex
@@ -37,12 +38,13 @@ from repro.obs import current_metrics
 class IntResult:
     """Outcome of an integer feasibility check."""
 
-    __slots__ = ("status", "model", "conflict")
+    __slots__ = ("status", "model", "conflict", "reason")
 
-    def __init__(self, status, model=None, conflict=None):
+    def __init__(self, status, model=None, conflict=None, reason=None):
         self.status = status          # "sat" | "unsat" | "unknown"
         self.model = model            # var -> int, when sat
         self.conflict = conflict      # list of tags, when unsat
+        self.reason = reason          # tripped budget kind, when unknown
 
     def __repr__(self):
         return "IntResult(%s)" % self.status
@@ -151,6 +153,8 @@ class IntegerSolver:
         merges cores across branches, and small cores make far stronger
         theory lemmas for the SMT loop.
         """
+        if _faults.ARMED:
+            _faults.point("lia.check")
         metrics = current_metrics()
         pivots_before = self._simplex.pivots if metrics.enabled else 0
         result = self._check_once(tagged_exprs, node_limit)
@@ -195,8 +199,8 @@ class IntegerSolver:
                 self._nodes = max(0, self._node_limit - node_limit)
             try:
                 return self._search(0)
-            except ResourceLimit:
-                return IntResult("unknown")
+            except ResourceLimit as exc:
+                return IntResult("unknown", reason=exc.reason)
         finally:
             self._simplex.pop()
 
@@ -209,9 +213,10 @@ class IntegerSolver:
     def _search(self, depth):
         self._nodes += 1
         if self._nodes > self._node_limit or depth > 600:
-            raise ResourceLimit("branch-and-bound budget exhausted")
+            raise ResourceLimit("branch-and-bound budget exhausted",
+                                reason="bb-nodes")
         if self._deadline.expired():
-            raise ResourceLimit("deadline expired")
+            raise ResourceLimit("deadline expired", reason="deadline")
         status = self._simplex.check(self._deadline)
         if status == "unsat":
             core = [t for t in self._simplex.conflict if t is not None]
@@ -248,7 +253,8 @@ class IntegerSolver:
             if result.status == "sat":
                 return result
             if result.status == "unknown":
-                raise ResourceLimit("branch-and-bound budget exhausted")
+                raise ResourceLimit("branch-and-bound budget exhausted",
+                                    reason=result.reason or "bb-nodes")
             cores.append(result.conflict)
         merged = []
         seen = set()

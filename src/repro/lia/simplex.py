@@ -13,6 +13,7 @@ in the conflict, which becomes a theory lemma.
 
 from fractions import Fraction
 
+from repro import faults as _faults
 from repro.errors import ResourceLimit, SolverError
 
 SimplexResult = str    # "sat" | "unsat"
@@ -166,6 +167,8 @@ class Simplex:
         self._pivot(basic, nonbasic)
 
     def _pivot(self, basic, nonbasic):
+        if _faults.ARMED:
+            _faults.point("lia.pivot")
         self.pivots += 1
         row = self._rows.pop(basic)
         a = row.pop(nonbasic)
@@ -204,7 +207,8 @@ class Simplex:
         while True:
             steps += 1
             if deadline is not None and steps % 256 == 0 and deadline.expired():
-                raise ResourceLimit("simplex deadline expired")
+                raise ResourceLimit("simplex deadline expired",
+                                    reason="deadline")
             violated = None
             below = False
             for basic in sorted(self._rows, key=self._order.get):

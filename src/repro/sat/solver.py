@@ -11,6 +11,7 @@ variable ``v`` true, ``-v`` asserts it false.
 
 from heapq import heapify, heappop, heappush
 
+from repro import faults as _faults
 from repro.config import Deadline
 from repro.obs import current_metrics
 
@@ -352,6 +353,8 @@ class SatSolver:
         learnt clause, which is what makes incremental SMT sessions cheap.
         Only a conflict at level zero marks the solver permanently unsat.
         """
+        if _faults.ARMED:
+            _faults.point("sat.solve")
         if deadline is None:
             deadline = Deadline.unbounded()
         assumptions = list(assumptions or ())

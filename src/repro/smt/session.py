@@ -36,6 +36,7 @@ valid regardless of which fragments are active — so later rounds inherit
 them too.
 """
 
+from repro import faults as _faults
 from repro.config import Deadline, DEFAULT_CONFIG
 from repro.errors import SolverError
 from repro.lia.branch_bound import IntegerSolver
@@ -46,7 +47,7 @@ from math import inf
 from repro.logic.presolve import collect_bounds, presolve, reconstruct_model
 from repro.obs import current_metrics, current_tracer
 from repro.sat import SatSolver, SAT, UNSAT
-from repro.smt.solver import SmtResult
+from repro.smt.solver import SmtResult, corrupt_result
 
 
 class _Fragment:
@@ -176,9 +177,14 @@ class IncrementalSmtSession:
         :class:`~repro.smt.solver.SmtResult` exactly like
         ``solve_formula`` would for the conjunction.
         """
+        if _faults.ARMED:
+            _faults.point("smt.session.solve")
         tracer = current_tracer()
         with tracer.span("smt.solve", incremental=True) as span:
             result = self._solve(fragments, deadline)
+            if _faults.ARMED:
+                result = _faults.corrupt("smt.session.solve", result,
+                                         corrupt_result)
             span.set(status=result.status, **result.stats)
             metrics = current_metrics()
             if metrics.enabled:
@@ -190,10 +196,20 @@ class IncrementalSmtSession:
     def _solve(self, fragments, deadline):
         deadline = deadline or Deadline.unbounded()
         config = self.config
+        # Budget limits govern when present; config knobs are the default.
+        iteration_limit = deadline.smt_iteration_limit \
+            or config.smt_iteration_limit
+        node_limit = deadline.bb_node_limit or config.bb_node_limit
         metrics = current_metrics()
         self.rounds += 1
 
-        fragments, steps, all_vars = self._presolve_fragments(fragments)
+        if config.use_presolve:
+            fragments, steps, all_vars = self._presolve_fragments(fragments)
+        else:
+            steps = []
+            all_vars = set()
+            for _key, formula in fragments:
+                all_vars.update(variables_of(formula))
 
         active = []
         reused_clauses = 0
@@ -240,8 +256,7 @@ class IncrementalSmtSession:
             return SmtResult("unsat",
                              stats={"reused_clauses": reused_clauses})
 
-        lia = IntegerSolver(node_limit=config.bb_node_limit,
-                            deadline=deadline)
+        lia = IntegerSolver(node_limit=node_limit, deadline=deadline)
         registry = self.registry
         fixed_vars = set()
         for lit in implied:
@@ -264,7 +279,11 @@ class IncrementalSmtSession:
         while True:
             iterations += 1
             stats["iterations"] = iterations
-            if iterations > config.smt_iteration_limit or deadline.expired():
+            if deadline.expired():
+                stats["stopped_by"] = "deadline"
+                return SmtResult("unknown", stats=stats)
+            if iterations > iteration_limit:
+                stats["stopped_by"] = "smt-iterations"
                 return SmtResult("unknown", stats=stats)
             outcome = self.sat.solve(deadline=deadline,
                                      assumptions=assumptions)
@@ -273,6 +292,7 @@ class IncrementalSmtSession:
                     self._globally_unsat = True
                 return SmtResult("unsat", stats=stats)
             if outcome != SAT:
+                stats["stopped_by"] = "deadline"
                 return SmtResult("unknown", stats=stats)
             bool_model = self.sat.model()
 
@@ -292,6 +312,7 @@ class IncrementalSmtSession:
                     model.setdefault(name, 0)
                 return SmtResult("sat", model=model, stats=stats)
             if result.status == "unknown":
+                stats["stopped_by"] = result.reason or "bb-nodes"
                 return SmtResult("unknown", stats=stats)
             core = result.conflict
             if not core:

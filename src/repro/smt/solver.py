@@ -20,6 +20,7 @@ every propositional model is either accepted or excluded by a clause that
 only rules out theory-inconsistent assignments.
 """
 
+from repro import faults as _faults
 from repro.config import Deadline, DEFAULT_CONFIG
 from repro.errors import SolverError
 from repro.lia.branch_bound import IntegerSolver
@@ -44,11 +45,27 @@ class SmtResult:
         return "SmtResult(%s)" % self.status
 
 
+def corrupt_result(result):
+    """The mutator the ``smt.solve``/``smt.session.solve`` corrupt-mode
+    fault points apply: perturb *every* model value of a SAT answer (a
+    single-variable lie could land on an auxiliary the decoder ignores),
+    so the decoded strings fail concrete validation and exercise the
+    model quarantine of the degradation ladder."""
+    if result.status == "sat" and result.model:
+        for name, value in list(result.model.items()):
+            result.model[name] = (value + 1) if isinstance(value, int) else 0
+    return result
+
+
 def solve_formula(formula, deadline=None, config=None, simplify=True):
     """Decide satisfiability of a linear-atom formula over the integers."""
+    if _faults.ARMED:
+        _faults.point("smt.solve")
     tracer = current_tracer()
     with tracer.span("smt.solve") as span:
         result = _solve_formula(formula, deadline, config, simplify, tracer)
+        if _faults.ARMED:
+            result = _faults.corrupt("smt.solve", result, corrupt_result)
         span.set(status=result.status, **result.stats)
         metrics = current_metrics()
         if metrics.enabled:
@@ -60,6 +77,11 @@ def solve_formula(formula, deadline=None, config=None, simplify=True):
 def _solve_formula(formula, deadline, config, simplify, tracer):
     deadline = deadline or Deadline.unbounded()
     config = config or DEFAULT_CONFIG
+    # A Budget carries the limits itself; a plain deadline defers to the
+    # config knobs (Budget limits win so one object governs the solve).
+    iteration_limit = deadline.smt_iteration_limit \
+        or config.smt_iteration_limit
+    node_limit = deadline.bb_node_limit or config.bb_node_limit
 
     all_vars = variables_of(formula)
     steps = []
@@ -90,7 +112,7 @@ def _solve_formula(formula, deadline, config, simplify, tracer):
     if not sat.simplify():
         return SmtResult("unsat")
 
-    lia = IntegerSolver(node_limit=config.bb_node_limit, deadline=deadline)
+    lia = IntegerSolver(node_limit=node_limit, deadline=deadline)
 
     # Atoms fixed by root-level propagation are permanent facts.
     fixed_vars = set()
@@ -109,13 +131,19 @@ def _solve_formula(formula, deadline, config, simplify, tracer):
 
     while True:
         iterations += 1
-        if iterations > config.smt_iteration_limit or deadline.expired():
-            return SmtResult("unknown", stats={"iterations": iterations})
+        if deadline.expired():
+            return SmtResult("unknown", stats={"iterations": iterations,
+                                               "stopped_by": "deadline"})
+        if iterations > iteration_limit:
+            return SmtResult("unknown",
+                             stats={"iterations": iterations,
+                                    "stopped_by": "smt-iterations"})
         outcome = sat.solve(deadline=deadline)
         if outcome == UNSAT:
             return SmtResult("unsat", stats={"iterations": iterations})
         if outcome != SAT:
-            return SmtResult("unknown", stats={"iterations": iterations})
+            return SmtResult("unknown", stats={"iterations": iterations,
+                                               "stopped_by": "deadline"})
         bool_model = sat.model()
 
         assertions = []
@@ -135,7 +163,10 @@ def _solve_formula(formula, deadline, config, simplify, tracer):
             return SmtResult("sat", model=model,
                              stats={"iterations": iterations})
         if result.status == "unknown":
-            return SmtResult("unknown", stats={"iterations": iterations})
+            return SmtResult("unknown",
+                             stats={"iterations": iterations,
+                                    "stopped_by": result.reason
+                                    or "bb-nodes"})
         core = result.conflict
         if not core:
             raise SolverError("theory conflict with empty core")

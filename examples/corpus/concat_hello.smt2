@@ -1,0 +1,8 @@
+; split "hello" with a lowercase prefix
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun a () String)
+(declare-fun b () String)
+(assert (= (str.++ a b) "hello"))
+(assert (str.in_re a (re.+ (re.range "a" "z"))))
+(check-sat)

@@ -1,0 +1,9 @@
+; two single digits summing to 10
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun a () String)
+(declare-fun b () String)
+(assert (str.in_re a ((_ re.loop 1 1) (re.range "0" "9"))))
+(assert (str.in_re b ((_ re.loop 1 1) (re.range "0" "9"))))
+(assert (= (+ (str.to_int a) (str.to_int b)) 10))
+(check-sat)

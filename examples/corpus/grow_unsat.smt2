@@ -1,0 +1,6 @@
+; x = x ++ "a" has no finite solution
+(set-logic QF_SLIA)
+(set-info :status unsat)
+(declare-fun x () String)
+(assert (= x (str.++ x "a")))
+(check-sat)

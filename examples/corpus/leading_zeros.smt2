@@ -1,0 +1,7 @@
+; conversion ignores leading zeros
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun x () String)
+(assert (str.in_re x (re.++ ((_ re.loop 2 2) (str.to_re "0")) ((_ re.loop 1 2) (re.range "0" "9")))))
+(assert (= (str.to_int x) 10))
+(check-sat)

@@ -1,0 +1,7 @@
+; "0" ++ u = u ++ "0" makes u periodic in "0"
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun u () String)
+(assert (= (str.++ "0" u) (str.++ u "0")))
+(assert (= (str.len u) 3))
+(check-sat)

@@ -1,0 +1,7 @@
+; membership forces length 2, arithmetic demands >= 3
+(set-logic QF_SLIA)
+(set-info :status unsat)
+(declare-fun y () String)
+(assert (str.in_re y ((_ re.loop 2 2) (re.range "0" "9"))))
+(assert (>= (str.len y) 3))
+(check-sat)

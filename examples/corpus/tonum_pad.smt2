@@ -1,0 +1,9 @@
+; str.to_int with leading-zero padding: x must be "0042"
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun x () String)
+(declare-fun n () Int)
+(assert (= n (str.to_int x)))
+(assert (= n 42))
+(assert (= (str.len x) 4))
+(check-sat)

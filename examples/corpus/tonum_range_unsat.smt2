@@ -1,0 +1,7 @@
+; two digits cannot convert to 100
+(set-logic QF_SLIA)
+(set-info :status unsat)
+(declare-fun x () String)
+(assert (str.in_re x ((_ re.loop 2 2) (re.range "0" "9"))))
+(assert (= (str.to_int x) 100))
+(check-sat)

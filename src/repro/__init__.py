@@ -14,6 +14,10 @@ Public API
   ``scope(Tracer(), Metrics())`` to get per-phase spans and counters.
 * :mod:`repro.smtlib` — SMT-LIB 2.x import/export.
 * :mod:`repro.bench` — the table-regeneration harness.
+* :mod:`repro.serve` — supervised serving: ``SolverService`` runs many
+  concurrent solves on a worker pool with hard deadlines, retries,
+  quarantine, and a cross-checked portfolio mode (CLI:
+  ``python -m repro serve-batch``).
 
 Quickstart::
 

@@ -432,8 +432,17 @@ class NFA:
             current = self._eps_closure(nxt)
         return bool(current & self.finals)
 
-    def enumerate_words(self, max_length):
-        """All accepted words of length <= max_length (tests only)."""
+    def enumerate_words(self, max_length, max_words=None):
+        """All accepted words of length <= max_length.
+
+        With *max_words* the breadth-first frontier is bounded: as soon
+        as more than that many distinct words (or four times as many
+        search paths) are in play the enumeration aborts and returns
+        ``None`` — a two-state NFA over a wide symbol class accepts
+        exponentially many words, and callers that only want "the
+        language, if it is small" (the SMT-LIB printer) must not pay
+        exponential time to discover that it is not.
+        """
         base = self.without_epsilon()
         results = []
         frontier = [(base.initial, ())]
@@ -444,6 +453,10 @@ class NFA:
                     results.append(word)
                 for sym, t in base._adj[state]:
                     next_frontier.append((t, word + (sym,)))
+            if max_words is not None and (len(results) > max_words
+                                          or len(next_frontier)
+                                          > 4 * max_words):
+                return None
             frontier = next_frontier
         # States can repeat, so deduplicate words.
         return sorted(set(results), key=lambda w: (len(w), w))

@@ -33,7 +33,7 @@ from repro.symbex import cvc4, pythonlib
 from repro.symbex.luhn import luhn_problem
 
 BREAKDOWN_KEYS = ("elapsed_s", "phase.overapprox_s", "phase.round_s",
-                  "rounds", "smt.iterations", "sat.conflicts")
+                  "rounds", "smt.iterations", "sat.conflicts", "retries")
 
 
 def overapprox_ablation(count=12, timeout=10.0, seed=0, jobs=1):

@@ -11,25 +11,28 @@ into the constraints (their "validator"); answers are classified as
 * INCORRECT          — the answer contradicts the certified ground truth
                        or the model fails validation.
 
-With ``jobs > 1`` every (instance, solver) task gets its own worker
-process, and the parent supervises: a worker that hangs past the
-per-instance timeout (plus a grace period for interpreter overhead) is
-hard-killed and the task retried once in a fresh worker — a second hang
-classifies as TIMEOUT with answer ``"hard-killed"``.  A worker that
-*dies* (segfault, OOM kill) is likewise retried once; a second death
-classifies as ERROR carrying the exit code, never as TIMEOUT.  One bad
-instance therefore costs at most ``2 * (timeout + grace)`` wall-clock
-and cannot wedge or skew a whole table run.
+With ``jobs > 1`` the (instance, solver) grid runs on the shared
+supervised :class:`~repro.serve.pool.WorkerPool` (the same engine under
+``repro.serve``): a worker that hangs past the per-instance timeout
+(plus a grace period) is hard-killed and the task retried once in a
+fresh worker — a second hang classifies as TIMEOUT with answer
+``"hard-killed"``.  A worker that *dies* (segfault, OOM kill) is
+likewise retried once; a second death classifies as ERROR carrying the
+exit code, never as TIMEOUT.  One bad instance therefore costs at most
+``2 * (timeout + grace)`` wall-clock and cannot wedge or skew a whole
+table run.  Every outcome records how it got there: ``retries`` counts
+the requeues and ``worker_exits`` the exit codes of the failed
+attempts, so a retried-then-ok task is distinguishable from a clean run
+in ``--results-json`` output and the ablation stats.
 """
 
-import multiprocessing
-from multiprocessing import connection as _mpconn
 import time
 import traceback
 
 from repro.baselines import EnumerativeSolver, SplittingSolver
 from repro.core.solver import TrauSolver
 from repro.obs import Metrics, Tracer, phase_seconds, scope
+from repro.serve.pool import PoolEvent, WorkerPool
 from repro.strings.eval import check_model
 
 SAT, UNSAT, UNKNOWN, TIMEOUT, ERROR, INCORRECT = (
@@ -60,30 +63,38 @@ class RunOutcome:
 
     ``stats`` carries the per-query telemetry (phase-duration breakdown,
     refinement rounds, SAT/simplex counters) when the runner collects
-    metrics; empty otherwise.
+    metrics; empty otherwise.  ``retries`` counts supervised requeues
+    (hang or crash) that preceded this outcome and ``worker_exits`` the
+    exit codes of those failed attempts (``"hard-killed"`` for hangs).
     """
 
     __slots__ = ("instance", "solver", "classification", "seconds", "answer",
-                 "stats")
+                 "stats", "retries", "worker_exits")
 
     def __init__(self, instance, solver, classification, seconds, answer,
-                 stats=None):
+                 stats=None, retries=0, worker_exits=()):
         self.instance = instance
         self.solver = solver
         self.classification = classification
         self.seconds = seconds
         self.answer = answer
         self.stats = stats or {}
+        self.retries = retries
+        self.worker_exits = list(worker_exits)
 
     def as_dict(self):
-        """JSON-able row: identity, timing, and the telemetry stats."""
+        """JSON-able row: identity, timing, supervision history, and the
+        telemetry stats."""
         row = {
             "instance": self.instance,
             "solver": self.solver,
             "classification": self.classification,
             "seconds": self.seconds,
             "answer": self.answer,
+            "retries": self.retries,
         }
+        if self.worker_exits:
+            row["worker_exits"] = list(self.worker_exits)
         if self.stats:
             row["stats"] = dict(self.stats)
         return row
@@ -156,10 +167,9 @@ class BenchmarkRunner:
         """All outcomes: {solver: [RunOutcome, ...]}.
 
         With ``jobs > 1`` the (instance, solver) grid runs on supervised
-        worker processes (one per task, ``jobs`` at a time).  Results are
-        collected by task index, so the output — including row order
-        within each solver — is identical to the sequential run, whatever
-        the workers' scheduling.
+        worker processes.  Results are collected by task index, so the
+        output — including row order within each solver — is identical
+        to the sequential run, whatever the workers' scheduling.
         """
         solver_names = solver_names or list(self.solvers)
         tasks = [(instance, name)
@@ -176,95 +186,73 @@ class BenchmarkRunner:
 
     # -- supervised parallel execution ------------------------------------
 
-    def _spawn(self, index, instance, name, retry):
-        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
-        process = multiprocessing.Process(
-            target=_worker_main,
-            args=(child_conn, self.solvers, self.timeout,
-                  self.collect_stats, instance, name),
-            daemon=True)
-        process.start()
-        child_conn.close()
-        return _Attempt(index, instance, name, process, parent_conn,
-                        time.monotonic() + self.timeout + self.grace, retry)
+    def _annotate(self, outcome, retry, exits):
+        """Stamp the supervision history on a finished row (and into its
+        stats so the ablation breakdown can average it)."""
+        outcome.retries = retry
+        outcome.worker_exits = list(exits)
+        if self.collect_stats and outcome.stats is not None:
+            outcome.stats["retries"] = retry
+        return outcome
 
     def _run_supervised(self, tasks):
+        """Drive the task grid over the shared supervised worker pool:
+        one retry for a hang or a crash, then classify."""
         results = [None] * len(tasks)
-        queue = [(index, instance, name, 0)
-                 for index, (instance, name) in enumerate(tasks)]
-        live = {}
-        while queue or live:
-            while queue and len(live) < self.jobs:
-                index, instance, name, retry = queue.pop(0)
-                attempt = self._spawn(index, instance, name, retry)
-                live[attempt.conn] = attempt
-            wait_for = min(a.deadline for a in live.values()) \
-                - time.monotonic()
-            ready = _mpconn.wait(list(live), max(0.0, wait_for))
-            for conn in ready:
-                attempt = live.pop(conn)
-                try:
-                    outcome = conn.recv()
-                except (EOFError, OSError):
-                    outcome = None
-                conn.close()
-                attempt.process.join(self.grace)
-                if outcome is not None:
-                    results[attempt.index] = outcome
-                elif attempt.retry == 0:
-                    # Worker died before reporting (crash, OOM kill):
-                    # one retry in a fresh process.
-                    queue.insert(0, (attempt.index, attempt.instance,
-                                     attempt.name, 1))
-                else:
-                    results[attempt.index] = RunOutcome(
-                        attempt.instance.name, attempt.name, ERROR,
-                        self.timeout,
-                        "worker died with exit code %s"
-                        % attempt.process.exitcode)
-            now = time.monotonic()
-            for conn in [c for c, a in live.items() if a.deadline <= now]:
-                attempt = live.pop(conn)
-                _kill(attempt.process)
-                conn.close()
-                if attempt.retry == 0:
-                    queue.insert(0, (attempt.index, attempt.instance,
-                                     attempt.name, 1))
-                else:
-                    results[attempt.index] = RunOutcome(
-                        attempt.instance.name, attempt.name, TIMEOUT,
-                        self.timeout + self.grace, "hard-killed")
+        pool = WorkerPool(
+            _bench_worker_init,
+            init_args=(self.solvers, self.timeout, self.collect_stats),
+            jobs=self.jobs, grace=self.grace)
+        state = {}      # ticket -> [task index, retry count, exit codes]
+        try:
+            for index, (instance, name) in enumerate(tasks):
+                ticket = pool.submit((instance, name),
+                                     timeout=self.timeout + self.grace)
+                state[ticket] = [index, 0, []]
+            remaining = len(tasks)
+            while remaining:
+                for event in pool.poll(1.0):
+                    index, retry, exits = state.pop(event.ticket)
+                    instance, name = tasks[index]
+                    if event.kind == PoolEvent.RESULT:
+                        results[index] = self._annotate(event.value,
+                                                        retry, exits)
+                        remaining -= 1
+                        continue
+                    failure = ("hard-killed"
+                               if event.kind == PoolEvent.KILLED
+                               else event.exitcode)
+                    exits.append(failure)
+                    if retry == 0:
+                        # One retry in a fresh worker, at the head of the
+                        # queue so a poison task cannot starve the rest.
+                        ticket = pool.submit(
+                            (instance, name),
+                            timeout=self.timeout + self.grace, front=True)
+                        state[ticket] = [index, 1, exits]
+                        continue
+                    if event.kind == PoolEvent.KILLED:
+                        results[index] = RunOutcome(
+                            instance.name, name, TIMEOUT,
+                            self.timeout + self.grace, "hard-killed",
+                            retries=retry, worker_exits=exits)
+                    else:
+                        results[index] = RunOutcome(
+                            instance.name, name, ERROR, self.timeout,
+                            "worker died with exit code %s" % event.exitcode,
+                            retries=retry, worker_exits=exits)
+                    remaining -= 1
+        finally:
+            pool.shutdown()
         return results
 
 
-class _Attempt:
-    """One in-flight worker process and its supervision state."""
-
-    __slots__ = ("index", "instance", "name", "process", "conn", "deadline",
-                 "retry")
-
-    def __init__(self, index, instance, name, process, conn, deadline,
-                 retry):
-        self.index = index
-        self.instance = instance
-        self.name = name
-        self.process = process
-        self.conn = conn
-        self.deadline = deadline
-        self.retry = retry
-
-
-def _kill(process):
-    """Hard-kill: terminate, then SIGKILL if it ignores that."""
-    process.terminate()
-    process.join(1.0)
-    if process.is_alive():
-        process.kill()
-        process.join()
-
-
-def _worker_main(conn, solvers, timeout, collect_stats, instance, name):
-    """Child entry point: one task, one result on the pipe."""
+def _bench_worker_init(solvers, timeout, collect_stats):
+    """Pool initializer: one sequential runner per worker process."""
     runner = BenchmarkRunner(solvers, timeout, collect_stats)
-    conn.send(runner.run_instance(instance, name))
-    conn.close()
+
+    def handler(payload):
+        instance, name = payload
+        return runner.run_instance(instance, name)
+
+    return handler

@@ -9,6 +9,8 @@ Usage::
                               [--max-automata-states N]
                               [--inject-fault SPEC]
     python -m repro selfcheck [--trace] [--allow-unknown] [budget flags]
+    python -m repro serve-batch PATH... [--pool-jobs N] [--portfolio]
+                                [--timeout S] [--results-json FILE]
 
 Prints ``sat``/``unsat``/``unknown`` like an SMT solver; ``--model`` adds
 a ``(model ...)`` block with the string/integer assignments.  ``--trace``
@@ -28,9 +30,23 @@ pipeline and exits non-zero on any wrong status — a smoke test for CI.
 With ``--allow-unknown`` an UNKNOWN answer passes as long as it is
 *attributable* (its stats name the tripped budget), which is how the CI
 chaos job asserts tiny budgets degrade gracefully instead of erroring.
+
+``serve-batch`` solves a directory (or list) of SMT-LIB files through
+the supervised :class:`~repro.serve.service.SolverService`: a pool of
+``--pool-jobs`` isolated worker processes with hard deadlines,
+worker-death retries, poison-pill quarantine, and — with
+``--portfolio`` — a cross-checked race between the incremental and
+one-shot pipelines.  Every file gets exactly one answer; SIGTERM drains
+gracefully (in-flight work finishes or is killed at its deadline,
+queued files answer ``unknown(shutdown)``) and still exits zero.
+``--request-fault 'NAME[@LABEL]=SPEC'`` arms a serve-layer fault for
+one request (optionally one portfolio arm) — the chaos-soak instrument.
 """
 
 import argparse
+import glob
+import os
+import signal
 import sys
 
 from repro import faults
@@ -110,6 +126,8 @@ def main(argv=None):
         argv = sys.argv[1:]
     if argv and argv[0] == "selfcheck":
         return selfcheck(argv[1:])
+    if argv and argv[0] == "serve-batch":
+        return serve_batch(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +191,201 @@ def main(argv=None):
         print("; WARNING: expected status was %s" % script.expected)
         return 1
     return 0
+
+
+# -- serve-batch -------------------------------------------------------------
+
+
+def _collect_smt_files(paths):
+    """Expand directories into their sorted ``*.smt2`` contents."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(glob.glob(os.path.join(path, "*.smt2"))))
+        else:
+            files.append(path)
+    return files
+
+
+def _parse_request_faults(values):
+    """``NAME[@LABEL]=SPEC`` options -> {name: {label-or-"": [spec,...]}}."""
+    table = {}
+    for value in values:
+        target, sep, spec = value.partition("=")
+        if not sep or not spec.strip():
+            raise SystemExit("repro: bad --request-fault %r "
+                             "(want NAME[@LABEL]=SPEC)" % value)
+        name, _, label = target.partition("@")
+        table.setdefault(name.strip(), {}).setdefault(
+            label.strip(), []).append(spec.strip())
+    return table
+
+
+def serve_batch(argv=None):
+    """Solve a corpus of SMT-LIB files through the supervised service."""
+    from repro.serve import PortfolioEntry, ServeResult, SolverService
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve-batch",
+        description="solve SMT-LIB files through the supervised "
+                    "SolverService (worker pool, backpressure, "
+                    "quarantine, optional portfolio)")
+    parser.add_argument("paths", nargs="+", metavar="PATH",
+                        help="SMT-LIB files and/or directories of *.smt2")
+    parser.add_argument("--pool-jobs", type=int, default=2, metavar="N",
+                        help="worker processes in the pool (default 2)")
+    parser.add_argument("--portfolio", action="store_true",
+                        help="race the incremental and one-shot pipelines "
+                             "per request and cross-check the verdicts")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request solver budget in seconds")
+    parser.add_argument("--grace", type=float, default=2.0,
+                        help="seconds past the budget before a worker is "
+                             "hard-killed")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="max open requests before backpressure")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries after a worker death (with backoff)")
+    parser.add_argument("--quarantine-threshold", type=int, default=3,
+                        metavar="K",
+                        help="kills/hangs before an instance is quarantined")
+    parser.add_argument("--results-json", metavar="FILE",
+                        help="write one JSON row per request ('-' stdout)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print serve spans and metrics after the run")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable caches/incremental in the workers")
+    _add_budget_arguments(parser)
+    parser.add_argument("--inject-fault", action="append", default=[],
+                        metavar="SPEC",
+                        help="arm a solver-level fault in every request")
+    parser.add_argument("--request-fault", action="append", default=[],
+                        metavar="NAME[@LABEL]=SPEC",
+                        help="arm a serve-layer fault for one request "
+                             "(optionally one portfolio arm); repeatable")
+    args = parser.parse_args(argv)
+
+    from dataclasses import replace
+
+    config = _build_config(args)
+    portfolio = None
+    if args.portfolio:
+        portfolio = (PortfolioEntry("incremental", config),
+                     PortfolioEntry("oneshot",
+                                    replace(config, use_incremental=False,
+                                            use_caches=False)))
+    request_faults = _parse_request_faults(args.request_fault)
+
+    files = _collect_smt_files(args.paths)
+    if not files:
+        raise SystemExit("repro: no .smt2 files under %s"
+                         % ", ".join(args.paths))
+    parse_rows = []     # files that never reach the service
+    items = []          # (name, problem) really submitted
+    expected = {}
+    for path in files:
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            script = load_problem(open(path).read())
+        except Exception as exc:
+            parse_rows.append(ServeResult(name, "unknown",
+                                          reason="parse-error",
+                                          stats={"error": str(exc)}))
+            continue
+        expected[name] = script.expected
+        items.append((name, script.problem))
+
+    stop = {"flag": False}
+
+    def _on_signal(signum, frame):
+        stop["flag"] = True
+
+    previous = {signum: signal.signal(signum, _on_signal)
+                for signum in (signal.SIGTERM, signal.SIGINT)}
+
+    tracer = Tracer() if args.trace else None
+    metrics = Metrics() if args.trace else None
+    service = SolverService(
+        config=config, portfolio=portfolio, jobs=args.pool_jobs,
+        timeout=args.timeout, grace=args.grace,
+        queue_limit=args.queue_limit, max_retries=args.max_retries,
+        quarantine_threshold=args.quarantine_threshold)
+    try:
+        with scope(tracer, metrics):
+            # Mirrors SolverService.run_batch, hand-rolled so the
+            # --request-fault specs can ride along per submit call.
+            handles = []
+            for name, problem in items:
+                while (not stop["flag"]
+                       and service.open_requests >= service.queue_limit):
+                    service.pump(0.05)
+                if stop["flag"]:
+                    handles.append(ServeResult(name, "unknown",
+                                               reason="shutdown"))
+                    continue
+                spec_map = request_faults.get(name, {})
+                handles.append(service.submit(
+                    problem, name=name,
+                    fault_specs=tuple(spec_map.get("", ())),
+                    entry_fault_specs={label: tuple(specs)
+                                       for label, specs in spec_map.items()
+                                       if label}))
+                service.pump(0.0)
+            while not stop["flag"] and service.open_requests:
+                service.pump(0.05)
+            # Drains in-flight work, answers the rest unknown(shutdown),
+            # reaps every worker; a no-op queue-wise when all answered.
+            service.shutdown(drain=True)
+            results = [h if isinstance(h, ServeResult) else h.result
+                       for h in handles]
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    rows = parse_rows + results
+    counts = {"sat": 0, "unsat": 0, "unknown": 0}
+    incorrect = 0
+    for row in rows:
+        if row is None:          # a lost request — must never happen
+            continue
+        counts[row.status] = counts.get(row.status, 0) + 1
+        mark = ""
+        if row.status == "unsat" and expected.get(row.name) == "sat":
+            # A validated SAT outranks a label, but an UNSAT against a
+            # certified-SAT instance is a wrong verdict.
+            incorrect += 1
+            mark = "  INCORRECT(expected sat)"
+        winner = (" [%s]" % row.winner) if row.winner else ""
+        print("%-24s %-22s %6.2fs%s%s"
+              % (row.name, row.answer, row.seconds, winner, mark))
+
+    answered = sum(1 for r in rows if r is not None)
+    pool_counters = service.pool.counters
+    print("serve-batch: answered %d/%d (sat=%d unsat=%d unknown=%d) "
+          "retries=%d hard-kills=%d worker-deaths=%d quarantined=%d "
+          "recycled=%d"
+          % (answered, len(files), counts["sat"], counts["unsat"],
+             counts["unknown"],
+             sum(r.retries for r in rows if r is not None),
+             pool_counters["hard_kills"], pool_counters["deaths"],
+             len(service._quarantined), pool_counters["recycled"]))
+    if stop["flag"]:
+        print("serve-batch: drained after signal; unfinished requests "
+              "answered unknown(shutdown)")
+
+    if args.results_json:
+        import json
+        text = "\n".join(json.dumps(r.as_dict(), sort_keys=True,
+                                    default=str)
+                         for r in rows if r is not None)
+        if args.results_json == "-":
+            print(text)
+        else:
+            with open(args.results_json, "w") as handle:
+                handle.write(text + "\n")
+    if args.trace:
+        _print_trace(tracer, metrics)
+    return 0 if (answered == len(files) and incorrect == 0) else 1
 
 
 # -- selfcheck ---------------------------------------------------------------

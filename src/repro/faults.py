@@ -34,8 +34,10 @@ Three fault modes:
     Hand the point's return value to a site-supplied mutator, modelling
     a wrong-but-plausible result (a stale cache entry, a bogus model).
     Only seams whose corruption is *detectable* downstream participate
-    — model-producing seams (validation catches the lie) and cache
-    lookups (corruption degrades to a miss, worst case a recompute).
+    — model-producing seams (validation catches the lie), cache
+    lookups (corruption degrades to a miss, worst case a recompute), and
+    the serve-layer result envelope (the portfolio cross-check in
+    :mod:`repro.serve.service` catches the fabricated verdict).
 
 Arming: the CLI flag ``--inject-fault SPEC`` (repeatable), the
 environment variable ``REPRO_INJECT_FAULT`` (``;``-separated specs), the
@@ -65,6 +67,12 @@ CATALOG = {
     "flatten.fragment": "Flattener.fragments — per-fragment flattening",
     "strategy.restrict": "build_restriction — PFA selection",
     "solver.decode": "TrauSolver._decode — LIA model to strings",
+    "serve.worker.request": "pool worker request intake — a raise escapes "
+                            "the worker loop and kills the process, a "
+                            "delay models a hang",
+    "serve.worker.result": "pool worker result envelope — corrupt "
+                           "fabricates a wrong verdict, a raise kills the "
+                           "worker after the work is done",
 }
 """Every plantable seam: name -> where it lives.  The chaos suite
 (`tests/test_faults.py`) arms each of these in turn."""

@@ -112,6 +112,26 @@ class Tracer:
         if self._stack:
             self._stack[-1].set(**attrs)
 
+    def record_span(self, name, start, end, status="ok", **attrs):
+        """Attach an already-closed span retroactively.
+
+        For regions that cannot use the ``with`` protocol because they
+        overlap other work on the same thread — e.g. the per-request
+        spans of :mod:`repro.serve.service`, where many requests are
+        open at once inside one event loop.  The span is parented under
+        the currently-active span (or becomes a root) without ever
+        touching the stack.
+        """
+        span = Span(name, self, attrs)
+        span.start = start
+        span.end = end
+        span.status = status
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
     # -- span lifecycle (driven by Span.__enter__/__exit__) -----------------
 
     def _push(self, span):
@@ -186,6 +206,9 @@ class NullTracer:
 
     def annotate(self, **attrs):
         pass
+
+    def record_span(self, name, start, end, status="ok", **attrs):
+        return _NULL_SPAN
 
     def walk(self):
         return iter(())

@@ -1,0 +1,29 @@
+"""repro.serve — supervised solver service over a worker process pool.
+
+The resilience layer *across* many concurrent solves (PR 3's ladder and
+budgets protect a single solve): per-query process isolation with hard
+deadlines, bounded-queue backpressure, poison-pill quarantine, and a
+cross-checked portfolio mode.
+
+* :class:`~repro.serve.pool.WorkerPool` — spawn-based supervised worker
+  pool (deadlines + hard kill, crash detection, health checks, recycling
+  by request count or RSS); also the engine under the parallel benchmark
+  runner, so the supervision logic exists exactly once.
+* :class:`~repro.serve.service.SolverService` — the solving front-end:
+  every submitted request gets exactly one answer, whatever the
+  instance does to its workers.
+* ``python -m repro serve-batch DIR`` — CLI over a corpus of SMT-LIB
+  files.
+"""
+
+from repro.serve.pool import PoolEvent, WorkerPool
+from repro.serve.service import (
+    PortfolioEntry, ServeResult, SolverService, default_portfolio,
+    problem_fingerprint,
+)
+
+__all__ = [
+    "WorkerPool", "PoolEvent",
+    "SolverService", "ServeResult", "PortfolioEntry",
+    "default_portfolio", "problem_fingerprint",
+]

@@ -114,8 +114,10 @@ def _regex_node(node, alphabet):
 def _membership(constraint, alphabet):
     source = constraint.source
     if source is None:
-        words = constraint.nfa.enumerate_words(12)
-        if constraint.nfa.trim().num_states > 60 or len(words) > 200:
+        words = None
+        if constraint.nfa.trim().num_states <= 60:
+            words = constraint.nfa.enumerate_words(12, max_words=200)
+        if words is None:
             raise UnsupportedConstraint(
                 "regular constraint without printable source")
         parts = ['(str.to_re "%s")' % _escape(alphabet.decode_word(w))

@@ -40,6 +40,22 @@ class _CrashingSolver:
         raise RuntimeError("boom")
 
 
+class SleepSolver:
+    """Wedges forever — only ever run inside a supervised worker."""
+
+    def solve(self, problem, timeout=None):
+        import time
+        time.sleep(3600)
+
+
+class CrashSolver:
+    """Takes the whole worker process down, like a segfault would."""
+
+    def solve(self, problem, timeout=None):
+        import os
+        os._exit(3)
+
+
 class TestClassification:
     def test_sat_validated(self):
         runner = BenchmarkRunner(timeout=10)
@@ -102,3 +118,45 @@ class TestTables:
     def test_default_lineup(self):
         solvers = default_solvers()
         assert set(solvers) == {"pfa", "splitting", "enumerative"}
+
+
+class TestSupervisedRunner:
+    """The jobs>1 path: the grid on the shared supervised worker pool."""
+
+    def test_parallel_matches_sequential(self):
+        instances = [sat_instance(), unsat_instance()]
+        sequential = BenchmarkRunner(timeout=10).run_suite(
+            instances, ["pfa"])
+        parallel = BenchmarkRunner(timeout=10, jobs=2).run_suite(
+            instances, ["pfa"])
+        assert ([o.classification for o in sequential["pfa"]]
+                == [o.classification for o in parallel["pfa"]])
+        assert all(o.retries == 0 for o in parallel["pfa"])
+
+    def test_hang_is_hard_killed_and_retried_once(self):
+        # jobs>1 and several tasks, so the supervised pool (not the
+        # in-process path) runs the wedging solver.
+        runner = BenchmarkRunner(
+            solvers={"sleepy": SleepSolver(), "pfa": default_solvers()["pfa"]},
+            timeout=0.4, grace=0.3, jobs=2)
+        outcomes = runner.run_suite([sat_instance()], ["sleepy", "pfa"])
+        outcome = outcomes["sleepy"][0]
+        assert outcome.classification == TIMEOUT
+        assert outcome.answer == "hard-killed"
+        assert outcome.retries == 1
+        assert outcome.worker_exits == ["hard-killed", "hard-killed"]
+        assert outcome.as_dict()["worker_exits"] == outcome.worker_exits
+        # The healthy solver on the same pool is unaffected.
+        assert outcomes["pfa"][0].classification == SAT
+
+    def test_crash_is_error_with_exit_code(self):
+        runner = BenchmarkRunner(
+            solvers={"crashy": CrashSolver(), "pfa": default_solvers()["pfa"]},
+            timeout=10, jobs=2)
+        outcomes = runner.run_suite([sat_instance()], ["crashy", "pfa"])
+        outcome = outcomes["crashy"][0]
+        assert outcome.classification == "ERROR"
+        assert "exit code 3" in outcome.answer
+        assert outcome.retries == 1
+        assert outcome.worker_exits == [3, 3]
+        assert outcomes["pfa"][0].classification == SAT

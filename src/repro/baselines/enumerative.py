@@ -41,35 +41,44 @@ class EnumerativeSolver:
         string_vars = sorted(v.name for v in problem.string_vars())
         bounds = self._length_bounds(problem)
         if bounds is None:
-            return SolveResult("unsat")
+            return SolveResult("unsat",
+                               stats={"refuted_by": "length-abstraction"})
         alphabet_chars = self._candidate_chars(problem)
 
         if not string_vars:
             return self._finish(problem, {}, deadline)
 
+        # A variable's enumeration is exhaustive only when its sound
+        # length bound is finite AND fully covered by the search depth;
+        # any UNSAT claim below must rest on the per-variable flag, not
+        # on the mere existence of a finite bound.
         per_var_max = {}
-        exhaustive = True
+        var_exhaustive = {}
         for name in string_vars:
             hi = bounds.get(name, inf)
             if hi is inf or hi > self.max_total_length:
                 per_var_max[name] = self.max_total_length
-                exhaustive = False
+                var_exhaustive[name] = False
             else:
                 per_var_max[name] = int(hi)
+                var_exhaustive[name] = True
 
         candidates = {}
         for name in string_vars:
             words, truncated = self._candidates_for(
                 problem, name, per_var_max[name], alphabet_chars, deadline)
             if words is None:
-                return SolveResult("unknown")
+                return SolveResult("unknown",
+                                   stats={"stopped_by": "deadline"})
             if truncated:
-                exhaustive = False
+                var_exhaustive[name] = False
             if not words:
-                if not truncated and self._var_bounded(problem, name,
-                                                       bounds):
-                    return SolveResult("unsat")
-                return SolveResult("unknown")
+                if var_exhaustive[name]:
+                    return SolveResult(
+                        "unsat", stats={"refuted_by": "empty-candidates"})
+                return SolveResult("unknown", stats={
+                    "stopped_by": "candidate-cap" if truncated
+                    else "search-bound"})
             candidates[name] = words
 
         assignment = {}
@@ -78,8 +87,11 @@ class EnumerativeSolver:
         if outcome is not None:
             return outcome
         if deadline.expired():
-            return SolveResult("unknown")
-        return SolveResult("unsat" if exhaustive else "unknown")
+            return SolveResult("unknown", stats={"stopped_by": "deadline"})
+        if all(var_exhaustive.values()):
+            return SolveResult("unsat",
+                               stats={"refuted_by": "exhaustive-search"})
+        return SolveResult("unknown", stats={"stopped_by": "search-bound"})
 
     # -- candidate generation -------------------------------------------------
 
@@ -130,9 +142,6 @@ class EnumerativeSolver:
                      if combined.accepts(self.alphabet.encode_word(w))]
         return words, truncated
 
-    def _var_bounded(self, problem, name, bounds):
-        return bounds.get(name, inf) is not inf
-
     def _length_bounds(self, problem):
         """Sound upper bounds per variable; None when the abstraction is
         already infeasible (the instance is UNSAT outright)."""
@@ -150,20 +159,23 @@ class EnumerativeSolver:
     def _search(self, problem, names, index, candidates, assignment,
                 deadline):
         if deadline.expired():
-            return SolveResult("unknown")
+            return SolveResult("unknown", stats={"stopped_by": "deadline"})
         if index == len(names):
             return self._try_assignment(problem, assignment, deadline)
         name = names[index]
         for word in candidates[name]:
+            # Checked per candidate: a level where every word fails the
+            # consistency filter must still honour the deadline.
+            if deadline.expired():
+                return SolveResult("unknown",
+                                   stats={"stopped_by": "deadline"})
             assignment[name] = word
             if not self._consistent_so_far(problem, assignment):
                 continue
             outcome = self._search(problem, names, index + 1, candidates,
                                    assignment, deadline)
-            if outcome is not None and outcome.status != "unsat":
+            if outcome is not None:
                 return outcome
-            if deadline.expired():
-                return SolveResult("unknown")
         assignment.pop(name, None)
         return None
 
@@ -198,7 +210,10 @@ class EnumerativeSolver:
         formula = substitute(conj(*parts), substitution)
         result = solve_formula(formula, deadline=deadline)
         if result.status != "sat":
-            return None if result.status == "unsat" else SolveResult("unknown")
+            if result.status == "unsat":
+                return None
+            return SolveResult("unknown", stats={
+                "stopped_by": result.stats.get("stopped_by", "smt")})
         model = dict(assignment)
         for name in problem.int_vars():
             model[name] = result.model.get(name, 0)
@@ -206,4 +221,6 @@ class EnumerativeSolver:
 
     def _finish(self, problem, assignment, deadline):
         outcome = self._try_assignment(problem, assignment, deadline)
-        return outcome if outcome is not None else SolveResult("unsat")
+        if outcome is not None:
+            return outcome
+        return SolveResult("unsat", stats={"refuted_by": "integer-residue"})

@@ -11,6 +11,8 @@ Usage::
     python -m repro selfcheck [--trace] [--allow-unknown] [budget flags]
     python -m repro serve-batch PATH... [--pool-jobs N] [--portfolio]
                                 [--timeout S] [--results-json FILE]
+    python -m repro fuzz [--seed N] [--n N] [--max-len N]
+                         [--save-failures DIR] [--lie-rate R] [--trace]
 
 Prints ``sat``/``unsat``/``unknown`` like an SMT solver; ``--model`` adds
 a ``(model ...)`` block with the string/integer assignments.  ``--trace``
@@ -30,6 +32,14 @@ pipeline and exits non-zero on any wrong status — a smoke test for CI.
 With ``--allow-unknown`` an UNKNOWN answer passes as long as it is
 *attributable* (its stats name the tripped budget), which is how the CI
 chaos job asserts tiny budgets degrade gracefully instead of erroring.
+
+``fuzz`` runs a differential + metamorphic fuzzing campaign through
+:mod:`repro.diff`: seeded random problems are solved by both TrauSolver
+pipelines and the enumerative oracle, definite verdicts are
+cross-checked (and checked for stability under satisfiability-
+preserving transforms), and every disagreement is shrunk to a minimal
+``.smt2`` reproducer under ``--save-failures DIR``.  Exits non-zero on
+any disagreement.
 
 ``serve-batch`` solves a directory (or list) of SMT-LIB files through
 the supervised :class:`~repro.serve.service.SolverService`: a pool of
@@ -55,6 +65,7 @@ from repro.config import SolverConfig
 from repro.core.solver import TrauSolver
 from repro.obs import Metrics, Tracer, dump_jsonl, render_report, scope
 from repro.smtlib import load_problem
+from repro.smtlib.printer import _escape
 from repro.strings import check_model
 
 _SOLVERS = {
@@ -62,10 +73,6 @@ _SOLVERS = {
     "splitting": SplittingSolver,
     "enum": EnumerativeSolver,
 }
-
-
-def _escape(text):
-    return text.replace('"', '""')
 
 
 def format_model(problem, model):
@@ -128,6 +135,8 @@ def main(argv=None):
         return selfcheck(argv[1:])
     if argv and argv[0] == "serve-batch":
         return serve_batch(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -416,6 +425,65 @@ def _selfcheck_problems():
     return [("tonum-padded", sat_conv.problem, "sat"),
             ("regex-length", unsat_re.problem, "unsat"),
             ("periodic-eq", sat_eq.problem, "sat")]
+
+
+def fuzz(argv=None):
+    """Differential fuzzing campaign; non-zero exit on any disagreement."""
+    from repro.diff import DifferentialDriver, GenConfig, run_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="differential + metamorphic fuzzing campaign: "
+                    "seeded random problems through both TrauSolver "
+                    "pipelines and the enumerative oracle")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (every problem derives "
+                             "deterministically from seed and index)")
+    parser.add_argument("--n", type=int, default=100,
+                        help="number of problems to generate")
+    parser.add_argument("--max-len", type=int, default=4,
+                        help="witness length cap per string variable")
+    parser.add_argument("--max-constraints", type=int, default=6,
+                        help="constraints per problem (before length caps)")
+    parser.add_argument("--alphabet", default="ab01", metavar="CHARS",
+                        help="characters generated witnesses draw from")
+    parser.add_argument("--lie-rate", type=float, default=0.3,
+                        help="probability an emitter perturbs its "
+                             "constraint (keeps UNSAT verdicts in play)")
+    parser.add_argument("--timeout", type=float, default=2.0,
+                        help="per-engine solve timeout in seconds")
+    parser.add_argument("--save-failures", metavar="DIR", default=None,
+                        help="write a shrunk .smt2 reproducer per "
+                             "disagreement under DIR")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="save reproducers unshrunk (faster triage "
+                             "of a badly broken build)")
+    parser.add_argument("--no-metamorphic", action="store_true",
+                        help="skip the satisfiability-preserving "
+                             "transform checks")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree and metrics after the "
+                             "summary")
+    args = parser.parse_args(argv)
+
+    config = GenConfig(max_len=args.max_len,
+                       alphabet_chars=args.alphabet,
+                       max_constraints=args.max_constraints,
+                       lie_rate=args.lie_rate)
+    driver = DifferentialDriver(config=config, timeout=args.timeout,
+                                metamorphic=not args.no_metamorphic)
+    tracer = Tracer() if args.trace else None
+    metrics = Metrics() if args.trace else None
+    with scope(tracer, metrics):
+        report = run_campaign(
+            seed=args.seed, n=args.n, config=config, driver=driver,
+            save_dir=args.save_failures, shrink=not args.no_shrink,
+            progress=lambda line: print("! " + line, flush=True))
+    for line in report.summary_lines():
+        print(line)
+    if args.trace:
+        _print_trace(tracer, metrics)
+    return 0 if report.ok else 1
 
 
 def selfcheck(argv=None):

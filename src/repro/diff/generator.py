@@ -1,0 +1,343 @@
+"""Seeded random generator of string-number constraint problems.
+
+Problems are constructed *witness-first*: a concrete assignment of small
+strings to variables is drawn, and every emitted constraint is true of
+that witness — so an unmutated problem is SAT *by construction* and the
+witness certifies it.  With probability :attr:`GenConfig.lie_rate` an
+emitter instead produces a perturbed ("lying") constraint that may or
+may not hold of the witness; such problems lose the certificate and
+their ground truth comes from the enumerative oracle, which keeps both
+SAT and UNSAT verdicts exercised.
+
+Everything is driven by one ``random.Random`` instance so a campaign is
+reproducible from ``--seed`` alone.  The same generator backs the
+hypothesis strategy in :mod:`repro.diff.strategies`, so property tests
+and the fuzzer share a single problem-space definition.
+"""
+
+from dataclasses import dataclass
+
+from repro.logic.formula import eq, ge, le, ne
+from repro.logic.terms import var as int_var
+from repro.strings.ast import str_len
+from repro.strings.eval import to_num_value
+from repro.strings.ops import ProblemBuilder
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size and shape knobs of the generator."""
+
+    max_string_vars: int = 3      # seed string variables (more appear fresh)
+    max_len: int = 4              # witness length cap per variable
+    alphabet_chars: str = "ab01"  # characters witnesses draw from
+    max_constraints: int = 6      # emitted constraints (before caps)
+    lie_rate: float = 0.3         # probability an emitter perturbs its output
+    bound_lengths: bool = True    # cap every variable's length (keeps the
+    #                               enumerative oracle's search exhaustive)
+
+    def digits(self):
+        """The digit characters available to witnesses."""
+        return [c for c in self.alphabet_chars if c.isdigit()] or ["0"]
+
+
+class GeneratedProblem:
+    """A generated problem plus its provenance.
+
+    ``witness`` maps every variable name (string and integer) to its
+    generation-time value; ``certified`` is True when no emitter lied,
+    in which case the witness is a machine-checkable SAT certificate.
+    """
+
+    __slots__ = ("problem", "witness", "certified", "seed_index")
+
+    def __init__(self, problem, witness, certified, seed_index=None):
+        self.problem = problem
+        self.witness = witness
+        self.certified = certified
+        self.seed_index = seed_index
+
+    def __repr__(self):
+        return "GeneratedProblem(%d constraints, %s)" % (
+            len(self.problem),
+            "certified-sat" if self.certified else "uncertified")
+
+
+class _Gen:
+    """One generation run: owns the builder, witness, and lie accounting."""
+
+    def __init__(self, rng, config):
+        self.rng = rng
+        self.config = config
+        self.builder = ProblemBuilder()
+        self.witness = {}
+        self.lied = False
+
+    # -- witness bookkeeping -------------------------------------------------
+
+    def _word(self, chars=None, min_size=0):
+        rng = self.rng
+        chars = chars or self.config.alphabet_chars
+        size = rng.randint(min_size, self.config.max_len)
+        return "".join(rng.choice(chars) for _ in range(size))
+
+    def _new_var(self, value=None, prefix="w"):
+        name = "%s%d" % (prefix, len(self.witness))
+        self.witness[name] = self._word() if value is None else value
+        return self.builder.str_var(name)
+
+    def _pick_var(self):
+        names = [n for n, v in self.witness.items() if isinstance(v, str)]
+        name = self.rng.choice(names)
+        return self.builder.str_var(name), self.witness[name]
+
+    def _lie(self):
+        """Decide whether this emitter perturbs its constraint."""
+        if self.rng.random() < self.config.lie_rate:
+            self.lied = True
+            return True
+        return False
+
+    def _offset(self):
+        """A small non-zero perturbation."""
+        return self.rng.choice([-2, -1, 1, 2])
+
+    # -- constraint emitters -------------------------------------------------
+    # Each emits constraints true of the witness, unless it decides to lie.
+
+    def emit_length(self):
+        v, w = self._pick_var()
+        op = self.rng.choice([eq, le, ge])
+        if self._lie():
+            delta = abs(self._offset())
+            if op is le:
+                target = len(w) - delta      # may exclude the witness
+            elif op is ge:
+                target = len(w) + delta
+            else:
+                target = len(w) + self._offset()
+        elif op is le:
+            target = len(w) + self.rng.randint(0, 2)
+        elif op is ge:
+            target = max(0, len(w) - self.rng.randint(0, 2))
+        else:
+            target = len(w)
+        self.builder.require_int(op(str_len(v), target))
+
+    def emit_length_lia(self):
+        x, wx = self._pick_var()
+        y, wy = self._pick_var()
+        combo = str_len(x) + str_len(y) if self.rng.random() < 0.5 \
+            else str_len(x) - str_len(y)
+        value = combo.evaluate({"|%s|" % x.name: len(wx),
+                                "|%s|" % y.name: len(wy)})
+        if self._lie():
+            value += self._offset()
+        if self.rng.random() < 0.4:
+            k = self.builder.fresh_int("k")
+            self.builder.require_int(eq(int_var(k), combo))
+            self.builder.require_int(eq(int_var(k), value))
+            self.witness[k] = value
+        else:
+            self.builder.require_int(eq(combo, value))
+
+    def emit_word_eq_split(self):
+        """x = p1 · p2 (· p3) where pieces are literals or fresh vars."""
+        v, w = self._pick_var()
+        cuts = sorted(self.rng.sample(
+            range(len(w) + 1), self.rng.randint(1, min(2, len(w) + 1))))
+        pieces, prev = [], 0
+        for cut in cuts + [len(w)]:
+            pieces.append(w[prev:cut])
+            prev = cut
+        term = []
+        for piece in pieces:
+            if self.rng.random() < 0.5:
+                term.append(self._new_var(piece, prefix="p"))
+            elif piece:
+                term.append(piece)
+        if self._lie():
+            term.append(self.rng.choice(self.config.alphabet_chars))
+        self.builder.equal((v,), tuple(term))
+
+    def emit_word_eq_concat(self):
+        """Fresh z = x · lit · y for existing x, y."""
+        x, wx = self._pick_var()
+        y, wy = self._pick_var()
+        lit = self._word(min_size=0)
+        z_value = wx + lit + wy
+        if self._lie():
+            lit = lit + self.rng.choice(self.config.alphabet_chars)
+        z = self._new_var(z_value, prefix="z")
+        term = (x, lit, y) if lit else (x, y)
+        self.builder.equal((z,), term)
+
+    def emit_membership(self):
+        v, w = self._pick_var()
+        chars = self.config.alphabet_chars
+        kind = self.rng.choice(["exact", "star", "bounded", "prefix",
+                                "digits"])
+        if kind == "exact":
+            regex = _regex_literal(w + self.rng.choice(chars)) \
+                if self._lie() else _regex_literal(w)
+        elif kind == "star":
+            if w and self._lie():
+                regex = "[%s]{0,%d}" % (w[0], max(0, len(w) - 1))
+            else:
+                regex = "[%s]*" % chars
+        elif kind == "bounded":
+            if w and self._lie():
+                hi = len(w) - 1
+            else:
+                hi = len(w) + self.rng.randint(0, 1)
+            regex = "[%s]{0,%d}" % (chars, hi)
+        elif kind == "prefix":
+            prefix = w[: self.rng.randint(0, len(w))]
+            if self._lie():
+                prefix = prefix + self.rng.choice(chars)
+            regex = _regex_literal(prefix) + ".*"
+        else:  # digits
+            if w and all(c.isdigit() for c in w):
+                regex = "[%s]{1,%d}" % (w[0], max(1, len(w) - 1)) \
+                    if self._lie() else "[0-9]+"
+            elif self._lie():
+                regex = "[0-9]+"      # w is empty or has a non-digit
+            else:
+                regex = "[%s]*" % chars
+        self.builder.member(v, regex)
+
+    def emit_not_membership(self):
+        v, w = self._pick_var()
+        other = self._word()
+        if other == w:
+            other = w + self.rng.choice(self.config.alphabet_chars)
+        if self._lie():
+            other = w
+        self.builder.not_member(v, _regex_literal(other) if other else "()")
+
+    def emit_tonum(self):
+        use_digits = self.rng.random() < 0.7
+        if use_digits:
+            digits = self.config.digits()
+            length = self.rng.randint(1, self.config.max_len)
+            if self.rng.random() < 0.25:
+                # Cross the numeric-PFA chain boundary (m = 5 initially):
+                # long digit strings exercise the leading-zero loop.
+                length = self.config.max_len + self.rng.randint(1, 2)
+            w = "".join(self.rng.choice(digits) for _ in range(length))
+            v = self._new_var(w, prefix="d")
+            if self.rng.random() < 0.5:
+                self.builder.member(v, "[0-9]+")
+        else:
+            v, w = self._pick_var()
+        n = self.builder.to_num(v)
+        value = to_num_value(w)
+        self.witness[n] = value
+        shape = self.rng.choice(["eq", "ineq", "ne", "free"])
+        if shape == "eq":
+            target = value + (self._offset() if self._lie() else 0)
+            self.builder.require_int(eq(int_var(n), target))
+        elif shape == "ineq":
+            if self._lie():
+                self.builder.require_int(ge(int_var(n), value + 1))
+            elif self.rng.random() < 0.5:
+                self.builder.require_int(le(int_var(n), value))
+            else:
+                self.builder.require_int(ge(int_var(n), value))
+        elif shape == "ne":
+            target = value if self._lie() else value + self._offset()
+            self.builder.require_int(ne(int_var(n), target))
+        # "free": n is only pinned through the conversion itself.
+
+    def emit_tostr(self):
+        digits = self.config.digits()
+        value = int("".join(self.rng.choice(digits) for _ in range(
+            self.rng.randint(1, self.config.max_len))))
+        k = self.builder.fresh_int("m")
+        self.builder.require_int(eq(int_var(k), value))
+        s = self.builder.to_str(k)
+        self.witness[k] = value
+        self.witness[s.name] = str(value)
+        if self._lie():
+            # Contradicts the canonical-numeral length unless it happens
+            # to still fit; the oracle adjudicates.
+            self.builder.require_int(
+                eq(str_len(s), len(str(value)) + self._offset()))
+
+    def emit_diseq(self):
+        v, w = self._pick_var()
+        other = self._word()
+        if other == w:
+            other = w + self.rng.choice(self.config.alphabet_chars)
+        if self._lie():
+            other = w
+        p, c1, c2, s1, s2 = self.builder.diseq((v,), (other,))
+        # Witness the encoding's fresh variables: longest common prefix,
+        # then the (possibly empty) differing characters and tails.
+        i = 0
+        while i < len(w) and i < len(other) and w[i] == other[i]:
+            i += 1
+        self.witness[p.name] = w[:i]
+        self.witness[c1.name] = w[i:i + 1]
+        self.witness[s1.name] = w[i + 1:]
+        self.witness[c2.name] = other[i:i + 1]
+        self.witness[s2.name] = other[i + 1:]
+
+    # -- driver ---------------------------------------------------------------
+
+    EMITTERS = (
+        ("emit_length", 3),
+        ("emit_length_lia", 2),
+        ("emit_word_eq_split", 3),
+        ("emit_word_eq_concat", 2),
+        ("emit_membership", 3),
+        ("emit_not_membership", 1),
+        ("emit_tonum", 3),
+        ("emit_tostr", 1),
+        ("emit_diseq", 1),
+    )
+
+    def run(self):
+        rng = self.rng
+        for _ in range(rng.randint(1, self.config.max_string_vars)):
+            self._new_var()
+        names = [n for n, _ in self.EMITTERS]
+        weights = [w for _, w in self.EMITTERS]
+        for _ in range(rng.randint(1, self.config.max_constraints)):
+            emitter = rng.choices(names, weights=weights)[0]
+            getattr(self, emitter)()
+        if self.config.bound_lengths:
+            self._cap_lengths()
+        return self.builder.problem
+
+    def _cap_lengths(self):
+        """Finite length bound for every variable of the final problem.
+
+        This includes the fresh variables desugaring introduced (diseq
+        prefixes, toStr results, ...), so interval propagation derives
+        finite per-variable bounds and the enumerative oracle's finished
+        searches are exhaustive — definite UNSAT verdicts stay in play.
+        """
+        cap = self.config.max_len + 2
+        witnessed = {n: v for n, v in self.witness.items()
+                     if isinstance(v, str)}
+        for v in sorted(self.builder.problem.string_vars(),
+                        key=lambda s: s.name):
+            bound = max(cap, len(witnessed.get(v.name, "")))
+            self.builder.require_int(le(str_len(v), bound))
+
+
+def _regex_literal(text):
+    """*text* as a regex matching exactly itself."""
+    out = []
+    for ch in text:
+        out.append("\\" + ch if ch in "()[]|*+?{}.\\^-" else ch)
+    return "".join(out)
+
+
+def generate(rng, config=None, seed_index=None):
+    """One :class:`GeneratedProblem` drawn from *rng* under *config*."""
+    gen = _Gen(rng, config or GenConfig())
+    problem = gen.run()
+    return GeneratedProblem(problem, dict(gen.witness), not gen.lied,
+                            seed_index)

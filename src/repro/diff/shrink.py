@@ -1,0 +1,126 @@
+"""Greedy minimization of disagreement witnesses.
+
+A disagreement found by the differential driver is only useful once it
+is small: the shrinker repeatedly tries structural reductions — dropping
+a conjunct, shortening a string literal inside a word equation — and
+keeps any reduction under which the caller's *predicate* (usually "the
+same class of disagreement still reproduces") holds.  Reductions that
+make the problem unsupported or crash a solver simply fail the
+predicate and are skipped.
+
+The final reproducer is serialized as a self-contained ``.smt2`` file
+(with a provenance comment header) that the regression test under
+``tests/regressions/`` auto-collects.
+"""
+
+import os
+
+from repro.obs import current_metrics
+from repro.strings.ast import StringProblem, StrVar, WordEquation
+
+
+def _without(constraints, index):
+    return constraints[:index] + constraints[index + 1:]
+
+
+def _shorten_literal(constraint, side, element, position):
+    """*constraint* with one character removed from one literal."""
+    term = list(getattr(constraint, side))
+    text = term[element]
+    term[element] = text[:position] + text[position + 1:]
+    lhs = term if side == "lhs" else constraint.lhs
+    rhs = term if side == "rhs" else constraint.rhs
+    return WordEquation(tuple(lhs), tuple(rhs))
+
+
+def _literal_reductions(problem):
+    """Candidate (index, reduced-equation) pairs shortening one literal."""
+    out = []
+    for index, constraint in enumerate(problem.constraints):
+        if not isinstance(constraint, WordEquation):
+            continue
+        for side in ("lhs", "rhs"):
+            term = getattr(constraint, side)
+            for element, part in enumerate(term):
+                if isinstance(part, StrVar) or not part:
+                    continue
+                # Dropping the first or last character is enough for a
+                # greedy pass; interior positions rarely matter and
+                # would square the candidate count.
+                positions = {0, len(part) - 1}
+                for position in positions:
+                    out.append((index,
+                                _shorten_literal(constraint, side,
+                                                 element, position)))
+    return out
+
+
+def shrink_problem(problem, predicate, max_checks=300):
+    """Greedily minimize *problem* while *predicate* keeps holding.
+
+    *predicate* takes a :class:`StringProblem` and returns truthiness;
+    exceptions inside it count as False.  Returns the smallest problem
+    found and the number of predicate evaluations spent.
+    """
+    metrics = current_metrics()
+
+    def check(candidate):
+        try:
+            return bool(predicate(candidate))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            return False
+
+    current = problem
+    checks = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        # Pass 1: drop whole conjuncts, scanning from the end so the
+        # positions of not-yet-tried constraints stay stable.
+        index = len(current.constraints) - 1
+        while index >= 0 and checks < max_checks:
+            candidate = StringProblem(_without(current.constraints, index))
+            checks += 1
+            if check(candidate):
+                current = candidate
+                progress = True
+            index -= 1
+        # Pass 2: shorten literals one character at a time.
+        for index, reduced in _literal_reductions(current):
+            if checks >= max_checks:
+                break
+            constraints = list(current.constraints)
+            constraints[index] = reduced
+            candidate = StringProblem(constraints)
+            checks += 1
+            if check(candidate):
+                current = candidate
+                progress = True
+    if metrics.enabled:
+        metrics.add("fuzz.shrink.checks", checks)
+    return current, checks
+
+
+def save_reproducer(problem, directory, name, expected=None, header=()):
+    """Write *problem* under *directory* as ``<name>.smt2``; returns path.
+
+    Falls back to a ``.txt`` repr dump when the problem contains
+    something the printer cannot render (so no reproducer is ever
+    silently lost).
+    """
+    from repro.errors import ReproError
+    from repro.smtlib import problem_to_smtlib
+
+    os.makedirs(directory, exist_ok=True)
+    comment = "".join("; %s\n" % line for line in header)
+    try:
+        body = problem_to_smtlib(problem, expected=expected)
+        path = os.path.join(directory, name + ".smt2")
+    except ReproError as exc:
+        body = "unprintable problem (%s):\n%r\n" % (exc, problem)
+        path = os.path.join(directory, name + ".txt")
+    with open(path, "w") as handle:
+        handle.write(comment + body)
+    return path

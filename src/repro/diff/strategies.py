@@ -1,0 +1,34 @@
+"""Hypothesis strategies over the differential generator.
+
+Property tests and the fuzzer share one problem-space definition: the
+strategy draws a seed and feeds it to :func:`repro.diff.generator.generate`,
+so anything hypothesis finds is reproducible as ``repro fuzz --seed``
+input and vice versa.  Import is lazy-safe: this module only needs
+``hypothesis`` when a strategy is actually built, so the library itself
+never grows the dependency.
+"""
+
+import random
+
+
+def generated_problems(config=None, certified_only=False, **knobs):
+    """Strategy producing :class:`~repro.diff.generator.GeneratedProblem`.
+
+    *config* (or individual :class:`~repro.diff.generator.GenConfig`
+    field overrides passed as keyword arguments) tunes the problem
+    space; ``certified_only=True`` filters to witness-certified SAT
+    problems.
+    """
+    from hypothesis import strategies as st
+
+    from repro.diff.generator import GenConfig, generate
+
+    base = config or GenConfig(**knobs)
+
+    def build(seed):
+        return generate(random.Random(seed), base, seed_index=seed)
+
+    strategy = st.integers(min_value=0, max_value=2 ** 32 - 1).map(build)
+    if certified_only:
+        strategy = strategy.filter(lambda g: g.certified)
+    return strategy

@@ -1,0 +1,159 @@
+"""Satisfiability-preserving metamorphic transforms.
+
+Each transform maps a :class:`~repro.strings.ast.StringProblem` to an
+*equisatisfiable* problem (or returns ``None`` when it does not apply),
+in the spirit of metamorphic SMT-solver testing (STORM, yinyang): a
+sound solver must give verdicts that are stable under them.
+
+* ``rename`` — consistent fresh renaming of every string and integer
+  variable (including the reserved ``|x|`` length variables inside
+  linear formulas).
+* ``roundtrip`` — SMT-LIB print→parse round trip through
+  :mod:`repro.smtlib`; exercises the printer/parser/converter stack.
+* ``pad_tonum`` — for some ``n = toNum(x)``, add ``y = "0"·x``,
+  ``m = toNum(y)`` and the *implied* NaN-semantics relations
+  (``n >= 0 → m = n``; ``n = -1 ∧ |x| >= 1 → m = -1``; ``|x| = 0 →
+  m = 0``).  All added constraints are tautologies of the toNum
+  semantics over fresh variables, so satisfiability is preserved while
+  the leading-zero/NaN corners of the Ψ encoding get cross-checked.
+* ``shuffle`` — random permutation of the conjuncts.
+* ``split_eq`` — replace one word equation ``t1 = t2`` by
+  ``f = t1 ∧ f = t2`` for a fresh variable ``f``.
+"""
+
+from repro.logic.formula import (
+    And, Atom, BoolConst, Not, Or, conj, eq, ge, implies, le,
+)
+from repro.logic.terms import LinExpr, var as int_var
+from repro.strings.ast import (
+    CharNeq, IntConstraint, RegularConstraint, StringProblem, StrVar,
+    ToNum, WordEquation, length_var, str_len,
+)
+
+
+# -- variable renaming -------------------------------------------------------
+
+
+def _rename_expr(expr, mapping):
+    return LinExpr({mapping.get(name, name): coeff
+                    for name, coeff in expr.coeffs.items()}, expr.constant)
+
+
+def _rename_formula(formula, mapping):
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(_rename_expr(formula.expr, mapping))
+    if isinstance(formula, Not):
+        return Not(_rename_formula(formula.arg, mapping))
+    if isinstance(formula, And):
+        return And([_rename_formula(a, mapping) for a in formula.args])
+    if isinstance(formula, Or):
+        return Or([_rename_formula(a, mapping) for a in formula.args])
+    raise TypeError("cannot rename %r" % (formula,))
+
+
+def _rename_term(term, str_map):
+    return tuple(StrVar(str_map.get(e.name, e.name))
+                 if isinstance(e, StrVar) else e for e in term)
+
+
+def rename(problem, rng):
+    """Consistently rename every variable with a fresh prefix."""
+    prefix = "rn%d_" % rng.randint(0, 999)
+    str_map = {v.name: prefix + v.name for v in problem.string_vars()}
+    int_map = {name: prefix + name for name in problem.int_vars()}
+    formula_map = dict(int_map)
+    for old, new in str_map.items():
+        formula_map[length_var(old)] = length_var(new)
+    out = StringProblem()
+    for c in problem:
+        if isinstance(c, WordEquation):
+            out.add(WordEquation(_rename_term(c.lhs, str_map),
+                                 _rename_term(c.rhs, str_map)))
+        elif isinstance(c, RegularConstraint):
+            out.add(RegularConstraint(StrVar(str_map[c.var.name]), c.nfa,
+                                      c.source))
+        elif isinstance(c, IntConstraint):
+            out.add(IntConstraint(_rename_formula(c.formula, formula_map)))
+        elif isinstance(c, ToNum):
+            out.add(ToNum(int_map[c.result], StrVar(str_map[c.var.name])))
+        elif isinstance(c, CharNeq):
+            out.add(CharNeq(StrVar(str_map[c.left.name]),
+                            StrVar(str_map[c.right.name])))
+        else:
+            return None
+    return out
+
+
+# -- SMT-LIB round trip ------------------------------------------------------
+
+
+def roundtrip(problem, rng):
+    from repro.errors import ReproError
+    from repro.smtlib import load_problem, problem_to_smtlib
+    try:
+        text = problem_to_smtlib(problem)
+        return load_problem(text).problem
+    except ReproError:
+        return None
+
+
+# -- toNum leading-zero padding ----------------------------------------------
+
+
+def pad_tonum(problem, rng):
+    conversions = problem.by_kind(ToNum)
+    if not conversions:
+        return None
+    target = rng.choice(conversions)
+    x, n = target.var, int_var(target.result)
+    suffix = "%s_%d" % (x.name, rng.randint(0, 999))
+    y = StrVar("_pad" + suffix)
+    m_name = "_padnum" + suffix
+    m = int_var(m_name)
+    out = StringProblem(list(problem.constraints))
+    out.add(WordEquation((y,), ("0", x)))
+    out.add(ToNum(m_name, y))
+    out.add(IntConstraint(conj(
+        implies(ge(n, 0), eq(m, n)),
+        implies(conj(le(n, -1), ge(str_len(x), 1)), eq(m, -1)),
+        implies(eq(str_len(x), 0), eq(m, 0)))))
+    return out
+
+
+# -- structural shuffles -----------------------------------------------------
+
+
+def shuffle(problem, rng):
+    constraints = list(problem.constraints)
+    rng.shuffle(constraints)
+    return StringProblem(constraints)
+
+
+def split_eq(problem, rng):
+    equations = [i for i, c in enumerate(problem.constraints)
+                 if isinstance(c, WordEquation)]
+    if not equations:
+        return None
+    index = rng.choice(equations)
+    target = problem.constraints[index]
+    fresh = StrVar("_split%d" % rng.randint(0, 999))
+    constraints = list(problem.constraints)
+    constraints[index:index + 1] = [WordEquation((fresh,), target.lhs),
+                                    WordEquation((fresh,), target.rhs)]
+    return StringProblem(constraints)
+
+
+TRANSFORMS = {
+    "rename": rename,
+    "roundtrip": roundtrip,
+    "pad_tonum": pad_tonum,
+    "shuffle": shuffle,
+    "split_eq": split_eq,
+}
+
+
+def apply_transform(name, problem, rng):
+    """Apply transform *name*; ``None`` when it does not apply."""
+    return TRANSFORMS[name](problem, rng)

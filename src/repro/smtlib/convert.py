@@ -77,6 +77,10 @@ class _Converter:
         if sort not in ("String", "Int", "Bool"):
             raise UnsupportedConstraint("sort %r" % sort)
         self.sorts[name] = sort
+        # Scripts may declare names the desugaring encodings would mint
+        # themselves (_dp1, _num2, ...); reserving them keeps fresh
+        # variables genuinely fresh.
+        self.builder.reserve((name,))
 
     def _define(self, command):
         _, name, params, sort, body = command
@@ -84,6 +88,7 @@ class _Converter:
             raise UnsupportedConstraint("define-fun with parameters")
         self.macros[name] = body
         self.sorts[name] = sort
+        self.builder.reserve((name,))
 
     # -- sort inference ----------------------------------------------------------
 
@@ -125,6 +130,9 @@ class _Converter:
         if head == "=" and self._sort_of(term[1]) == "String":
             self.builder.equal(self._str_term(term[1]),
                                self._str_term(term[2]))
+            return
+        if head == "=" and len(term) == 3 \
+                and self._tonum_binding(term[1], term[2]):
             return
         if head == "not":
             inner = self._expand(term[1])
@@ -289,6 +297,21 @@ class _Converter:
             name = self._int_name(inner)
             return (self.builder.to_str(name),)
         raise UnsupportedConstraint("string operator %r" % head)
+
+    def _tonum_binding(self, lhs, rhs):
+        """``(= n (str.to_int x))`` with *n* a declared Int symbol (either
+        order) binds *n* directly as the conversion's result.  Without
+        this, every parse would mint a fresh result variable plus a
+        linking equality, so print -> parse would grow the problem."""
+        lhs, rhs = self._expand(lhs), self._expand(rhs)
+        for name, conversion in ((lhs, rhs), (rhs, lhs)):
+            if isinstance(name, str) and self.sorts.get(name) == "Int" \
+                    and isinstance(conversion, list) and conversion \
+                    and conversion[0] in _TO_INT:
+                variable = self._varify(self._str_term(conversion[1]))
+                self.builder.to_num(variable, result=name)
+                return True
+        return False
 
     def _int_name(self, expr):
         """An integer variable equal to *expr* (fresh if needed)."""

@@ -18,7 +18,23 @@ from repro.automata.regex import (
 
 
 def _escape(text):
-    return text.replace('"', '""')
+    """*text* as the body of an SMT-LIB 2.6 string literal.
+
+    Quotes double; backslashes and non-printable characters go through
+    ``\\u{..}`` escapes (a bare backslash would be re-read as the start
+    of an escape sequence, breaking print -> parse round-trips).
+    """
+    out = []
+    for ch in text:
+        if ch == '"':
+            out.append('""')
+        elif ch == "\\":
+            out.append("\\u{5c}")
+        elif " " <= ch <= "~":
+            out.append(ch)
+        else:
+            out.append("\\u{%x}" % ord(ch))
+    return "".join(out)
 
 
 def _term(term):

@@ -30,6 +30,7 @@ class ProblemBuilder:
         self.alphabet = alphabet
         self.problem = StringProblem()
         self._fresh = 0
+        self._reserved = set()
         self.single_char_vars = set()
 
     # -- variables ------------------------------------------------------------
@@ -37,13 +38,29 @@ class ProblemBuilder:
     def str_var(self, name):
         return StrVar(name)
 
+    def reserve(self, names):
+        """Mark *names* as taken so no fresh variable ever collides.
+
+        Frontends introducing externally-named variables (the SMT-LIB
+        converter's declared symbols) must reserve them: a script is
+        free to declare ``_dp1``-style names that the desugaring
+        encodings would otherwise mint themselves, silently fusing two
+        unrelated variables into one.
+        """
+        self._reserved.update(names)
+
+    def _fresh_name(self, prefix):
+        while True:
+            self._fresh += 1
+            name = "%s%d" % (prefix, self._fresh)
+            if name not in self._reserved:
+                return name
+
     def fresh_str(self, prefix="_t"):
-        self._fresh += 1
-        return StrVar("%s%d" % (prefix, self._fresh))
+        return StrVar(self._fresh_name(prefix))
 
     def fresh_int(self, prefix="_n"):
-        self._fresh += 1
-        return "%s%d" % (prefix, self._fresh)
+        return self._fresh_name(prefix)
 
     # -- raw constraints ----------------------------------------------------------
 
@@ -155,6 +172,8 @@ class ProblemBuilder:
     def diseq(self, lhs, rhs):
         """Word-term disequality ``t1 != t2`` via the standard encoding:
         a common prefix followed by a differing (possibly empty) character.
+        Returns the encoding's fresh variables ``(p, c1, c2, s1, s2)`` so
+        callers constructing witnesses can assign them.
         """
         p = self.fresh_str("_dp")
         c1, c2 = self.fresh_str("_dc"), self.fresh_str("_dc")
@@ -168,6 +187,7 @@ class ProblemBuilder:
         self.problem.add(CharNeq(c1, c2))
         self.single_char_vars.add(c1)
         self.single_char_vars.add(c2)
+        return p, c1, c2, s1, s2
 
     def index_of_char(self, variable, char, result=None):
         """``i = indexOf(x, c)`` for a single character *char*, with the

@@ -1,0 +1,10 @@
+; EnumerativeSolver soundness regression: the only word in the language
+; is longer than the oracle's default search depth (max_total_length = 8).
+; The solver used to answer UNSAT because the variable had *a* finite
+; length bound, even though the bound exceeded the enumerated depth; it
+; must answer unknown (or enumerate far enough to find the word).
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun x () String)
+(assert (str.in_re x ((_ re.loop 9 9) (str.to_re "a"))))
+(check-sat)

@@ -1,0 +1,14 @@
+; repro.diff reproducer (found by `repro fuzz --seed 0`, metamorphic:roundtrip)
+; Declared symbols shadow the names the diseq desugaring mints for itself
+; (_dp1/_dc2/_dc3): before ProblemBuilder.reserve, conversion fused the
+; declared variables with the encoding's fresh ones and flipped sat -> unsat.
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun _dp1 () String)
+(declare-fun _dc2 () String)
+(declare-fun _dc3 () String)
+(assert (= _dp1 "a"))
+(assert (= _dc2 "b"))
+(assert (= _dc3 "c"))
+(assert (not (= _dc2 _dc3)))
+(check-sat)

@@ -1,0 +1,11 @@
+; Printer escaping regression: quote and backslash literals must survive
+; print -> parse (the printer used to emit bare backslashes, which the
+; parser re-read as the start of a \u{..} escape).  The collector's
+; roundtrip pass re-prints and re-solves this problem.
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun x () String)
+(declare-fun y () String)
+(assert (= x "quote"" and backslash\u{5c} mixed"))
+(assert (= y (str.++ x "\u{5c}u{0}")))
+(check-sat)

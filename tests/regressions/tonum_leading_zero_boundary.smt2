@@ -1,0 +1,12 @@
+; toNum boundary case: value 12345 has exactly initial_numeric_m = 5
+; significant digits and the length pin forces four leading zeros, so
+; the flattened Psi_shift (0+w) encoding must agree with to_num_value.
+; Also exercises the converter's direct (= n (str.to_int x)) binding.
+(set-logic QF_SLIA)
+(set-info :status sat)
+(declare-fun x () String)
+(declare-fun n () Int)
+(assert (= n (str.to_int x)))
+(assert (= n 12345))
+(assert (= (str.len x) 9))
+(check-sat)

@@ -1,0 +1,69 @@
+"""Auto-collected fuzz reproducers.
+
+Every ``tests/regressions/*.smt2`` file is a shrunk reproducer of a
+disagreement once found by the differential harness (``repro fuzz``) or
+a hand-reduced soundness bug.  Each is solved by the PFA solver and
+cross-checked against the enumerative oracle and its own
+``(set-info :status ...)`` expectation; printable problems additionally
+make a print -> parse -> solve roundtrip so printer regressions re-fire.
+
+To land a new reproducer, run a campaign with ``--save-failures`` and
+move the minimized ``.smt2`` here once the underlying bug is fixed.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.baselines import EnumerativeSolver
+from repro.core.solver import TrauSolver
+from repro.errors import ReproError
+from repro.smtlib import load_problem, problem_to_smtlib
+from repro.strings import check_model
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "regressions")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.smt2")))
+
+
+def test_corpus_is_present():
+    assert CORPUS, "tests/regressions/ must hold at least one reproducer"
+
+
+@pytest.mark.parametrize("path", CORPUS,
+                         ids=[os.path.basename(p) for p in CORPUS])
+def test_reproducer(path):
+    script = load_problem(open(path).read())
+    expected = script.expected
+
+    result = TrauSolver().solve(script.problem, timeout=60)
+    if expected in ("sat", "unsat"):
+        assert result.status == expected, \
+            "%s: %s != expected %s" % (path, result.status, expected)
+    if result.status == "sat":
+        assert check_model(script.problem, result.model), path
+
+    # The oracle may say unknown, but must never contradict a definite
+    # expectation — this is where the enumerative bound bug re-fires.
+    oracle = EnumerativeSolver().solve(script.problem, timeout=15)
+    if expected in ("sat", "unsat") and oracle.status in ("sat", "unsat"):
+        assert oracle.status == expected, \
+            "%s: oracle %s != expected %s" % (path, oracle.status, expected)
+    if oracle.status == "sat":
+        assert check_model(script.problem, oracle.model), path
+
+
+@pytest.mark.parametrize("path", CORPUS,
+                         ids=[os.path.basename(p) for p in CORPUS])
+def test_reproducer_print_parse_roundtrip(path):
+    script = load_problem(open(path).read())
+    try:
+        text = problem_to_smtlib(script.problem, expected=script.expected)
+    except ReproError:
+        pytest.skip("problem has no printable form")
+    reloaded = load_problem(text)
+    result = TrauSolver().solve(reloaded.problem, timeout=60)
+    if script.expected in ("sat", "unsat"):
+        assert result.status == script.expected, path
+    if result.status == "sat":
+        assert check_model(reloaded.problem, result.model), path

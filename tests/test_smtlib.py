@@ -164,3 +164,67 @@ class TestPrinterRoundTrip:
         result = TrauSolver().solve(reloaded.problem, timeout=60)
         assert result.status == "sat"
         assert check_model(reloaded.problem, result.model)
+
+
+class TestLiteralEscaping:
+    """print -> parse must be the identity on string literals (SMT-LIB
+    2.6 ``""`` / ``\\u{..}`` forms), over the *full* default alphabet —
+    quote and backslash included."""
+
+    @staticmethod
+    def _roundtrip_literal(text):
+        from repro.strings import ProblemBuilder, StrVar, WordEquation
+
+        b = ProblemBuilder()
+        b.equal((b.str_var("x"),), (text,))
+        script = load_problem(problem_to_smtlib(b.problem))
+        equation = script.problem.by_kind(WordEquation)[0]
+        return "".join(e for e in equation.rhs
+                       if not isinstance(e, StrVar))
+
+    def test_full_default_alphabet(self):
+        from repro.alphabet import DEFAULT_ALPHABET
+        text = "".join(DEFAULT_ALPHABET.chars())
+        assert self._roundtrip_literal(text) == text
+
+    def test_quote_backslash_and_nonprintables(self):
+        for text in ['"', "\\", '""\\\\', 'a"b\\c', "\\u{0}",
+                     "line\nbreak", "\ttab", "\x00\x1f\x7f"]:
+            assert self._roundtrip_literal(text) == text, repr(text)
+
+    def test_hypothesis_roundtrip(self):
+        from hypothesis import given, settings, strategies as st
+        from repro.alphabet import DEFAULT_ALPHABET
+
+        @settings(max_examples=100, deadline=None)
+        @given(st.text(alphabet="".join(DEFAULT_ALPHABET.chars()),
+                       max_size=12))
+        def run(text):
+            assert self._roundtrip_literal(text) == text
+
+        run()
+
+
+class TestFreshNameCollision:
+    def test_declared_encoding_names_stay_distinct(self):
+        """A script may declare the very names the diseq desugaring
+        would mint (_dp1, _dc2, ...); conversion must not fuse them
+        (found by `repro fuzz`: roundtripped problems flipped
+        sat -> unsat when fresh names collided with declared ones)."""
+        text = """
+        (set-logic QF_SLIA)
+        (declare-fun _dp1 () String)
+        (declare-fun _dc2 () String)
+        (declare-fun _dc3 () String)
+        (assert (= _dp1 "a"))
+        (assert (= _dc2 "b"))
+        (assert (= _dc3 "c"))
+        (assert (not (= _dc2 _dc3)))
+        (check-sat)
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        model = result.model
+        assert (model["_dp1"], model["_dc2"], model["_dc3"]) \
+            == ("a", "b", "c")

@@ -204,3 +204,69 @@ class TestValidatedRandomScenarios:
         result = solve(b)
         assert result.status == "sat"
         assert check_model(b.problem, result.model)
+
+
+class TestToNumBoundary:
+    """Agreement of the flattened Psi_NaN/Psi_shift encoding with
+    :func:`to_num_value` at the numeric-PFA chain boundary.
+
+    The chain starts at ``initial_numeric_m = 5`` significant digits, so
+    words whose digit-string length reaches or crosses 5 — including the
+    ``0+w`` leading-zero forms Psi_shift exists for — are exactly where
+    an off-by-one in the encoding would silently mis-convert."""
+
+    BOUNDARY_WORDS = [
+        "12345",        # length == initial m
+        "123456",       # crosses m: solver must grow the chain
+        "99999",        # largest value at the initial chain length
+        "00000",        # all zeros, length == m, value 0
+        "000001",       # leading zeros past m, single significant digit
+        "0000012345",   # 0+w with |w| == m
+        "09999",        # single leading zero at the boundary
+    ]
+
+    def _pinned(self, word, value):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.equal((x,), (word,))
+        n = b.to_num(x)
+        b.require_int(eq(var(n), value))
+        return b
+
+    def test_pinned_word_converts_exactly(self):
+        for word in self.BOUNDARY_WORDS:
+            expected = to_num_value(word)
+            assert expected == int(word)
+            builder = self._pinned(word, expected)
+            result = solve(builder, timeout=60)
+            assert result.status == "sat", (word, result.status)
+            assert check_model(builder.problem, result.model), word
+
+    def test_pinned_word_refutes_off_by_one(self):
+        for word in self.BOUNDARY_WORDS:
+            expected = to_num_value(word)
+            result = solve(self._pinned(word, expected + 1), timeout=60)
+            assert result.status == "unsat", (word, result.status)
+
+    def test_nan_words_at_boundary(self):
+        from repro.strings.ast import ToNum
+        for word in ["1234a", "a23456", "12a45", ""]:
+            assert to_num_value(word) == -1
+            result = solve(self._pinned(word, -1), timeout=60)
+            assert result.status == "sat", (word, result.status)
+            refuted = self._pinned(word, -1)
+            conversion = refuted.problem.by_kind(ToNum)[-1]
+            refuted.require_int(ge(var(conversion.result), 0))
+            result = solve(refuted, timeout=60)
+            assert result.status == "unsat", (word, result.status)
+
+    def test_leading_zero_padding_solved_backwards(self):
+        """n = 12345 with |x| = 9 forces the 0+w shift form."""
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n = b.to_num(x)
+        b.require_int(eq(var(n), 12345))
+        b.require_int(eq(str_len(x), 9))
+        result = solve(b, timeout=60)
+        assert result.status == "sat"
+        assert result.model["x"] == "000012345"

@@ -84,8 +84,16 @@ def perf_instances(quick=False):
     return rows
 
 
-def run_set(no_cache=False, no_incremental=False, reps=1, quick=False):
-    """Run the smoke set; returns the JSON-able result document."""
+def run_set(no_cache=False, no_incremental=False, reps=1, quick=False,
+            aggregator=None, profiler=None):
+    """Run the smoke set; returns the JSON-able result document.
+
+    *aggregator* (a ``repro.obs.pipeline.TelemetryAggregator``) collects
+    every instance's counters and per-phase histograms through the same
+    merge path the serving layer uses; *profiler* (a
+    ``repro.obs.profile.SamplingProfiler``) stays armed across the whole
+    set.  Both are None on old checkouts, where the plain path runs.
+    """
     results = []
     suite_seconds = {}
     for suite, name, problem, timeout in perf_instances(quick):
@@ -97,7 +105,19 @@ def run_set(no_cache=False, no_incremental=False, reps=1, quick=False):
             metrics = Metrics()
             solver = TrauSolver(config=config, metrics=metrics)
             start = time.monotonic()
-            result = solver.solve(problem, timeout=timeout)
+            if aggregator is not None or profiler is not None:
+                from repro.obs import Tracer, scope
+                tracer = Tracer()
+                with scope(tracer, metrics):
+                    if profiler is not None:
+                        with profiler:
+                            result = solver.solve(problem, timeout=timeout)
+                    else:
+                        result = solver.solve(problem, timeout=timeout)
+                if aggregator is not None:
+                    aggregator.ingest_scope(tracer, metrics)
+            else:
+                result = solver.solve(problem, timeout=timeout)
             elapsed = time.monotonic() - start
             if best is None or elapsed < best:
                 best = elapsed
@@ -189,10 +209,41 @@ def main(argv=None):
                         help="repetitions per instance (best-of)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced set for CI smoke runs")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write a Prometheus snapshot of the merged "
+                             "per-instance telemetry to FILE")
+    parser.add_argument("--profile-hot", type=int, metavar="N",
+                        help="sample the solver deterministically and report "
+                             "the N hottest (phase, function) rows")
     args = parser.parse_args(argv)
 
+    # The telemetry pipeline postdates this module's baseline contract, so
+    # both knobs degrade to no-ops on checkouts that lack repro.obs.*.
+    aggregator = profiler = None
+    if args.metrics_out:
+        try:
+            from repro.obs.pipeline import TelemetryAggregator
+            aggregator = TelemetryAggregator()
+        except ImportError:
+            print("perfsmoke: --metrics-out needs the telemetry pipeline; "
+                  "skipping on this checkout", file=sys.stderr)
+    if args.profile_hot:
+        try:
+            from repro.obs.profile import SamplingProfiler
+            profiler = SamplingProfiler()
+        except ImportError:
+            print("perfsmoke: --profile-hot needs the sampling profiler; "
+                  "skipping on this checkout", file=sys.stderr)
+
     document = run_set(args.no_cache, args.no_incremental, args.reps,
-                       args.quick)
+                       args.quick, aggregator=aggregator, profiler=profiler)
+    if profiler is not None:
+        print(profiler.report(args.profile_hot))
+        document["profile"] = profiler.to_dict(args.profile_hot)
+    if aggregator is not None:
+        from repro.obs.prometheus import write_snapshot
+        write_snapshot(args.metrics_out, aggregator)
+        print("wrote %s" % args.metrics_out)
     if args.baseline:
         with open(args.baseline) as handle:
             document = compare(document, json.load(handle))

@@ -5,14 +5,19 @@ Usage::
     python -m repro FILE.smt2 [--timeout S] [--solver pfa|splitting|enum]
                               [--model] [--validate]
                               [--trace] [--trace-json FILE]
+                              [--profile-hot N]
                               [--max-bb-nodes N] [--max-smt-iterations N]
                               [--max-automata-states N]
                               [--inject-fault SPEC]
     python -m repro selfcheck [--trace] [--allow-unknown] [budget flags]
     python -m repro serve-batch PATH... [--pool-jobs N] [--portfolio]
                                 [--timeout S] [--results-json FILE]
+                                [--metrics-out FILE] [--flight-dir DIR]
+                                [--slo S]
     python -m repro fuzz [--seed N] [--n N] [--max-len N]
                          [--save-failures DIR] [--lie-rate R] [--trace]
+                         [--metrics-out FILE]
+    python -m repro top SNAPSHOT [--interval S] [--iterations N]
 
 Prints ``sat``/``unsat``/``unknown`` like an SMT solver; ``--model`` adds
 a ``(model ...)`` block with the string/integer assignments.  ``--trace``
@@ -51,6 +56,18 @@ gracefully (in-flight work finishes or is killed at its deadline,
 queued files answer ``unknown(shutdown)``) and still exits zero.
 ``--request-fault 'NAME[@LABEL]=SPEC'`` arms a serve-layer fault for
 one request (optionally one portfolio arm) — the chaos-soak instrument.
+
+Telemetry: ``--metrics-out FILE`` attaches a
+:class:`~repro.obs.pipeline.TelemetryAggregator` (worker-side spans and
+counters are shipped back over the pool's delta protocol) and
+periodically rewrites FILE as a Prometheus text-exposition snapshot —
+``python -m repro top FILE`` watches it live, and the same file is what
+a ``/metrics`` endpoint would serve.  ``--flight-dir DIR`` and
+``--slo S`` arm the per-request flight recorder: commented-JSON black
+boxes are dumped to DIR when a request degrades, blows the SLO, is
+hard-killed, or is quarantined.  ``--profile-hot N`` (single-file mode)
+runs the deterministic sampling profiler and prints the N hottest
+(phase stack, call site) rows.
 """
 
 import argparse
@@ -137,6 +154,8 @@ def main(argv=None):
         return serve_batch(argv[1:])
     if argv and argv[0] == "fuzz":
         return fuzz(argv[1:])
+    if argv and argv[0] == "top":
+        return top(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -155,6 +174,11 @@ def main(argv=None):
     parser.add_argument("--trace-json", metavar="FILE",
                         help="write the trace as JSON-lines to FILE "
                              "('-' for stdout)")
+    parser.add_argument("--profile-hot", type=int, default=None,
+                        metavar="N",
+                        help="run the deterministic sampling profiler and "
+                             "print the N hottest (phase, call site) rows "
+                             "(as ; comments); implies span tracing")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the memoization caches and "
                              "cross-round incremental solving")
@@ -174,11 +198,18 @@ def main(argv=None):
     else:
         solver = _SOLVERS[args.solver]()
 
-    tracing = args.trace or args.trace_json
+    tracing = args.trace or args.trace_json or args.profile_hot
     tracer = Tracer() if tracing else None
     metrics = Metrics() if tracing else None
+    profiler = None
     with scope(tracer, metrics):
-        result = solver.solve(script.problem, timeout=args.timeout)
+        if args.profile_hot:
+            from repro.obs.profile import SamplingProfiler
+            profiler = SamplingProfiler()
+            with profiler:
+                result = solver.solve(script.problem, timeout=args.timeout)
+        else:
+            result = solver.solve(script.problem, timeout=args.timeout)
 
     print(result.status)
     if result.status == "sat":
@@ -189,6 +220,9 @@ def main(argv=None):
             print(format_model(script.problem, result.model))
     if args.trace:
         _print_trace(tracer, metrics)
+    if profiler is not None:
+        for line in profiler.report(args.profile_hot).splitlines():
+            print("; " + line if line else ";")
     if args.trace_json:
         if args.trace_json == "-":
             dump_jsonl(tracer, metrics, sys.stdout)
@@ -260,6 +294,22 @@ def serve_batch(argv=None):
                         help="kills/hangs before an instance is quarantined")
     parser.add_argument("--results-json", metavar="FILE",
                         help="write one JSON row per request ('-' stdout)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="enable worker telemetry shipping and "
+                             "periodically rewrite FILE as a Prometheus "
+                             "text-exposition snapshot (watch it with "
+                             "`python -m repro top FILE`)")
+    parser.add_argument("--metrics-interval", type=float, default=2.0,
+                        metavar="S",
+                        help="seconds between --metrics-out rewrites "
+                             "(default 2)")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="dump flight-recorder artifacts (commented "
+                             "JSON) to DIR on degraded/SLO/hard-kill/"
+                             "quarantine triggers")
+    parser.add_argument("--slo", type=float, default=None, metavar="S",
+                        help="latency SLO in seconds; a request over it "
+                             "triggers a worker flight dump")
     parser.add_argument("--trace", action="store_true",
                         help="print serve spans and metrics after the run")
     parser.add_argument("--no-cache", action="store_true",
@@ -314,11 +364,30 @@ def serve_batch(argv=None):
 
     tracer = Tracer() if args.trace else None
     metrics = Metrics() if args.trace else None
+    aggregator = None
+    if args.metrics_out or args.trace:
+        from repro.obs import TelemetryAggregator
+        aggregator = TelemetryAggregator()
+
+    import time as _time
+    last_snapshot = [0.0]
+
+    def _snapshot(force=False):
+        if aggregator is None or not args.metrics_out:
+            return
+        now = _time.monotonic()
+        if force or now - last_snapshot[0] >= args.metrics_interval:
+            from repro.obs import write_snapshot
+            write_snapshot(args.metrics_out, aggregator, extra=metrics)
+            last_snapshot[0] = now
+
     service = SolverService(
         config=config, portfolio=portfolio, jobs=args.pool_jobs,
         timeout=args.timeout, grace=args.grace,
         queue_limit=args.queue_limit, max_retries=args.max_retries,
-        quarantine_threshold=args.quarantine_threshold)
+        quarantine_threshold=args.quarantine_threshold,
+        aggregator=aggregator, flight_dir=args.flight_dir,
+        slo_seconds=args.slo)
     try:
         with scope(tracer, metrics):
             # Mirrors SolverService.run_batch, hand-rolled so the
@@ -328,6 +397,7 @@ def serve_batch(argv=None):
                 while (not stop["flag"]
                        and service.open_requests >= service.queue_limit):
                     service.pump(0.05)
+                    _snapshot()
                 if stop["flag"]:
                     handles.append(ServeResult(name, "unknown",
                                                reason="shutdown"))
@@ -342,11 +412,13 @@ def serve_batch(argv=None):
                 service.pump(0.0)
             while not stop["flag"] and service.open_requests:
                 service.pump(0.05)
+                _snapshot()
             # Drains in-flight work, answers the rest unknown(shutdown),
             # reaps every worker; a no-op queue-wise when all answered.
             service.shutdown(drain=True)
             results = [h if isinstance(h, ServeResult) else h.result
                        for h in handles]
+        _snapshot(force=True)
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
@@ -365,19 +437,33 @@ def serve_batch(argv=None):
             incorrect += 1
             mark = "  INCORRECT(expected sat)"
         winner = (" [%s]" % row.winner) if row.winner else ""
-        print("%-24s %-22s %6.2fs%s%s"
-              % (row.name, row.answer, row.seconds, winner, mark))
+        # Per-request degradation story (satellite of the telemetry PR):
+        # these used to be buried inside the stats blob.
+        extras = []
+        for key in ("degraded_to", "stopped_by", "budget_tripped"):
+            if row.stats.get(key):
+                extras.append("%s=%s" % (key, row.stats[key]))
+        if row.retries:
+            extras.append("retries=%d" % row.retries)
+        note = ("  [%s]" % " ".join(extras)) if extras else ""
+        print("%-24s %-22s %6.2fs%s%s%s"
+              % (row.name, row.answer, row.seconds, winner, note, mark))
 
     answered = sum(1 for r in rows if r is not None)
+    degraded = sum(1 for r in rows
+                   if r is not None and r.stats.get("degraded_to"))
+    tripped = sum(1 for r in rows
+                  if r is not None and r.stats.get("budget_tripped"))
     pool_counters = service.pool.counters
     print("serve-batch: answered %d/%d (sat=%d unsat=%d unknown=%d) "
           "retries=%d hard-kills=%d worker-deaths=%d quarantined=%d "
-          "recycled=%d"
+          "recycled=%d degraded=%d budget-tripped=%d"
           % (answered, len(files), counts["sat"], counts["unsat"],
              counts["unknown"],
              sum(r.retries for r in rows if r is not None),
              pool_counters["hard_kills"], pool_counters["deaths"],
-             len(service._quarantined), pool_counters["recycled"]))
+             len(service._quarantined), pool_counters["recycled"],
+             degraded, tripped))
     if stop["flag"]:
         print("serve-batch: drained after signal; unfinished requests "
               "answered unknown(shutdown)")
@@ -393,7 +479,10 @@ def serve_batch(argv=None):
             with open(args.results_json, "w") as handle:
                 handle.write(text + "\n")
     if args.trace:
-        _print_trace(tracer, metrics)
+        # One table for everything: ambient serve spans plus the merged
+        # worker deltas (phase histograms, solver counters).
+        _print_trace(tracer, aggregator.combined(metrics)
+                     if aggregator is not None else metrics)
     return 0 if (answered == len(files) and incorrect == 0) else 1
 
 
@@ -463,7 +552,11 @@ def fuzz(argv=None):
                              "transform checks")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree and metrics after the "
-                             "summary")
+                             "summary (fuzz.* counters and solver phase "
+                             "timings in one table)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write a Prometheus text-exposition snapshot "
+                             "of the campaign's telemetry to FILE")
     args = parser.parse_args(argv)
 
     config = GenConfig(max_len=args.max_len,
@@ -472,18 +565,54 @@ def fuzz(argv=None):
                        lie_rate=args.lie_rate)
     driver = DifferentialDriver(config=config, timeout=args.timeout,
                                 metamorphic=not args.no_metamorphic)
-    tracer = Tracer() if args.trace else None
-    metrics = Metrics() if args.trace else None
+    observing = args.trace or args.metrics_out
+    tracer = Tracer() if observing else None
+    metrics = Metrics() if observing else None
     with scope(tracer, metrics):
         report = run_campaign(
             seed=args.seed, n=args.n, config=config, driver=driver,
             save_dir=args.save_failures, shrink=not args.no_shrink,
             progress=lambda line: print("! " + line, flush=True))
+    aggregator = None
+    if observing:
+        # Same pipeline as the serving layer: fuzz.* counters (incl. the
+        # disagreement rate) and solver-phase histograms merge into one
+        # aggregator, so the trace table and the snapshot read alike.
+        from repro.obs import TelemetryAggregator
+        aggregator = TelemetryAggregator()
+        aggregator.ingest_scope(tracer, metrics)
     for line in report.summary_lines():
         print(line)
+    if args.metrics_out:
+        from repro.obs import write_snapshot
+        write_snapshot(args.metrics_out, aggregator)
     if args.trace:
-        _print_trace(tracer, metrics)
+        _print_trace(tracer, aggregator.combined())
     return 0 if report.ok else 1
+
+
+def top(argv=None):
+    """Live terminal view over a ``--metrics-out`` snapshot file."""
+    from repro.obs.top import run_top
+
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="live view over a --metrics-out snapshot: RPS, "
+                    "queue depth, quarantine/recycle counts, and "
+                    "p50/p95/p99 per solver phase")
+    parser.add_argument("snapshot", metavar="FILE",
+                        help="the file a running serve-batch rewrites "
+                             "via --metrics-out")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between scrapes (default 1)")
+    parser.add_argument("--iterations", type=int, default=None, metavar="N",
+                        help="frames to draw (default: until Ctrl-C)")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of clearing the screen")
+    args = parser.parse_args(argv)
+    frames = run_top(args.snapshot, interval=args.interval,
+                     iterations=args.iterations, clear=not args.no_clear)
+    return 0 if frames else 1
 
 
 def selfcheck(argv=None):

@@ -309,12 +309,16 @@ def run_campaign(seed=0, n=100, config=None, driver=None, save_dir=None,
     report = CampaignReport(seed, n)
     started = time.monotonic()
     tracer = current_tracer()
+    metrics = current_metrics()
     with tracer.span("fuzz.campaign", seed=seed, n=n):
         for index in range(n):
             rng = random.Random("%d:%d" % (seed, index))
+            problem_started = time.monotonic()
             generated = generate(rng, config, seed_index=index)
             report.certified += 1 if generated.certified else 0
             found = driver.check_problem(generated, rng=rng, report=report)
+            metrics.observe("fuzz.problem_s",
+                            time.monotonic() - problem_started)
             if not found:
                 continue
             report.disagreements.extend(found)
@@ -338,4 +342,7 @@ def run_campaign(seed=0, n=100, config=None, driver=None, save_dir=None,
                             disagreement.describe()])
                 report.saved_paths.append(path)
     report.seconds = time.monotonic() - started
+    if n:
+        metrics.gauge("fuzz.disagreement_rate",
+                      len(report.disagreements) / n)
     return report

@@ -9,8 +9,17 @@ The observability substrate for the whole pipeline:
 * :func:`current_tracer` / :func:`current_metrics` / :func:`scope` —
   thread-local context so deep modules (SAT core, simplex, automata)
   report without parameter plumbing.
-* :mod:`repro.obs.export` — tree report, JSON-lines log, per-phase
-  breakdown for the benchmark runner.
+* :mod:`repro.obs.export` — tree report, JSON-lines log (with a lossless
+  replay path), per-phase breakdown for the benchmark runner.
+* :mod:`repro.obs.pipeline` — the cross-process delta protocol and the
+  parent-side :class:`TelemetryAggregator`.
+* :mod:`repro.obs.prometheus` — text exposition render/parse/lint for
+  ``--metrics-out`` snapshots.
+* :mod:`repro.obs.flight` — the per-request flight recorder dumped when
+  a request degrades, blows its SLO, hangs or is quarantined.
+* :mod:`repro.obs.profile` — the deterministic sampling profiler behind
+  ``--profile-hot``.
+* :mod:`repro.obs.top` — the ``repro top`` live view over a snapshot.
 
 Typical use::
 
@@ -24,10 +33,20 @@ Typical use::
 """
 
 from repro.obs.export import (
-    dump_jsonl, iter_records, load_jsonl, phase_seconds, render_metrics,
-    render_report, render_tree,
+    dump_jsonl, iter_records, load_jsonl, metrics_from_records,
+    phase_seconds, render_metrics, render_report, render_tree,
+    tracer_from_records,
 )
+from repro.obs.flight import FlightRecorder, read_flight, request_entry
 from repro.obs.metrics import Histogram, Metrics, NULL_METRICS, NullMetrics
+from repro.obs.pipeline import (
+    TelemetryAggregator, decode_metrics, encode_metrics, telemetry_delta,
+)
+from repro.obs.profile import SamplingProfiler
+from repro.obs.prometheus import (
+    lint_prometheus, metrics_from_prometheus, render_prometheus,
+    write_snapshot,
+)
 from repro.obs.tracer import (
     NULL_TRACER, NullTracer, Span, Tracer, current_metrics, current_tracer,
     scope,
@@ -39,4 +58,11 @@ __all__ = [
     "current_tracer", "current_metrics", "scope",
     "render_tree", "render_metrics", "render_report",
     "iter_records", "dump_jsonl", "load_jsonl", "phase_seconds",
+    "tracer_from_records", "metrics_from_records",
+    "TelemetryAggregator", "telemetry_delta", "encode_metrics",
+    "decode_metrics",
+    "render_prometheus", "metrics_from_prometheus", "lint_prometheus",
+    "write_snapshot",
+    "FlightRecorder", "read_flight", "request_entry",
+    "SamplingProfiler",
 ]

@@ -6,7 +6,10 @@ Three output shapes, matching three consumers:
   for ``repro --trace`` and ``repro selfcheck --trace``;
 * :func:`iter_records` / :func:`dump_jsonl` / :func:`load_jsonl` — a flat
   JSON-lines event log (one ``span``/``event``/``metric`` object per
-  line), for ``repro --trace-json FILE`` and offline tooling;
+  line), for ``repro --trace-json FILE`` and offline tooling; the
+  :func:`tracer_from_records`/:func:`metrics_from_records` pair rebuilds
+  a walkable forest and a registry from the log, making the round trip
+  lossless (histogram records carry their full bucket form);
 * :func:`phase_seconds` — the per-phase duration breakdown the benchmark
   runner attaches to its rows (summing direct children of the ``solve``
   root, which is why those children must tile the solve wall time).
@@ -119,8 +122,16 @@ def iter_records(tracer, metrics=None):
                 event["attrs"] = dict(attrs)
             records.append(event)
     if metrics is not None:
-        for name, value in sorted(metrics.flat().items()):
-            records.append({"type": "metric", "name": name, "value": value})
+        for name in sorted(metrics.counters):
+            records.append({"type": "metric", "kind": "counter",
+                            "name": name, "value": metrics.counters[name]})
+        for name in sorted(metrics.gauges):
+            records.append({"type": "metric", "kind": "gauge",
+                            "name": name, "value": metrics.gauges[name]})
+        for name in sorted(metrics.histograms):
+            records.append({"type": "metric", "kind": "histogram",
+                            "name": name,
+                            "value": metrics.histograms[name].to_dict()})
     return records
 
 
@@ -145,6 +156,99 @@ def load_jsonl(source):
         if line:
             records.append(json.loads(line))
     return records
+
+
+# -- replay (JSONL -> walkable forest + registry) ------------------------------
+
+
+class ReplaySpan:
+    """A span rebuilt from its exported record.
+
+    Walk-compatible with :class:`~repro.obs.tracer.Span` (same attribute
+    surface, stored rather than computed duration) so every renderer in
+    this module accepts a replayed forest unchanged.
+    """
+
+    __slots__ = ("name", "attrs", "events", "children", "status",
+                 "start", "duration")
+
+    def __init__(self, record):
+        self.name = record.get("name")
+        self.attrs = dict(record.get("attrs", {}))
+        self.events = []
+        self.children = []
+        self.status = record.get("status")
+        self.start = record.get("start_s")
+        self.duration = record.get("duration_s")
+
+    def __repr__(self):
+        took = "open" if self.duration is None else "%.4fs" % self.duration
+        return "ReplaySpan(%s, %s)" % (self.name, took)
+
+
+class ReplayTracer:
+    """A read-only span forest rebuilt by :func:`tracer_from_records`."""
+
+    enabled = True
+
+    def __init__(self):
+        self.roots = []
+
+    def walk(self):
+        stack = [(0, root) for root in reversed(self.roots)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            for child in reversed(span.children):
+                stack.append((depth + 1, child))
+
+
+def tracer_from_records(records):
+    """Rebuild the span forest from exported records (the inverse of the
+    span/event part of :func:`iter_records`): nesting is recovered from
+    the pre-order ``depth`` fields, events re-attach to their span."""
+    tracer = ReplayTracer()
+    stack = []                  # [(depth, ReplaySpan)]
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            span = ReplaySpan(record)
+            depth = record.get("depth", 0)
+            while stack and stack[-1][0] >= depth:
+                stack.pop()
+            if stack:
+                stack[-1][1].children.append(span)
+            else:
+                tracer.roots.append(span)
+            stack.append((depth, span))
+        elif kind == "event" and stack:
+            stack[-1][1].events.append((record.get("name"),
+                                        dict(record.get("attrs", {}))))
+    return tracer
+
+
+def metrics_from_records(records):
+    """Rebuild a :class:`~repro.obs.metrics.Metrics` registry from
+    exported ``metric`` records (the inverse of the metric part of
+    :func:`iter_records` — histogram records carry their full mergeable
+    bucket form, so nothing is lost)."""
+    from repro.obs.metrics import Histogram, Metrics
+    metrics = Metrics()
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        kind = record.get("kind", "counter")
+        name, value = record["name"], record["value"]
+        if kind == "counter":
+            metrics.add(name, value)
+        elif kind == "gauge":
+            metrics.gauge(name, value)
+        elif kind == "histogram":
+            hist = metrics.histograms.get(name)
+            if hist is None:
+                hist = metrics.histograms[name] = Histogram()
+            hist.merge(Histogram.from_dict(value))
+    return metrics
 
 
 # -- benchmark integration -----------------------------------------------------

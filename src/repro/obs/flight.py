@@ -1,0 +1,143 @@
+"""Per-request flight recorder: a black box for requests that go wrong.
+
+A :class:`FlightRecorder` keeps a bounded ring of the most recent
+request records — span trees, config/fingerprint context, verdicts and
+degradation stats — and writes a **dump artifact** when something bad
+happens.  The triggers, and which side of the pool observes them:
+
+========== =======================================================
+trigger     observed by
+========== =======================================================
+degraded    the worker (the ladder recorded ``degraded_to``)
+slo         the worker (request exceeded the latency SLO threshold)
+hard-killed the parent (a hung worker cannot write its own black box)
+quarantined the parent (verdict of the supervision policy)
+========== =======================================================
+
+Dumps are *commented JSON*: a few ``#`` header lines a human greps
+first (trigger, source, detail) followed by a pretty-printed JSON body
+holding the triggering record plus the recent-request ring — the same
+shape :func:`read_flight` parses back for tools and tests.  File names
+carry source, pid, a sequence number and the trigger, so concurrent
+workers dumping into one ``--flight-dir`` never collide.
+"""
+
+import json
+import os
+
+
+class FlightRecorder:
+    """Bounded ring of recent request records plus a dump-to-disk path.
+
+    ``push`` is cheap (dict append, bounded); ``dump`` does I/O and is
+    expected to be rare — it is the crash path, not the hot path.  With
+    *directory* ``None`` the recorder still keeps its ring (useful for
+    inspection in tests) but ``dump`` only returns the rendered text.
+    """
+
+    __slots__ = ("directory", "capacity", "source", "ring", "dumped",
+                 "_sequence")
+
+    def __init__(self, directory=None, capacity=8, source="worker"):
+        self.directory = directory
+        self.capacity = max(1, capacity)
+        self.source = source
+        self.ring = []              # oldest first, len <= capacity
+        self.dumped = []            # paths written by this recorder
+        self._sequence = 0
+
+    def push(self, entry):
+        """Remember one request record (a JSON-able dict)."""
+        self.ring.append(entry)
+        if len(self.ring) > self.capacity:
+            del self.ring[0]
+        return entry
+
+    def render(self, trigger, detail=None, entry=None):
+        """The commented-JSON artifact text for a *trigger* firing."""
+        if entry is None and self.ring:
+            entry = self.ring[-1]
+        header = [
+            "# repro flight recorder",
+            "# trigger: %s" % trigger,
+            "# source: %s (pid %d)" % (self.source, os.getpid()),
+        ]
+        if detail:
+            header.append("# detail: %s" % detail)
+        name = (entry or {}).get("name")
+        if name:
+            header.append("# request: %s" % name)
+        body = {
+            "trigger": trigger,
+            "detail": detail,
+            "source": self.source,
+            "pid": os.getpid(),
+            "request": entry,
+            "recent": [r for r in self.ring if r is not entry],
+        }
+        return "\n".join(header) + "\n" + \
+            json.dumps(body, indent=2, sort_keys=True, default=str) + "\n"
+
+    def dump(self, trigger, detail=None, entry=None):
+        """Write the artifact; returns its path (or the text when the
+        recorder has no directory)."""
+        text = self.render(trigger, detail, entry)
+        if self.directory is None:
+            return text
+        os.makedirs(self.directory, exist_ok=True)
+        self._sequence += 1
+        path = os.path.join(
+            self.directory,
+            "flight-%s-pid%d-%03d-%s.json"
+            % (self.source, os.getpid(), self._sequence,
+               trigger.replace("/", "_")))
+        with open(path, "w") as handle:
+            handle.write(text)
+        self.dumped.append(path)
+        return path
+
+
+def read_flight(source):
+    """Parse a dump artifact (path, file object, or text) back into its
+    JSON body, skipping the ``#`` header lines."""
+    if hasattr(source, "read"):
+        text = source.read()
+    elif "\n" not in source and os.path.exists(source):
+        with open(source) as handle:
+            text = handle.read()
+    else:
+        text = source
+    body = "\n".join(line for line in text.splitlines()
+                     if not line.startswith("#"))
+    return json.loads(body)
+
+
+def request_entry(name, fingerprint=None, config=None, verdict=None,
+                  elapsed=None, stats=None, spans=None):
+    """Build the canonical request record the serving layer pushes.
+
+    *stats* is filtered down to the failure-analysis keys (degradations,
+    budget trips, retry counts) so the ring stays small; *spans* is the
+    bounded record list from
+    :func:`repro.obs.pipeline.span_records`.
+    """
+    entry = {"name": name}
+    if fingerprint is not None:
+        entry["fingerprint"] = fingerprint
+    if config is not None:
+        entry["config"] = config
+    if verdict is not None:
+        entry["verdict"] = verdict
+    if elapsed is not None:
+        entry["elapsed_s"] = elapsed
+    if stats:
+        keep = {}
+        for key in ("degraded_to", "degradations", "stopped_by",
+                    "budget_tripped", "retries", "reason", "engine"):
+            if key in stats:
+                keep[key] = stats[key]
+        if keep:
+            entry["stats"] = keep
+    if spans is not None:
+        entry["spans"] = spans
+    return entry

@@ -6,8 +6,8 @@ A :class:`Metrics` registry is a plain in-process aggregator:
   ``sat.conflicts`` or ``smt.iterations``;
 * **gauges** (:meth:`Metrics.gauge`) — last-write-wins values such as
   ``refinement.rounds``;
-* **histograms** (:meth:`Metrics.observe`) — count/sum/min/max summaries
-  of per-event sizes such as ``nfa.product_states``.
+* **histograms** (:meth:`Metrics.observe`) — bucketed distributions of
+  per-event sizes such as ``nfa.product_states`` or per-phase durations.
 
 The disabled default is the :data:`NULL_METRICS` singleton, whose methods
 do nothing; hot modules therefore keep their counts in local integers and
@@ -23,16 +23,51 @@ attaches to its rows.
 """
 
 
-class Histogram:
-    """Streaming count/sum/min/max summary of observed values."""
+BUCKET_BOUNDS = tuple(10.0 ** (k / 2.0) for k in range(-12, 19))
+"""Fixed log-spaced bucket upper bounds shared by every histogram:
+half-decade steps from 1e-6 to 1e9 (31 bounds plus an overflow bucket).
+Because the boundaries are global constants, any two histograms are
+bucket-aligned and merge by adding counts — the property the
+cross-process :class:`~repro.obs.pipeline.TelemetryAggregator` needs.
+The range covers both microsecond phase durations and counters in the
+hundreds of millions; values outside it land in the edge buckets and
+quantiles are clamped to the exact observed min/max."""
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+_OVERFLOW = len(BUCKET_BOUNDS)
+
+
+def _bucket_index(value):
+    """Index of the first bound >= value (binary search, no deps)."""
+    lo, hi = 0, _OVERFLOW
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value <= BUCKET_BOUNDS[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+class Histogram:
+    """Bucketed summary of observed values with exact-ish quantiles.
+
+    Tracks count/sum/min/max plus a sparse ``{bucket index: count}`` map
+    over the fixed :data:`BUCKET_BOUNDS`.  Quantiles interpolate linearly
+    inside the containing bucket and clamp to the observed min/max, so a
+    constant series reports its exact value and every estimate is off by
+    at most one half-decade bucket width.  ``merge`` and the
+    ``to_dict``/``from_dict`` pair make the representation shippable
+    across processes and mergeable in an aggregator.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
 
     def __init__(self):
         self.count = 0
         self.total = 0
         self.minimum = None
         self.maximum = None
+        self.buckets = {}           # bucket index -> count (sparse)
 
     def observe(self, value):
         self.count += 1
@@ -41,10 +76,42 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q):
+        """The q-quantile (0 <= q <= 1) by in-bucket interpolation."""
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            here = self.buckets[index]
+            if cumulative + here >= rank:
+                low = 0.0 if index == 0 else BUCKET_BOUNDS[index - 1]
+                high = BUCKET_BOUNDS[index] if index < _OVERFLOW \
+                    else self.maximum
+                fraction = (rank - cumulative) / here
+                value = low + (high - low) * fraction
+                return min(max(value, self.minimum), self.maximum)
+            cumulative += here
+        return self.maximum
+
+    @property
+    def p50(self):
+        return self.quantile(0.50)
+
+    @property
+    def p95(self):
+        return self.quantile(0.95)
+
+    @property
+    def p99(self):
+        return self.quantile(0.99)
 
     def merge(self, other):
         if other.count == 0:
@@ -57,6 +124,38 @@ class Histogram:
         if self.maximum is None or (other.maximum is not None
                                     and other.maximum > self.maximum):
             self.maximum = other.maximum
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    def to_dict(self):
+        """JSON-able mergeable representation (the shipping format)."""
+        return {"count": self.count, "sum": self.total,
+                "min": self.minimum, "max": self.maximum,
+                "buckets": sorted([i, n] for i, n in self.buckets.items())}
+
+    @classmethod
+    def from_dict(cls, data):
+        hist = cls()
+        hist.count = data["count"]
+        hist.total = data["sum"]
+        hist.minimum = data["min"]
+        hist.maximum = data["max"]
+        hist.buckets = {int(i): n for i, n in data.get("buckets", ())}
+        return hist
+
+    def cumulative_buckets(self):
+        """``[(upper bound, cumulative count), ...]`` over the non-empty
+        bucket range plus the +Inf total — Prometheus exposition shape."""
+        rows = []
+        if self.buckets:
+            first = min(self.buckets)
+            last = min(max(self.buckets), _OVERFLOW - 1)
+            cumulative = 0
+            for index in range(first, last + 1):
+                cumulative += self.buckets.get(index, 0)
+                rows.append((BUCKET_BOUNDS[index], cumulative))
+        rows.append((float("inf"), self.count))
+        return rows
 
     def __repr__(self):
         return "Histogram(count=%d, sum=%s)" % (self.count, self.total)
@@ -108,6 +207,10 @@ class Metrics:
             out[name + ".sum"] = hist.total
             out[name + ".min"] = hist.minimum
             out[name + ".max"] = hist.maximum
+            if hist.count:
+                out[name + ".p50"] = hist.p50
+                out[name + ".p95"] = hist.p95
+                out[name + ".p99"] = hist.p99
         return out
 
     def __repr__(self):

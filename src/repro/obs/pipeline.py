@@ -1,0 +1,169 @@
+"""Cross-process telemetry: the delta-shipping protocol and aggregator.
+
+The PR 1 tracer/metrics layer is strictly in-process, but since the
+serving layer moved all real work into spawn-based
+:class:`~repro.serve.pool.WorkerPool` children, every span and counter
+produced where the solving actually happens used to die with its worker.
+This module is the bridge:
+
+* **Delta protocol** — a worker serializes one request's telemetry (its
+  scope's counters, gauges, mergeable histograms, per-phase durations
+  derived from the span tree, and a bounded copy of the span records)
+  into a plain JSON-able dict via :func:`telemetry_delta`, shipped in
+  the result envelope; worker-lifetime counters travel on periodic
+  flushes encoded by :func:`encode_metrics`.  A delta is *complete and
+  disjoint*: every registry it encodes is fresh per request (or reset
+  per flush), so ingesting each delta exactly once reconstructs the
+  totals with no double counting.
+* **:class:`TelemetryAggregator`** — the parent-side sink: merges every
+  delta into one :class:`~repro.obs.metrics.Metrics` registry, tracks
+  per-worker delta counts, and renders a combined export view for the
+  Prometheus exporter, ``repro top``, and the ``--trace`` report.
+
+The per-phase histograms (``phase.<span name>_s``) are the contract the
+acceptance test checks: one observation per span occurrence, so the
+aggregator's histogram counts equal the sum of all workers' in-process
+span counts.
+"""
+
+import time
+
+from repro.obs.metrics import Histogram, Metrics
+
+SPAN_RECORD_CAP = 512
+"""Upper bound on span/event records carried by one delta — a runaway
+span tree (thousands of refinement rounds) must not balloon the result
+envelope; the metric side of the delta is never truncated."""
+
+
+def encode_metrics(metrics):
+    """A :class:`Metrics` registry as a JSON-able/picklable dict."""
+    return {
+        "counters": dict(metrics.counters),
+        "gauges": dict(metrics.gauges),
+        "histograms": {name: hist.to_dict()
+                       for name, hist in metrics.histograms.items()},
+    }
+
+
+def decode_metrics(data, into=None):
+    """Rebuild (or merge into *into*) a registry from its encoded form."""
+    metrics = into if into is not None else Metrics()
+    for name, value in data.get("counters", {}).items():
+        metrics.add(name, value)
+    for name, value in data.get("gauges", {}).items():
+        metrics.gauge(name, value)
+    for name, encoded in data.get("histograms", {}).items():
+        hist = metrics.histograms.get(name)
+        if hist is None:
+            hist = metrics.histograms[name] = Histogram()
+        hist.merge(Histogram.from_dict(encoded))
+    return metrics
+
+
+def phase_histograms(tracer, metrics=None):
+    """Observe every closed span's duration into ``phase.<name>_s``.
+
+    One observation per span *occurrence* (a three-round solve yields
+    three ``phase.round_s`` samples), into *metrics* (or a fresh
+    registry) — the mergeable per-phase cost attribution the router and
+    the exporter consume.
+    """
+    metrics = metrics if metrics is not None else Metrics()
+    for _, span in tracer.walk():
+        if span.duration is not None:
+            metrics.observe("phase.%s_s" % span.name, span.duration)
+    return metrics
+
+
+def span_records(tracer, cap=SPAN_RECORD_CAP):
+    """Bounded JSON-able span/event records (the flight-recorder view)."""
+    from repro.obs.export import iter_records
+    records = iter_records(tracer)
+    if len(records) > cap:
+        records = records[:cap]
+        records.append({"type": "event", "name": "telemetry.truncated",
+                        "depth": 0, "attrs": {"cap": cap}})
+    return records
+
+
+def telemetry_delta(tracer, metrics, spans=True):
+    """One request's complete telemetry as a shippable delta dict.
+
+    *tracer*/*metrics* must be the request's own fresh scope (that is
+    what makes the result a delta rather than a snapshot).  Span-derived
+    per-phase histograms are folded into the metric payload; the raw
+    span records ride along (bounded) for the flight recorder.
+    """
+    combined = Metrics()
+    combined.merge(metrics)
+    phase_histograms(tracer, combined)
+    delta = encode_metrics(combined)
+    if spans:
+        delta["spans"] = span_records(tracer)
+    return delta
+
+
+class TelemetryAggregator:
+    """Parent-side merge point for worker telemetry deltas.
+
+    ``ingest`` folds one delta into the central registry; ``combined``
+    renders the export view (central registry + an optional extra
+    in-process registry + freshness gauges) that the Prometheus
+    exporter, ``repro top`` and the trace report all read.  Metrics the
+    serving layer produces in the parent process (queue gauges, verdict
+    counters) can be pointed straight at :attr:`metrics`.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self.started = clock()
+        self.metrics = Metrics()
+        self.ingested = 0
+        self.per_worker = {}        # worker label -> deltas ingested
+
+    def ingest(self, delta, worker=None):
+        """Merge one delta (an :func:`encode_metrics`-shaped dict)."""
+        if not delta:
+            return
+        decode_metrics(delta, into=self.metrics)
+        self.ingested += 1
+        if worker is not None:
+            key = str(worker)
+            self.per_worker[key] = self.per_worker.get(key, 0) + 1
+
+    def ingest_scope(self, tracer, metrics):
+        """Merge an in-process (tracer, metrics) pair — the single-
+        process path ``repro fuzz``/``bench`` use so their reports read
+        through the same pipeline as the serving layer."""
+        self.ingest(telemetry_delta(tracer, metrics, spans=False))
+
+    @property
+    def uptime(self):
+        return self._clock() - self.started
+
+    def phase_stats(self):
+        """``[(phase name, Histogram)]`` sorted by total time, descending."""
+        rows = [(name[len("phase."):-len("_s")], hist)
+                for name, hist in self.metrics.histograms.items()
+                if name.startswith("phase.") and name.endswith("_s")]
+        rows.sort(key=lambda row: (-row[1].total, row[0]))
+        return rows
+
+    def combined(self, extra=None):
+        """The export view: central registry + *extra* (an in-process
+        registry, merged non-destructively) + aggregator gauges."""
+        view = Metrics()
+        view.merge(self.metrics)
+        if extra is not None and extra.enabled:
+            view.merge(extra)
+        view.gauge("telemetry.uptime_s", self.uptime)
+        view.gauge("telemetry.deltas", self.ingested)
+        view.gauge("telemetry.workers", len(self.per_worker))
+        for worker, count in sorted(self.per_worker.items()):
+            view.gauge("telemetry.deltas.worker.%s" % worker, count)
+        return view
+
+    def __repr__(self):
+        return "TelemetryAggregator(deltas=%d, workers=%d)" % (
+            self.ingested, len(self.per_worker))

@@ -1,0 +1,130 @@
+"""Deterministic sampling profiler attributed to the obs phase stack.
+
+Wall-clock sampling (SIGPROF / a timer thread) is non-deterministic: two
+runs of the same solve produce different sample sets, which makes the
+profiler useless as a regression gate.  This profiler instead counts
+**interpreter events** via ``sys.setprofile`` (every Python/C call and
+return) and takes one sample every *every* events — same input, same
+samples, every run.
+
+Each sample is attributed twice:
+
+* to the **phase stack** — the names of the spans currently open on the
+  thread's tracer (``solve > round > sat.search``), so time rolls up to
+  the same phases the telemetry pipeline reports; and
+* to the **call site** — ``module.function`` of the frame (or C
+  function) that was executing.
+
+``report()`` renders the "aim here" table the ROADMAP's hot-loop
+optimisation item consumes; ``to_dict()`` is the JSON form the benchmark
+runner embeds in ``--results-json`` under ``profile``.
+
+The cost is real (a Python callback on every call event — expect a
+2-4x slowdown while armed), which is why the profiler is opt-in via
+``--profile-hot N`` and never enabled in the serving workers.
+"""
+
+import sys
+
+from repro.obs.tracer import current_tracer
+
+DEFAULT_EVERY = 997
+"""Events per sample.  Prime, so the sampling comb does not phase-lock
+with loop bodies whose call counts happen to divide a round number."""
+
+
+class SamplingProfiler:
+    """Count-based sampler; use as a context manager around the work.
+
+    Nesting or multi-thread use is not supported (``sys.setprofile`` is
+    per-thread and the solver pipeline is single-threaded in-process);
+    the previous profile function is restored on exit.
+    """
+
+    def __init__(self, every=DEFAULT_EVERY):
+        self.every = max(1, int(every))
+        self.events = 0
+        self.samples = 0
+        self.by_key = {}            # (phase tuple, site) -> samples
+        self._previous = None
+
+    # -- sampling ------------------------------------------------------------
+
+    def _site(self, frame, event, arg):
+        if event in ("c_call", "c_return", "c_exception"):
+            module = getattr(arg, "__module__", None) or "builtins"
+            name = getattr(arg, "__name__", None) or repr(arg)
+            return "%s.%s" % (module, name)
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        return "%s.%s" % (module, code.co_name)
+
+    def _callback(self, frame, event, arg):
+        self.events += 1
+        if self.events % self.every:
+            return
+        self.samples += 1
+        key = (current_tracer().stack_names(),
+               self._site(frame, event, arg))
+        self.by_key[key] = self.by_key.get(key, 0) + 1
+
+    def __enter__(self):
+        self._previous = sys.getprofile()
+        sys.setprofile(self._callback)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        sys.setprofile(self._previous)
+        self._previous = None
+        return False
+
+    # -- reporting -----------------------------------------------------------
+
+    def hot(self, top=10):
+        """``[(phase path, site, samples, share)]``, hottest first."""
+        total = self.samples or 1
+        rows = sorted(self.by_key.items(),
+                      key=lambda item: (-item[1], item[0]))
+        return [(" > ".join(phases) or "(no phase)", site, count,
+                 count / total)
+                for (phases, site), count in rows[:max(1, int(top))]]
+
+    def phase_totals(self):
+        """Samples rolled up to the innermost open phase."""
+        totals = {}
+        for (phases, _), count in self.by_key.items():
+            phase = phases[-1] if phases else "(no phase)"
+            totals[phase] = totals.get(phase, 0) + count
+        return dict(sorted(totals.items(),
+                           key=lambda item: (-item[1], item[0])))
+
+    def report(self, top=10):
+        """The human "aim here" table."""
+        lines = ["profile: %d samples / %d events (1 per %d)"
+                 % (self.samples, self.events, self.every)]
+        if not self.samples:
+            lines.append("  (no samples -- workload shorter than one "
+                         "sampling period)")
+            return "\n".join(lines)
+        rows = self.hot(top)
+        width = max(len(row[0]) for row in rows)
+        for phase, site, count, share in rows:
+            lines.append("  %5.1f%%  %-*s  %s"
+                         % (100.0 * share, width, phase, site))
+        return "\n".join(lines)
+
+    def to_dict(self, top=25):
+        """JSON form for ``--results-json`` (bounded to *top* rows)."""
+        return {
+            "every": self.every,
+            "events": self.events,
+            "samples": self.samples,
+            "hot": [{"phase": phase, "site": site, "samples": count,
+                     "share": round(share, 4)}
+                    for phase, site, count, share in self.hot(top)],
+            "phases": self.phase_totals(),
+        }
+
+    def __repr__(self):
+        return "SamplingProfiler(every=%d, samples=%d)" % (
+            self.every, self.samples)

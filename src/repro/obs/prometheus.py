@@ -1,0 +1,331 @@
+"""Prometheus text exposition: render, parse, and lint.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.Metrics`
+registry (or a :class:`~repro.obs.pipeline.TelemetryAggregator`) into
+the Prometheus text exposition format, the payload the ROADMAP's
+``/metrics`` front door will serve and what ``--metrics-out PATH``
+writes today:
+
+* counters   -> ``repro_<name>_total`` (``counter``)
+* gauges     -> ``repro_<name>`` (``gauge``)
+* histograms -> ``repro_<name>`` (``histogram``) with cumulative
+  ``_bucket{le="..."}`` series over the shared fixed bounds, ``_sum``,
+  ``_count``, plus ``_min``/``_max`` companion gauges so a snapshot is
+  lossless.
+
+Dots and dashes in metric names become underscores; the **original**
+dotted name is carried as the first token of the ``# HELP`` line, which
+is how :func:`metrics_from_prometheus` (used by ``repro top`` to watch a
+snapshot file) reverses the mangling without guessing.
+
+:func:`lint_prometheus` is the small validator the CI ``obs-smoke`` job
+runs: HELP/TYPE must precede samples, series must be unique, counters
+non-negative, histogram buckets cumulative-monotone with ``_count``
+equal to the ``+Inf`` bucket.  ``python -m repro.obs.prometheus FILE``
+lints files and exits non-zero on any problem.
+"""
+
+import math
+import re
+
+from repro.obs.metrics import BUCKET_BOUNDS, Histogram, Metrics, \
+    _bucket_index
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)\s*$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+PREFIX = "repro_"
+
+
+def mangle(name):
+    """Dotted metric name -> legal Prometheus family name."""
+    return PREFIX + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _fmt(value):
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(source, extra=None):
+    """Exposition text for *source* (a Metrics registry or an
+    aggregator, whose combined view folds in *extra*)."""
+    if hasattr(source, "combined"):
+        metrics = source.combined(extra)
+    else:
+        metrics = source
+    lines = []
+
+    def family(pname, kind, origin):
+        lines.append("# HELP %s %s (%s)" % (pname, origin, kind))
+        lines.append("# TYPE %s %s" % (pname, kind))
+
+    for name in sorted(metrics.counters):
+        pname = mangle(name) + "_total"
+        family(pname, "counter", name)
+        lines.append("%s %s" % (pname, _fmt(metrics.counters[name])))
+    for name in sorted(metrics.gauges):
+        pname = mangle(name)
+        family(pname, "gauge", name)
+        lines.append("%s %s" % (pname, _fmt(metrics.gauges[name])))
+    for name in sorted(metrics.histograms):
+        hist = metrics.histograms[name]
+        pname = mangle(name)
+        family(pname, "histogram", name)
+        for bound, cumulative in hist.cumulative_buckets():
+            lines.append('%s_bucket{le="%s"} %d'
+                         % (pname, _fmt(float(bound)), cumulative))
+        lines.append("%s_sum %s" % (pname, _fmt(hist.total)))
+        lines.append("%s_count %d" % (pname, hist.count))
+        for suffix, value in (("min", hist.minimum), ("max", hist.maximum)):
+            gname = "%s_%s" % (pname, suffix)
+            family(gname, "gauge", "%s.%s" % (name, suffix))
+            lines.append("%s %s" % (gname, _fmt(value)))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_snapshot(path, source, extra=None):
+    """Atomically (write + rename) publish a snapshot file, so a
+    concurrent ``repro top`` never reads a half-written exposition."""
+    import os
+    text = render_prometheus(source, extra)
+    tmp = "%s.tmp.%d" % (path, os.getpid())
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+    return text
+
+
+# -- parsing -------------------------------------------------------------------
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def parse_prometheus(text):
+    """Exposition text -> ordered family table.
+
+    Returns ``{family name: {"type": ..., "help": ..., "samples":
+    [(sample name, labels dict, value), ...]}}``; samples attach to the
+    longest declared family name they extend (``_bucket``/``_sum``/
+    ``_count`` suffixes included).  Raises ``ValueError`` on lines that
+    parse as neither comment nor sample.
+    """
+    families = {}
+    declared = []           # family names, longest-match resolution
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                entry = families.setdefault(
+                    name, {"type": None, "help": None, "samples": []})
+                if parts[1] == "TYPE":
+                    entry["type"] = parts[3] if len(parts) > 3 else ""
+                    declared.append(name)
+                else:
+                    entry["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError("line %d: unparseable sample %r"
+                             % (lineno, line))
+        sample_name, label_text, value_text = match.groups()
+        labels = dict((k, v) for k, v in
+                      _LABEL_RE.findall(label_text or ""))
+        owner = None
+        for name in sorted(declared, key=len, reverse=True):
+            if sample_name == name or (
+                    sample_name.startswith(name)
+                    and sample_name[len(name):] in ("_bucket", "_sum",
+                                                    "_count")):
+                owner = name
+                break
+        entry = families.setdefault(
+            owner or sample_name,
+            {"type": None, "help": None, "samples": []})
+        entry["samples"].append((sample_name, labels,
+                                 _parse_value(value_text)))
+    return families
+
+
+def _origin_name(entry, fallback):
+    """The dotted pre-mangling name, recovered from the HELP line."""
+    help_text = entry.get("help") or ""
+    token = help_text.split(None, 1)[0] if help_text else ""
+    return token or fallback
+
+
+def metrics_from_prometheus(text):
+    """Rebuild a :class:`Metrics` registry from a rendered snapshot.
+
+    The inverse of :func:`render_prometheus` for snapshots this module
+    produced (dotted names from HELP, histograms from bucket deltas plus
+    the ``_min``/``_max`` companions).  Labelled series are summed into
+    their family — good enough for the ``repro top`` view.
+    """
+    families = parse_prometheus(text)
+    metrics = Metrics()
+    minmax = {}             # dotted histogram name -> {"min": v, "max": v}
+    for fname, entry in families.items():
+        origin = _origin_name(entry, fname)
+        kind = entry.get("type")
+        if kind == "counter":
+            dotted = origin[:-6] if origin.endswith(".total") else origin
+            if fname.endswith("_total") and not origin.endswith("_total") \
+                    and "." in origin:
+                dotted = origin
+            total = sum(v for _, _, v in entry["samples"])
+            metrics.add(dotted, total)
+        elif kind == "gauge":
+            base, _, suffix = origin.rpartition(".")
+            if suffix in ("min", "max") and base:
+                minmax.setdefault(base, {})[suffix] = \
+                    entry["samples"][-1][2] if entry["samples"] else None
+            else:
+                for _, _, value in entry["samples"]:
+                    metrics.gauge(origin, value)
+        elif kind == "histogram":
+            hist = Histogram()
+            buckets = sorted(
+                ((float(labels["le"]), value)
+                 for name, labels, value in entry["samples"]
+                 if name.endswith("_bucket") and "le" in labels),
+                key=lambda pair: pair[0])
+            previous = 0
+            for bound, cumulative in buckets:
+                increment = cumulative - previous
+                previous = cumulative
+                if increment <= 0:
+                    continue
+                index = len(BUCKET_BOUNDS) if math.isinf(bound) \
+                    else _bucket_index(bound)
+                hist.buckets[index] = hist.buckets.get(index, 0) + increment
+            for name, _, value in entry["samples"]:
+                if name.endswith("_sum"):
+                    hist.total = value
+                elif name.endswith("_count"):
+                    hist.count = value
+            metrics.histograms[origin] = hist
+    for dotted, pair in minmax.items():
+        hist = metrics.histograms.get(dotted)
+        if hist is not None:
+            hist.minimum = pair.get("min")
+            hist.maximum = pair.get("max")
+    return metrics
+
+
+# -- linting -------------------------------------------------------------------
+
+
+def lint_prometheus(text):
+    """Validate exposition *text*; returns a list of problem strings
+    (empty means lint-clean).  Checks: parseability, legal names,
+    HELP+TYPE declared before samples, unique series, non-negative
+    finite counters, histogram buckets cumulative-monotone with
+    ascending ``le`` and ``_count`` equal to the ``+Inf`` bucket."""
+    problems = []
+    try:
+        families = parse_prometheus(text)
+    except ValueError as exc:
+        return ["%s" % exc]
+    seen_series = set()
+    for fname, entry in families.items():
+        if not _NAME_RE.match(fname):
+            problems.append("illegal metric name %r" % fname)
+        if entry["type"] is None:
+            problems.append("samples for %r without a # TYPE line" % fname)
+        if entry["help"] is None:
+            problems.append("family %r has no # HELP line" % fname)
+        for sample_name, labels, value in entry["samples"]:
+            series = (sample_name, tuple(sorted(labels.items())))
+            if series in seen_series:
+                problems.append("duplicate series %s%r"
+                                % (sample_name, labels))
+            seen_series.add(series)
+        if entry["type"] == "counter":
+            for sample_name, _, value in entry["samples"]:
+                if isinstance(value, float) and not math.isfinite(value):
+                    problems.append("counter %s is not finite" % sample_name)
+                elif value < 0:
+                    problems.append("counter %s is negative (%s)"
+                                    % (sample_name, value))
+        if entry["type"] == "histogram":
+            buckets = [(float(labels["le"]), value)
+                       for name, labels, value in entry["samples"]
+                       if name.endswith("_bucket") and "le" in labels]
+            count = next((value for name, _, value in entry["samples"]
+                          if name.endswith("_count")), None)
+            has_sum = any(name.endswith("_sum")
+                          for name, _, _ in entry["samples"])
+            if not buckets:
+                problems.append("histogram %s has no buckets" % fname)
+                continue
+            if not has_sum:
+                problems.append("histogram %s has no _sum" % fname)
+            bounds = [bound for bound, _ in buckets]
+            if bounds != sorted(bounds):
+                problems.append("histogram %s buckets out of le order"
+                                % fname)
+            values = [value for _, value in buckets]
+            if any(b > a for a, b in zip(values[1:], values)):
+                problems.append("histogram %s bucket counts are not "
+                                "monotone" % fname)
+            if not math.isinf(bounds[-1]):
+                problems.append("histogram %s lacks the +Inf bucket"
+                                % fname)
+            elif count is not None and count != values[-1]:
+                problems.append(
+                    "histogram %s _count (%s) != +Inf bucket (%s)"
+                    % (fname, count, values[-1]))
+    return problems
+
+
+def main(argv=None):
+    """Lint exposition files; non-zero exit on any problem."""
+    import argparse
+    import sys
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.prometheus",
+        description="lint Prometheus text exposition files")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+    failures = 0
+    for path in args.files:
+        with open(path) as handle:
+            text = handle.read()
+        problems = lint_prometheus(text)
+        series = sum(1 for line in text.splitlines()
+                     if line and not line.startswith("#"))
+        if problems:
+            failures += 1
+            for problem in problems:
+                print("%s: %s" % (path, problem))
+        else:
+            print("%s: ok (%d series)" % (path, series))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -107,6 +107,11 @@ class Tracer:
         """The innermost open span, or None."""
         return self._stack[-1] if self._stack else None
 
+    def stack_names(self):
+        """Names of the open spans, outermost first — the phase stack the
+        sampling profiler attributes its samples to."""
+        return tuple(span.name for span in self._stack)
+
     def annotate(self, **attrs):
         """Attach attributes to the active span, if any."""
         if self._stack:
@@ -203,6 +208,9 @@ class NullTracer:
 
     def current(self):
         return None
+
+    def stack_names(self):
+        return ()
 
     def annotate(self, **attrs):
         pass

@@ -13,7 +13,12 @@ cross-checked portfolio mode.
   every submitted request gets exactly one answer, whatever the
   instance does to its workers.
 * ``python -m repro serve-batch DIR`` — CLI over a corpus of SMT-LIB
-  files.
+  files, with ``--metrics-out`` Prometheus snapshots (watch them live
+  with ``python -m repro top``) and ``--flight-dir`` black-box dumps.
+
+Both layers speak the :mod:`repro.obs.pipeline` delta protocol when
+telemetry is enabled, so worker-side spans and counters survive the
+process boundary.
 """
 
 from repro.serve.pool import PoolEvent, WorkerPool

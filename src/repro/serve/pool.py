@@ -43,6 +43,16 @@ an interpreter that slowly leaks cannot grow without bound.
 died silently.  :meth:`WorkerPool.shutdown` always reaps: quits idle
 workers, hard-kills busy ones, and joins everything.
 
+Telemetry
+---------
+
+With ``telemetry=True`` each request runs inside a fresh
+:mod:`repro.obs` scope in the worker and its delta (counters,
+histograms, per-phase durations, bounded span records) is shipped in the
+result envelope (surfaced as :attr:`PoolEvent.telemetry`); periodic
+worker-lifetime flushes go to ``telemetry_sink(delta, pid)``.  See
+:mod:`repro.obs.pipeline` for the protocol contract.
+
 Fault injection
 ---------------
 
@@ -79,19 +89,28 @@ def rss_bytes(pid):
 
 
 class PoolEvent:
-    """One supervision outcome surfaced by :meth:`WorkerPool.poll`."""
+    """One supervision outcome surfaced by :meth:`WorkerPool.poll`.
 
-    __slots__ = ("kind", "ticket", "value", "exitcode")
+    With pool telemetry on, ``result`` events additionally carry the
+    worker's per-request telemetry delta (see
+    :mod:`repro.obs.pipeline`) and the worker pid that produced it.
+    """
+
+    __slots__ = ("kind", "ticket", "value", "exitcode", "telemetry",
+                 "worker")
 
     RESULT = "result"
     DIED = "died"
     KILLED = "killed"
 
-    def __init__(self, kind, ticket, value=None, exitcode=None):
+    def __init__(self, kind, ticket, value=None, exitcode=None,
+                 telemetry=None, worker=None):
         self.kind = kind
         self.ticket = ticket
         self.value = value
         self.exitcode = exitcode
+        self.telemetry = telemetry
+        self.worker = worker
 
     def __repr__(self):
         return "PoolEvent(%s, ticket=%d)" % (self.kind, self.ticket)
@@ -137,7 +156,8 @@ class WorkerPool:
 
     def __init__(self, initializer, init_args=(), jobs=2, grace=5.0,
                  max_requests=None, max_rss=None, corrupter=None,
-                 worker_fault_specs=()):
+                 worker_fault_specs=(), telemetry=False,
+                 telemetry_sink=None, telemetry_flush_every=16):
         self._initializer = initializer
         self._init_args = tuple(init_args)
         self.jobs = max(1, int(jobs))
@@ -146,6 +166,9 @@ class WorkerPool:
         self.max_rss = max_rss
         self._corrupter = corrupter
         self._worker_fault_specs = tuple(worker_fault_specs)
+        self.telemetry = bool(telemetry)
+        self._telemetry_sink = telemetry_sink
+        self._telemetry_flush_every = max(1, int(telemetry_flush_every))
         self._ctx = multiprocessing.get_context("spawn")
         self._workers = []
         self._pending = collections.deque()
@@ -186,7 +209,8 @@ class WorkerPool:
         process = self._ctx.Process(
             target=_pool_worker_main,
             args=(child_conn, self._initializer, self._init_args,
-                  self._corrupter, self._worker_fault_specs),
+                  self._corrupter, self._worker_fault_specs,
+                  self.telemetry, self._telemetry_flush_every),
             daemon=True)
         process.start()
         child_conn.close()
@@ -338,12 +362,18 @@ class WorkerPool:
             if kind == "ready":
                 worker.ready = True
                 self._boot_failures = 0
+            elif kind == "tel":
+                # Periodic worker-lifetime flush; never an event.
+                if self._telemetry_sink is not None:
+                    self._telemetry_sink(message[1], worker.process.pid)
             elif kind == "res":
-                _, ticket, value = message
+                ticket, value = message[1], message[2]
+                delta = message[3] if len(message) > 3 else None
                 if self._inflight.get(ticket) is worker:
                     del self._inflight[ticket]
                     events.append(PoolEvent(PoolEvent.RESULT, ticket,
-                                            value=value))
+                                            value=value, telemetry=delta,
+                                            worker=worker.process.pid))
                 worker.ticket = None
                 worker.deadline = None
                 worker.served += 1
@@ -411,16 +441,30 @@ class WorkerPool:
         return False
 
 
-def _pool_worker_main(conn, initializer, init_args, corrupter, worker_specs):
+def _pool_worker_main(conn, initializer, init_args, corrupter, worker_specs,
+                      telemetry=False, flush_every=16):
     """Child entry point: build the handler once, then serve requests.
 
     Handler exceptions are deliberately *not* caught: an escape kills the
     process and the parent classifies it as a worker death — which is
     exactly how the ``serve.worker.request`` raise seam models a crash.
+
+    With *telemetry* on, each request runs under a **fresh** tracer and
+    metrics registry (installed as the ambient obs scope so the handler
+    and everything below it report into it) and the resulting delta rides
+    fourth in the ``res`` message; worker-lifetime stats (request count,
+    RSS, uptime) are flushed as ``tel`` messages every *flush_every*
+    requests and reset, keeping every shipped delta disjoint.
     """
     _faults.arm_from_env()
     for spec in worker_specs:
         _faults.arm(_faults.parse_spec(spec))
+    if telemetry:
+        from repro.obs.metrics import Metrics
+        from repro.obs.pipeline import encode_metrics, telemetry_delta
+        from repro.obs.tracer import Tracer, scope
+        life = Metrics()
+        boot = time.monotonic()
     handler = initializer(*init_args)
     conn.send(("ready", os.getpid()))
     while True:
@@ -431,6 +475,29 @@ def _pool_worker_main(conn, initializer, init_args, corrupter, worker_specs):
         if message[0] == "quit":
             break
         _, ticket, payload, specs = message
+        if telemetry:
+            tracer, metrics = Tracer(), Metrics()
+            with _faults.injected(specs=specs):
+                with scope(tracer, metrics):
+                    if _faults.ARMED:
+                        _faults.point("serve.worker.request")
+                    result = handler(payload)
+                    if _faults.ARMED:
+                        _faults.point("serve.worker.result")
+                        if corrupter is not None:
+                            result = _faults.corrupt(
+                                "serve.worker.result", result, corrupter)
+            conn.send(("res", ticket, result,
+                       telemetry_delta(tracer, metrics)))
+            life.add("worker.requests")
+            if life.counters["worker.requests"] >= flush_every:
+                life.gauge("worker.uptime_s", time.monotonic() - boot)
+                rss = rss_bytes(os.getpid())
+                if rss is not None:
+                    life.gauge("worker.rss_bytes", rss)
+                conn.send(("tel", encode_metrics(life)))
+                life = Metrics()
+            continue
         with _faults.injected(specs=specs):
             if _faults.ARMED:
                 _faults.point("serve.worker.request")
@@ -441,4 +508,9 @@ def _pool_worker_main(conn, initializer, init_args, corrupter, worker_specs):
                     result = _faults.corrupt("serve.worker.result", result,
                                              corrupter)
         conn.send(("res", ticket, result))
+    if telemetry and life.counters:
+        try:
+            conn.send(("tel", encode_metrics(life)))
+        except (OSError, ValueError):
+            pass
     conn.close()

@@ -41,7 +41,13 @@ The moving parts, on top of :class:`~repro.serve.pool.WorkerPool`:
 Observability: queue-depth/inflight gauges, per-request spans
 (``serve.request``), and counters for retries, quarantines, hard kills,
 worker deaths, recycles and disagreements flow into the ambient
-:mod:`repro.obs` scope.
+:mod:`repro.obs` scope — or, when the service is built with an
+``aggregator`` (a :class:`~repro.obs.pipeline.TelemetryAggregator`),
+into its central registry alongside the per-request deltas shipped back
+from the workers, so one snapshot holds the whole story.  ``flight_dir``
+/ ``slo_seconds`` arm the :mod:`repro.obs.flight` recorder: workers dump
+on degradation or a blown SLO, the service dumps on hard kills and
+quarantines.
 """
 
 import hashlib
@@ -52,6 +58,7 @@ import time
 from repro.config import SolverConfig
 from repro.core.solver import SolveResult, TrauSolver
 from repro.obs import current_metrics, current_tracer
+from repro.obs.flight import FlightRecorder, request_entry
 from repro.serve.pool import PoolEvent, WorkerPool
 from repro.strings.eval import check_model
 
@@ -132,6 +139,13 @@ class ServeResult:
                "seconds": self.seconds, "winner": self.winner,
                "fingerprint": self.fingerprint, "retries": self.retries,
                "worker_exits": list(self.worker_exits)}
+        # Failure-analysis stats earn top-level columns: before this the
+        # worker's degradation story survived only inside the stats blob
+        # and the batch reports never showed it.
+        for key in ("degraded_to", "stopped_by", "budget_tripped",
+                    "degradations"):
+            if key in self.stats:
+                row[key] = self.stats[key]
         if self.stats:
             row["stats"] = dict(self.stats)
         return row
@@ -180,12 +194,44 @@ class _Request:
         return self.result is not None
 
 
-def _service_worker_init():
+def _service_worker_init(flight_dir=None, slo_seconds=None):
     """Worker-side handler: one fresh TrauSolver per request (the
-    process-wide memoization caches still persist across requests)."""
+    process-wide memoization caches still persist across requests).
+
+    When a flight directory or SLO is configured the handler also keeps
+    a :class:`FlightRecorder` ring and dumps it on the worker-side
+    triggers — a degraded solve or a blown latency SLO.  (The
+    parent-side triggers, hard-kill and quarantine, live in the service:
+    a hung worker cannot write its own black box.)
+    """
+    recorder = None
+    if flight_dir is not None or slo_seconds is not None:
+        recorder = FlightRecorder(flight_dir, source="worker")
+
     def handler(payload):
-        problem, config, timeout = payload
-        return TrauSolver(config=config).solve(problem, timeout=timeout)
+        problem, config, timeout, name, fingerprint = payload
+        started = time.monotonic()
+        result = TrauSolver(config=config).solve(problem, timeout=timeout)
+        if recorder is not None:
+            elapsed = time.monotonic() - started
+            tracer = current_tracer()
+            spans = None
+            if tracer.enabled:
+                from repro.obs.pipeline import span_records
+                spans = span_records(tracer)
+            recorder.push(request_entry(
+                name, fingerprint=fingerprint, verdict=result.status,
+                elapsed=elapsed, stats=result.stats, spans=spans))
+            if result.stats.get("degraded_to"):
+                recorder.dump(
+                    "degraded",
+                    detail="degraded to %s" % result.stats["degraded_to"])
+            elif slo_seconds is not None and elapsed > slo_seconds:
+                recorder.dump(
+                    "slo",
+                    detail="%.3fs over the %.3fs latency SLO"
+                    % (elapsed, slo_seconds))
+        return result
     return handler
 
 
@@ -214,7 +260,8 @@ class SolverService:
                  grace=2.0, queue_limit=64, max_retries=2,
                  quarantine_threshold=3, backoff_base=0.05, backoff_cap=1.0,
                  validate_models=True, max_requests_per_worker=64,
-                 max_worker_rss=None, worker_fault_specs=()):
+                 max_worker_rss=None, worker_fault_specs=(),
+                 aggregator=None, flight_dir=None, slo_seconds=None):
         if portfolio:
             self.entries = tuple(portfolio)
         else:
@@ -237,12 +284,35 @@ class SolverService:
         self._next_rid = 0
         self.answered = 0
         self.submitted = 0
-        self.pool = WorkerPool(_service_worker_init, init_args=(),
+        self.aggregator = aggregator
+        self.slo_seconds = slo_seconds
+        # Worker telemetry is on whenever anything consumes it: an
+        # aggregator to ship deltas to, or flight/SLO triggers that need
+        # the per-request span trees.
+        telemetry = (aggregator is not None or flight_dir is not None
+                     or slo_seconds is not None)
+        self._flight = FlightRecorder(flight_dir, source="service") \
+            if flight_dir is not None else None
+        sink = None
+        if aggregator is not None:
+            def sink(delta, pid):
+                aggregator.ingest(delta, worker=pid)
+        self.pool = WorkerPool(_service_worker_init,
+                               init_args=(flight_dir, slo_seconds),
                                jobs=jobs, grace=grace,
                                max_requests=max_requests_per_worker,
                                max_rss=max_worker_rss,
                                corrupter=flip_verdict,
-                               worker_fault_specs=worker_fault_specs)
+                               worker_fault_specs=worker_fault_specs,
+                               telemetry=telemetry, telemetry_sink=sink)
+
+    def _metrics(self):
+        """Where serve.* instruments go: the aggregator's central
+        registry when one is attached (so ``--metrics-out`` snapshots
+        and ``repro top`` see them), else the ambient scope."""
+        if self.aggregator is not None:
+            return self.aggregator.metrics
+        return current_metrics()
 
     # -- intake -------------------------------------------------------------
 
@@ -268,7 +338,7 @@ class SolverService:
         *entry_fault_specs* (``{label: specs}``) target one portfolio
         arm — both are chaos-testing instruments.
         """
-        metrics = current_metrics()
+        metrics = self._metrics()
         metrics.add("serve.requests")
         self.submitted += 1
         rid = self._next_rid
@@ -301,13 +371,14 @@ class SolverService:
 
     def _instant(self, rid, name, fingerprint, reason, counter):
         """A request answered at the door (reject/poison/shutdown)."""
-        current_metrics().add(counter)
+        self._metrics().add(counter)
         request = _Request(rid, name, None, fingerprint, [])
         self._finalize(request, "unknown", reason=reason)
         return request
 
     def _launch(self, request, attempt):
-        payload = (request.problem, attempt.entry.config, self.timeout)
+        payload = (request.problem, attempt.entry.config, self.timeout,
+                   request.name, request.fingerprint)
         attempt.ticket = self.pool.submit(
             payload, timeout=self.timeout + self.grace,
             fault_specs=attempt.specs)
@@ -329,6 +400,11 @@ class SolverService:
                 self._launch(request, attempt)
         finalized = 0
         for event in self.pool.poll(block):
+            # Ingest even for tickets no request is waiting on (late
+            # results of cancelled attempts): the work happened, and the
+            # aggregator's contract is one ingestion per shipped delta.
+            if self.aggregator is not None and event.telemetry:
+                self.aggregator.ingest(event.telemetry, worker=event.worker)
             mapped = self._by_ticket.pop(event.ticket, None)
             if mapped is None:
                 continue
@@ -343,7 +419,7 @@ class SolverService:
                 self._on_hard_kill(request, attempt)
             if request.done:
                 finalized += 1
-        metrics = current_metrics()
+        metrics = self._metrics()
         if metrics.enabled:
             metrics.gauge("serve.queue_depth", self.pool.pending_count)
             metrics.gauge("serve.inflight", self.pool.inflight_count)
@@ -357,7 +433,7 @@ class SolverService:
         if (result.status == "sat" and self.validate_models):
             model = result.model
             if model is None or not check_model(request.problem, model):
-                current_metrics().add("serve.invalid_models")
+                self._metrics().add("serve.invalid_models")
                 current_tracer().event("serve.invalid_model",
                                        request=request.name,
                                        entry=attempt.entry.label)
@@ -369,7 +445,7 @@ class SolverService:
 
     def _on_death(self, request, attempt, exitcode):
         attempt.exits.append(exitcode)
-        current_metrics().add("serve.worker_deaths")
+        self._metrics().add("serve.worker_deaths")
         if self._strike(request):
             return
         if self._draining or attempt.retries >= self.max_retries:
@@ -377,7 +453,7 @@ class SolverService:
             self._advance(request)
             return
         attempt.retries += 1
-        current_metrics().add("serve.retries")
+        self._metrics().add("serve.retries")
         delay = min(self.backoff_cap,
                     self.backoff_base * (2 ** (attempt.retries - 1)))
         delay *= 0.5 + self._rng.random()          # jitter in [0.5, 1.5)
@@ -387,7 +463,16 @@ class SolverService:
 
     def _on_hard_kill(self, request, attempt):
         attempt.exits.append("hard-killed")
-        current_metrics().add("serve.hard_kills")
+        self._metrics().add("serve.hard_kills")
+        if self._flight is not None:
+            self._flight.dump(
+                "hard-killed",
+                detail="attempt %s exceeded its %.1fs deadline"
+                % (attempt.entry.label, self.timeout + self.grace),
+                entry=request_entry(
+                    request.name, fingerprint=request.fingerprint,
+                    verdict="hard-killed",
+                    elapsed=time.monotonic() - request.started))
         if self._strike(request):
             return
         attempt.state = "timeout"
@@ -409,9 +494,13 @@ class SolverService:
     def _quarantine(self, fingerprint, reason):
         if fingerprint not in self._quarantined:
             self._quarantined[fingerprint] = reason
-            current_metrics().add("serve.quarantined")
+            self._metrics().add("serve.quarantined")
             current_tracer().event("serve.quarantine",
                                    fingerprint=fingerprint, reason=reason)
+            if self._flight is not None:
+                self._flight.dump(
+                    "quarantined",
+                    detail="fingerprint %s: %s" % (fingerprint, reason))
         # Fail every open request for the poisoned fingerprint without
         # burning another worker.
         for request in [r for r in self._requests.values()
@@ -479,7 +568,7 @@ class SolverService:
     def _disagreement(self, request, sat_attempt, unsat_attempt):
         """A SAT-vs-UNSAT split between portfolio arms: one solver lied.
         Log it, quarantine the fingerprint, and refuse to pick a side."""
-        metrics = current_metrics()
+        metrics = self._metrics()
         metrics.add("serve.disagreements")
         current_tracer().event(
             "serve.disagreement", request=request.name,
@@ -505,9 +594,16 @@ class SolverService:
             worker_exits=exits)
         self._requests.pop(request.rid, None)
         self.answered += 1
-        metrics = current_metrics()
+        if self._flight is not None:
+            self._flight.push(request_entry(
+                request.name, fingerprint=request.fingerprint,
+                verdict=request.result.answer, elapsed=seconds,
+                stats=request.result.stats))
+        metrics = self._metrics()
         metrics.add("serve.answers")
         metrics.add("serve.answers.%s" % status)
+        if self.aggregator is not None:
+            metrics.observe("phase.serve.request_s", seconds)
         tracer = current_tracer()
         if tracer.enabled:
             tracer.record_span(
@@ -572,7 +668,7 @@ class SolverService:
         survives.  Idempotent.
         """
         self._draining = True
-        metrics = current_metrics()
+        metrics = self._metrics()
         for request in list(self._requests.values()):
             running = any(a.state == "inflight"
                           and self.pool.is_inflight(a.ticket)

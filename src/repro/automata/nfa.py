@@ -12,6 +12,7 @@ from collections import deque
 
 from repro import cache as _cache
 from repro import faults as _faults
+from repro import kernels as _kernels
 from repro.errors import ResourceLimit, SolverError
 from repro.obs import current_metrics
 
@@ -200,6 +201,19 @@ class NFA:
         cached = _DETERMINIZE_CACHE.get(key)
         if cached is not _cache.MISSING:
             return cached
+        if _kernels.active() == _kernels.PACKED:
+            # The bitset construction explores in the identical order,
+            # so the result (and hence the cache entry) is structurally
+            # the same NFA the pure loop below would build.
+            from repro.kernels.automata import determinize_packed
+            num_states, transitions, finals = determinize_packed(
+                base, alphabet, deadline)
+            metrics = current_metrics()
+            if metrics.enabled:
+                metrics.observe("nfa.determinize_states", num_states)
+            result = NFA(num_states, transitions, 0, finals)
+            _DETERMINIZE_CACHE.put(key, result)
+            return result
         start = frozenset([base.initial])
         index = {start: 0}
         worklist = deque([start])
@@ -260,6 +274,18 @@ class NFA:
         cached = _INTERSECT_CACHE.get(key)
         if cached is not _cache.MISSING:
             return cached
+        if _kernels.active() == _kernels.PACKED:
+            from repro.kernels.automata import intersect_packed
+            num_states, transitions, finals = intersect_packed(a, b, deadline)
+            metrics = current_metrics()
+            if metrics.enabled:
+                metrics.observe("nfa.product_states", num_states)
+            if not num_states:
+                result = NFA.empty()
+            else:
+                result = NFA(num_states, transitions, 0, finals).trim()
+            _INTERSECT_CACHE.put(key, result)
+            return result
         index = {}
         transitions = []
         finals = []

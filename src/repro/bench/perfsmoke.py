@@ -42,21 +42,38 @@ COUNTER_KEYS = (
 )
 
 
-def make_config(no_cache=False, no_incremental=False):
+def make_config(no_cache=False, no_incremental=False, backend=None):
     """A solver config honouring the flags, on old codebases too.
 
     ``max_rounds`` is raised from the default 3 so the deep toNum rungs
     (four refinement rounds) stay solvable; the knob predates this
     module, so baselines honour it too.
     """
+    kwargs = {"max_rounds": 8,
+              "use_caches": not no_cache,
+              "use_incremental": not no_incremental}
+    if backend:
+        kwargs["backend"] = backend
     try:
-        return SolverConfig(max_rounds=8,
-                            use_caches=not no_cache,
-                            use_incremental=not no_incremental)
+        return SolverConfig(**kwargs)
+    except TypeError:
+        # Pre-kernels checkout: no backend knob, the pure loops run.
+        kwargs.pop("backend", None)
+    try:
+        return SolverConfig(**kwargs)
     except TypeError:
         # The knobs do not exist here (pre-caching checkout): the
         # behaviour is the uncached, non-incremental one regardless.
         return SolverConfig(max_rounds=8)
+
+
+def active_backend(requested=None):
+    """The kernel backend a run with *requested* actually uses."""
+    try:
+        from repro import kernels
+    except ImportError:
+        return "pure"          # pre-kernels checkout
+    return kernels.resolve(requested)
 
 
 def tonum_ladder(power):
@@ -85,7 +102,7 @@ def perf_instances(quick=False):
 
 
 def run_set(no_cache=False, no_incremental=False, reps=1, quick=False,
-            aggregator=None, profiler=None):
+            aggregator=None, profiler=None, backend=None):
     """Run the smoke set; returns the JSON-able result document.
 
     *aggregator* (a ``repro.obs.pipeline.TelemetryAggregator``) collects
@@ -101,7 +118,7 @@ def run_set(no_cache=False, no_incremental=False, reps=1, quick=False,
         status = None
         stats = {}
         for _ in range(max(1, reps)):
-            config = make_config(no_cache, no_incremental)
+            config = make_config(no_cache, no_incremental, backend)
             metrics = Metrics()
             solver = TrauSolver(config=config, metrics=metrics)
             start = time.monotonic()
@@ -135,6 +152,7 @@ def run_set(no_cache=False, no_incremental=False, reps=1, quick=False,
               flush=True)
     return {
         "python": sys.version.split()[0],
+        "backend": active_backend(backend),
         "config": {"no_cache": no_cache, "no_incremental": no_incremental,
                    "reps": reps, "quick": quick},
         "results": results,
@@ -170,6 +188,7 @@ def compare(document, baseline):
     base_by_name = {row["name"]: row for row in baseline.get("results", [])}
     ratios = []
     gate_ratios = []
+    suite_ratios = {}
     for row in document["results"]:
         base = base_by_name.get(row["name"])
         if base is None or not row["seconds"]:
@@ -181,6 +200,7 @@ def compare(document, baseline):
         row["baseline_seconds"] = base["seconds"]
         row["speedup"] = round(ratio, 3)
         ratios.append(ratio)
+        suite_ratios.setdefault(row.get("suite"), []).append(ratio)
         if row.get("suite") in GATE_SUITES:
             gate_ratios.append(ratio)
     document["baseline"] = {
@@ -192,6 +212,13 @@ def compare(document, baseline):
         document["geomean_speedup"] = round(_geomean(gate_ratios), 3)
     if ratios:
         document["geomean_speedup_all"] = round(_geomean(ratios), 3)
+    if suite_ratios:
+        # Per-suite means drive the CI backend-regression gate: a packed
+        # run compared against a pure run of the same commit must not be
+        # slower on any suite.
+        document["suite_geomean_speedup"] = {
+            suite: round(_geomean(rs), 3)
+            for suite, rs in sorted(suite_ratios.items()) if suite}
     return document
 
 
@@ -205,6 +232,9 @@ def main(argv=None):
                         help="disable the memoization caches")
     parser.add_argument("--no-incremental", action="store_true",
                         help="disable cross-round incremental solving")
+    parser.add_argument("--backend", choices=("auto", "pure", "packed"),
+                        default=None,
+                        help="kernel backend to benchmark (default: auto)")
     parser.add_argument("--reps", type=int, default=1,
                         help="repetitions per instance (best-of)")
     parser.add_argument("--quick", action="store_true",
@@ -235,8 +265,10 @@ def main(argv=None):
             print("perfsmoke: --profile-hot needs the sampling profiler; "
                   "skipping on this checkout", file=sys.stderr)
 
+    print("backend: %s" % active_backend(args.backend), flush=True)
     document = run_set(args.no_cache, args.no_incremental, args.reps,
-                       args.quick, aggregator=aggregator, profiler=profiler)
+                       args.quick, aggregator=aggregator, profiler=profiler,
+                       backend=args.backend)
     if profiler is not None:
         print(profiler.report(args.profile_hot))
         document["profile"] = profiler.to_dict(args.profile_hot)
@@ -253,6 +285,9 @@ def main(argv=None):
         if "geomean_speedup_all" in document:
             print("geometric-mean speedup vs baseline (all): %.3fx"
                   % document["geomean_speedup_all"])
+        for suite, value in sorted(
+                document.get("suite_geomean_speedup", {}).items()):
+            print("  %-12s %.3fx" % (suite, value))
     print("total: %.2fs" % document["total_seconds"])
     if args.json:
         with open(args.json, "w") as handle:

@@ -25,6 +25,8 @@ every lookup misses and nothing is stored, so results are identical by
 construction.
 """
 
+import hashlib
+import pickle
 from collections import OrderedDict
 
 from repro import faults as _faults
@@ -136,6 +138,21 @@ class LRUCache:
     def __repr__(self):
         return "LRUCache(%s, %d/%d, hits=%d, misses=%d)" % (
             self.name, len(self._data), self.maxsize, self.hits, self.misses)
+
+
+def problem_fingerprint(problem):
+    """A stable content identity for a string problem: the hash of its
+    canonical SMT-LIB rendering (pickle bytes as fallback).
+
+    Lives here — not in :mod:`repro.serve` where it originated — so the
+    solver-phase caches keyed by it do not import the serving layer.
+    """
+    try:
+        from repro.smtlib import problem_to_smtlib
+        payload = problem_to_smtlib(problem).encode("utf-8")
+    except Exception:
+        payload = pickle.dumps(problem, protocol=4)
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 def stats():

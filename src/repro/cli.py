@@ -125,11 +125,22 @@ def _add_budget_arguments(parser):
                              "and determinizations")
 
 
+def _add_backend_argument(parser):
+    parser.add_argument("--backend", choices=("auto", "pure", "packed"),
+                        default=None,
+                        help="kernel backend for the hot loops (SAT, "
+                             "simplex, automata products); auto picks "
+                             "packed when importable, honouring the "
+                             "REPRO_BACKEND environment variable")
+
+
 def _build_config(args):
     """A SolverConfig from the CLI's robustness flags."""
     kwargs = {}
     if getattr(args, "no_cache", False):
         kwargs.update(use_caches=False, use_incremental=False)
+    if getattr(args, "backend", None):
+        kwargs["backend"] = args.backend
     if args.max_bb_nodes is not None:
         kwargs["bb_node_limit"] = args.max_bb_nodes
     if args.max_smt_iterations is not None:
@@ -182,6 +193,7 @@ def main(argv=None):
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the memoization caches and "
                              "cross-round incremental solving")
+    _add_backend_argument(parser)
     _add_budget_arguments(parser)
     parser.add_argument("--inject-fault", action="append", default=[],
                         metavar="SPEC",
@@ -314,6 +326,7 @@ def serve_batch(argv=None):
                         help="print serve spans and metrics after the run")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable caches/incremental in the workers")
+    _add_backend_argument(parser)
     _add_budget_arguments(parser)
     parser.add_argument("--inject-fault", action="append", default=[],
                         metavar="SPEC",
@@ -327,6 +340,11 @@ def serve_batch(argv=None):
     from dataclasses import replace
 
     config = _build_config(args)
+    if args.backend:
+        # Workers follow their pickled config, but an explicit request
+        # also rides the environment so anything a worker re-spawns (or
+        # resolves outside a config scope) agrees with the parent.
+        os.environ["REPRO_BACKEND"] = args.backend
     portfolio = None
     if args.portfolio:
         portfolio = (PortfolioEntry("incremental", config),
@@ -550,6 +568,13 @@ def fuzz(argv=None):
     parser.add_argument("--no-metamorphic", action="store_true",
                         help="skip the satisfiability-preserving "
                              "transform checks")
+    parser.add_argument("--backend", choices=("auto", "pure", "packed",
+                                              "both"), default=None,
+                        help="kernel backend for the PFA engines; 'both' "
+                             "replaces the pipeline pair with a pinned "
+                             "pfa-pure/pfa-packed pair so every problem "
+                             "cross-checks the packed kernels against the "
+                             "reference implementations")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree and metrics after the "
                              "summary (fuzz.* counters and solver phase "
@@ -564,7 +589,8 @@ def fuzz(argv=None):
                        max_constraints=args.max_constraints,
                        lie_rate=args.lie_rate)
     driver = DifferentialDriver(config=config, timeout=args.timeout,
-                                metamorphic=not args.no_metamorphic)
+                                metamorphic=not args.no_metamorphic,
+                                backend=args.backend)
     observing = args.trace or args.metrics_out
     tracer = Tracer() if observing else None
     metrics = Metrics() if observing else None
@@ -628,6 +654,7 @@ def selfcheck(argv=None):
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the memoization caches and "
                              "cross-round incremental solving")
+    _add_backend_argument(parser)
     _add_budget_arguments(parser)
     parser.add_argument("--inject-fault", action="append", default=[],
                         metavar="SPEC",
@@ -642,6 +669,7 @@ def selfcheck(argv=None):
     faults.arm_from_env()
     config = _build_config(args)
     failures = 0
+    backends = set()
     for name, problem, expected in _selfcheck_problems():
         tracer = Tracer() if args.trace else None
         metrics = Metrics() if args.trace else None
@@ -649,6 +677,7 @@ def selfcheck(argv=None):
             result = TrauSolver(config=config).solve(
                 problem, timeout=args.timeout)
         stats = result.stats
+        backends.add(stats.get("backend", "?"))
         reason = stats.get("budget_tripped") or stats.get("stopped_by")
         ok = result.status == expected
         note = ""
@@ -664,8 +693,9 @@ def selfcheck(argv=None):
                  stats.get("elapsed_s", 0.0), note))
         if args.trace:
             _print_trace(tracer, metrics)
-    print("selfcheck: %s" % ("ok" if failures == 0
-                             else "%d failure(s)" % failures))
+    print("selfcheck: %s  [backend=%s]"
+          % ("ok" if failures == 0 else "%d failure(s)" % failures,
+             ",".join(sorted(backends))))
     return 0 if failures == 0 else 1
 
 

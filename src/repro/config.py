@@ -146,6 +146,10 @@ class SolverConfig:
     # Fault-injection specs armed for the duration of each solve call
     # (e.g. ("cache.lookup:raise:after=2",)); see repro.faults.
     fault_specs: tuple = ()
+    # Kernel backend for the SAT/simplex/automata inner loops:
+    # "pure" (object graphs), "packed" (flat arrays, repro.kernels), or
+    # "auto" (REPRO_BACKEND env var, else packed when available).
+    backend: str = "auto"
 
     def budget(self, seconds=None):
         """A fresh :class:`Budget` carrying this config's limits."""

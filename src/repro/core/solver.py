@@ -37,6 +37,7 @@ from dataclasses import replace
 
 from repro import cache as _cache
 from repro import faults as _faults
+from repro import kernels as _kernels
 from repro.alphabet import DEFAULT_ALPHABET
 from repro.config import DEFAULT_CONFIG
 from repro.core.flatten import Flattener
@@ -149,9 +150,11 @@ class TrauSolver:
             base,
             replace(base, use_incremental=False),
             replace(base, use_incremental=False, use_caches=False),
+            # The terminal rung also pins the pure backend, so a
+            # packed-kernel bug degrades away like any other subsystem.
             replace(base, use_incremental=False, use_caches=False,
                     use_presolve=False, use_overapproximation=False,
-                    use_static_analysis=False),
+                    use_static_analysis=False, backend="pure"),
         ]
         rungs = []
         seen = set()
@@ -172,17 +175,21 @@ class TrauSolver:
                 # an attributable UNKNOWN rather than a silent stall.
                 break
             try:
-                if config.use_caches:
-                    result = self._solve(problem, budget, tracer, metrics,
-                                         config)
-                else:
-                    with _cache.disabled():
+                with _kernels.use_backend(config.backend) as backend:
+                    if metrics.enabled:
+                        metrics.add("solver.backend.%s" % backend)
+                    if config.use_caches:
                         result = self._solve(problem, budget, tracer,
                                              metrics, config)
+                    else:
+                        with _cache.disabled():
+                            result = self._solve(problem, budget, tracer,
+                                                 metrics, config)
+                result.stats["backend"] = backend
             except ResourceLimit as exc:
                 # Budget exhaustion is not an internal failure; a retry
                 # would only burn more of the budget that just tripped.
-                stats = {"stopped_by": exc.reason}
+                stats = {"stopped_by": exc.reason, "backend": backend}
                 if degradations:
                     stats["degraded_to"] = rung
                     stats["degradations"] = degradations

@@ -76,6 +76,15 @@ def asynchronous_product(pa_left, pa_right, deadline=None):
     the automata sizes, so *deadline* is checked per explored pair and
     :class:`~repro.errors.ResourceLimit` raised when the budget is gone.
     """
+    from repro import kernels as _kernels
+    if _kernels.active() == _kernels.PACKED:
+        from repro.kernels.automata import async_product_packed
+        num_states, transitions, finals = async_product_packed(
+            pa_left, pa_right,
+            lambda lv, rv: _compatible(pa_left, pa_right, lv, rv),
+            IDLE, deadline)
+        product = NFA(num_states, transitions, 0, finals)
+        return product.trim()
     left, right = pa_left.nfa, pa_right.nfa
     start = (left.initial, pa_right.initial)
     goal = (pa_left.final, pa_right.final)

@@ -29,9 +29,9 @@ integers).
 from math import floor, gcd
 
 from repro import faults as _faults
+from repro import kernels as _kernels
 from repro.config import Deadline
 from repro.errors import ResourceLimit
-from repro.lia.simplex import Simplex
 from repro.obs import current_metrics
 
 
@@ -66,7 +66,7 @@ class IntegerSolver:
     def __init__(self, node_limit=200000, deadline=None):
         self._node_limit = node_limit
         self._deadline = deadline or Deadline.unbounded()
-        self._simplex = Simplex()
+        self._simplex = _kernels.simplex_solver()
         self._slack_of = {}        # row signature -> (slack name, gcd)
         self._slack_counter = 0
         self._variables = set()
@@ -240,16 +240,23 @@ class IntegerSolver:
         lo = floor(branch_val)
         cores = []
         for is_upper, bound in ((True, lo), (False, lo + 1)):
+            # The pop must run even when the recursive search raises
+            # ResourceLimit: the solver is persistent, and a frame leaked
+            # here would leave this branch's (tag-None) bound asserted for
+            # every later check — whose conflicts then blame the wrong
+            # atoms, an unsound core.
             self._simplex.push()
-            conflict = (self._simplex.assert_upper(branch_var, bound, None)
-                        if is_upper
-                        else self._simplex.assert_lower(branch_var, bound, None))
-            if conflict is not None:
+            try:
+                conflict = (
+                    self._simplex.assert_upper(branch_var, bound, None)
+                    if is_upper
+                    else self._simplex.assert_lower(branch_var, bound, None))
+                if conflict is not None:
+                    cores.append([t for t in conflict if t is not None])
+                    continue
+                result = self._search(depth + 1)
+            finally:
                 self._simplex.pop()
-                cores.append([t for t in conflict if t is not None])
-                continue
-            result = self._search(depth + 1)
-            self._simplex.pop()
             if result.status == "sat":
                 return result
             if result.status == "unknown":

@@ -8,6 +8,8 @@ used throughout the solver is ``e <= 0``.
 
 from repro.errors import SolverError
 
+_MISSING = object()
+
 
 class LinExpr:
     """An immutable linear expression: coefficient map plus constant."""
@@ -24,6 +26,20 @@ class LinExpr:
         self._sorted = None
 
     # -- construction -----------------------------------------------------
+
+    @classmethod
+    def _raw(cls, coeffs, constant):
+        """Internal constructor for callers that guarantee *coeffs* is
+        already zero-free and exclusively owned by the new expression.
+        Formula building constructs LinExprs by the hundred thousand, so
+        the algebra below maintains the zero-free invariant inline rather
+        than paying ``__init__``'s re-filtering copy."""
+        self = object.__new__(cls)
+        self.coeffs = coeffs
+        self.constant = constant
+        self._hash = None
+        self._sorted = None
+        return self
 
     @staticmethod
     def of_var(name):
@@ -49,26 +65,46 @@ class LinExpr:
     def __add__(self, other):
         other = LinExpr.coerce(other)
         coeffs = dict(self.coeffs)
+        get = coeffs.get
+        # Both coefficient maps are zero-free, so only keys the two sides
+        # share can cancel — drop them as they appear and the result needs
+        # no re-filtering pass.
         for v, c in other.coeffs.items():
-            coeffs[v] = coeffs.get(v, 0) + c
-        return LinExpr(coeffs, self.constant + other.constant)
+            total = get(v, 0) + c
+            if total:
+                coeffs[v] = total
+            elif v in coeffs:
+                del coeffs[v]
+        return LinExpr._raw(coeffs, self.constant + other.constant)
 
     __radd__ = __add__
 
     def __neg__(self):
-        return LinExpr({v: -c for v, c in self.coeffs.items()}, -self.constant)
+        return LinExpr._raw({v: -c for v, c in self.coeffs.items()},
+                            -self.constant)
 
     def __sub__(self, other):
-        return self + (-LinExpr.coerce(other))
+        other = LinExpr.coerce(other)
+        coeffs = dict(self.coeffs)
+        get = coeffs.get
+        for v, c in other.coeffs.items():
+            total = get(v, 0) - c
+            if total:
+                coeffs[v] = total
+            elif v in coeffs:
+                del coeffs[v]
+        return LinExpr._raw(coeffs, self.constant - other.constant)
 
     def __rsub__(self, other):
-        return LinExpr.coerce(other) + (-self)
+        return LinExpr.coerce(other) - self
 
     def __mul__(self, scalar):
         if not isinstance(scalar, int):
             raise SolverError("linear expressions only scale by integers")
-        return LinExpr({v: c * scalar for v, c in self.coeffs.items()},
-                       self.constant * scalar)
+        if scalar == 0:
+            return LinExpr._raw({}, 0)
+        return LinExpr._raw({v: c * scalar for v, c in self.coeffs.items()},
+                            self.constant * scalar)
 
     __rmul__ = __mul__
 
@@ -89,13 +125,19 @@ class LinExpr:
 
     def substitute(self, mapping):
         """Replace variables by linear expressions (or ints)."""
-        result = LinExpr.of_const(self.constant)
+        coeffs = {}
+        constant = self.constant
+        get = coeffs.get
         for v, c in self.coeffs.items():
-            if v in mapping:
-                result = result + LinExpr.coerce(mapping[v]) * c
+            replacement = mapping.get(v, _MISSING)
+            if replacement is _MISSING:
+                coeffs[v] = get(v, 0) + c
             else:
-                result = result + LinExpr({v: c})
-        return result
+                replacement = LinExpr.coerce(replacement)
+                constant += replacement.constant * c
+                for rv, rc in replacement.coeffs.items():
+                    coeffs[rv] = get(rv, 0) + rc * c
+        return LinExpr._raw({v: c for v, c in coeffs.items() if c}, constant)
 
     # -- identity -----------------------------------------------------------
 

@@ -50,11 +50,10 @@ on degradation or a blown SLO, the service dumps on hard kills and
 quarantines.
 """
 
-import hashlib
-import pickle
 import random
 import time
 
+from repro import cache as _cache
 from repro.config import SolverConfig
 from repro.core.solver import SolveResult, TrauSolver
 from repro.obs import current_metrics, current_tracer
@@ -92,12 +91,7 @@ def default_portfolio():
 def problem_fingerprint(problem):
     """A stable identity for quarantine bookkeeping: the hash of the
     problem's canonical SMT-LIB rendering (pickle bytes as fallback)."""
-    try:
-        from repro.smtlib import problem_to_smtlib
-        payload = problem_to_smtlib(problem).encode("utf-8")
-    except Exception:
-        payload = pickle.dumps(problem, protocol=4)
-    return hashlib.sha256(payload).hexdigest()[:16]
+    return _cache.problem_fingerprint(problem)
 
 
 class ServeResult:

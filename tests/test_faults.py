@@ -19,7 +19,7 @@ Budget semantics.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import faults
+from repro import cache, faults
 from repro.config import Budget, Deadline, SolverConfig
 from repro.core.solver import DEGRADATION_LADDER, TrauSolver
 from repro.errors import (BUDGET_REASONS, FaultInjected, ResourceLimit,
@@ -60,6 +60,10 @@ def solve_with_fault(problem, spec, timeout=20, **config_kwargs):
     """
     fault = faults.parse_spec(spec)
     config = SolverConfig(fault_specs=(fault,), **config_kwargs)
+    # The chaos suite exercises specific seams; the cross-solve outcome
+    # memos (overapprox verdicts, length hints) would let a warm entry
+    # from an earlier test skip the very phase a fault targets.
+    cache.clear_all()
     result = TrauSolver(config=config).solve(problem, timeout=timeout)
     return result, fault
 

@@ -1,0 +1,314 @@
+"""Differential equivalence suites for the packed kernels.
+
+Every suite drives the packed implementation and its pure reference on
+the same randomized inputs and requires agreement:
+
+* SAT — identical verdicts on random CNFs (and under assumptions), with
+  each side's model checked against the clauses;
+* simplex — identical sat/unsat verdicts, variable values, and conflict
+  cores on random tableaux (the packed tableau makes the same Bland
+  pivot choices as the pure one, so the comparison is exact);
+* automata — *structurally identical* results for determinize,
+  product, and the asynchronous PFA product (the packed constructions
+  promise the pure discovery order, which is what lets the two backends
+  share the memoization caches).
+
+Caches are disabled inside the differential harnesses: a shared
+fingerprint-keyed cache would happily return one backend's result to
+the other and make the comparison vacuous.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import cache as _cache
+from repro import kernels
+from repro.config import Deadline
+from repro.automata.nfa import NFA
+from repro.core.names import NameFactory
+from repro.core.pfa import numeric_pfa, standard_pfa, straight_pfa
+from repro.core.sync import asynchronous_product
+from repro.kernels.sat import PackedSatSolver
+from repro.kernels.simplex import PackedSimplex
+from repro.lia.simplex import Simplex
+from repro.sat import SAT, UNSAT, SatSolver
+
+
+# -- SAT ---------------------------------------------------------------------
+
+
+def literals(num_vars):
+    return st.integers(min_value=1, max_value=num_vars).flatmap(
+        lambda v: st.sampled_from([v, -v]))
+
+
+def cnfs(num_vars=6, max_clauses=14):
+    return st.lists(
+        st.lists(literals(num_vars), min_size=1, max_size=4),
+        min_size=0, max_size=max_clauses)
+
+
+def check_clauses(clauses, model):
+    return all(any(model.get(abs(l), False) == (l > 0) for l in c)
+               for c in clauses)
+
+
+def solve_with(solver_cls, clauses, num_vars, assumptions=None):
+    solver = solver_cls()
+    solver.ensure_var(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return UNSAT, None
+    outcome = solver.solve(assumptions=assumptions)
+    return outcome, solver.model() if outcome == SAT else None
+
+
+class TestSatEquivalence:
+    @given(cnfs())
+    @settings(max_examples=120, deadline=None)
+    def test_same_verdict_and_valid_models(self, clauses):
+        num_vars = 6
+        pure_out, pure_model = solve_with(SatSolver, clauses, num_vars)
+        packed_out, packed_model = solve_with(PackedSatSolver, clauses,
+                                              num_vars)
+        assert pure_out == packed_out
+        if packed_out == SAT:
+            assert check_clauses(clauses, pure_model)
+            assert check_clauses(clauses, packed_model)
+
+    @given(cnfs(), st.lists(literals(6), min_size=1, max_size=3,
+                            unique_by=abs))
+    @settings(max_examples=80, deadline=None)
+    def test_same_verdict_under_assumptions(self, clauses, assumptions):
+        num_vars = 6
+        pure_out, pure_model = solve_with(SatSolver, clauses, num_vars,
+                                          assumptions)
+        packed_out, packed_model = solve_with(PackedSatSolver, clauses,
+                                              num_vars, assumptions)
+        assert pure_out == packed_out
+        if packed_out == SAT:
+            for model in (pure_model, packed_model):
+                assert check_clauses(clauses, model)
+                assert all(model[abs(a)] == (a > 0) for a in assumptions)
+
+    @given(cnfs(max_clauses=8), cnfs(max_clauses=6))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_clause_addition(self, first, second):
+        num_vars = 6
+        solvers = {"pure": SatSolver(), "packed": PackedSatSolver()}
+        outcomes = {}
+        for name, solver in solvers.items():
+            solver.ensure_var(num_vars)
+            trace = []
+            for batch in (first, second):
+                alive = all(solver.add_clause(c) for c in batch)
+                trace.append(solver.solve() if alive else UNSAT)
+                if trace[-1] == UNSAT:
+                    break
+            outcomes[name] = trace
+        assert outcomes["pure"] == outcomes["packed"]
+
+    def test_level0_literals_match(self):
+        clauses = [[1], [-1, 2], [-2, 3], [3, 4]]
+        pure, packed = SatSolver(), PackedSatSolver()
+        for solver in (pure, packed):
+            solver.ensure_var(4)
+            for clause in clauses:
+                assert solver.add_clause(clause)
+            assert solver.simplify()
+        assert sorted(pure.level0_literals()) \
+            == sorted(packed.level0_literals())
+
+
+# -- simplex -----------------------------------------------------------------
+
+
+def coeff_maps(variables):
+    return st.dictionaries(
+        st.sampled_from(variables),
+        st.integers(min_value=-4, max_value=4).filter(bool),
+        min_size=1, max_size=3)
+
+
+def bound_ops(variables):
+    return st.tuples(
+        st.sampled_from(variables),
+        st.booleans(),                                    # upper?
+        st.one_of(st.integers(min_value=-8, max_value=8),
+                  st.integers(min_value=-16, max_value=16)
+                  .map(lambda n: Fraction(n, 3))))
+
+
+def run_tableau(solver, rows, bounds):
+    """Apply the scripted tableau; returns (status, values, conflict)."""
+    base_vars = ("x", "y", "z")
+    for v in base_vars:
+        solver.add_variable(v)
+    for i, coeffs in enumerate(rows):
+        solver.define("r%d" % i, coeffs)
+    status = None
+    for tag, (v, upper, value) in enumerate(bounds):
+        conflict = (solver.assert_upper(v, value, tag) if upper
+                    else solver.assert_lower(v, value, tag))
+        if conflict is not None:
+            return "unsat", None, sorted(conflict)
+    status = solver.check(Deadline.unbounded())
+    if status == "unsat":
+        return "unsat", None, sorted(t for t in solver.conflict
+                                     if t is not None)
+    names = list(base_vars) + ["r%d" % i for i in range(len(rows))]
+    return status, [solver.value(v) for v in names], None
+
+
+class TestSimplexEquivalence:
+    @given(st.lists(coeff_maps(("x", "y", "z")), min_size=0, max_size=3),
+           st.lists(bound_ops(("x", "y", "z")), min_size=1, max_size=8))
+    @settings(max_examples=120, deadline=None)
+    def test_same_status_values_and_conflicts(self, rows, bounds):
+        bounds = [(v, u, val) for v, u, val in bounds]
+        pure = run_tableau(Simplex(), rows, bounds)
+        packed = run_tableau(PackedSimplex(), rows, bounds)
+        assert pure == packed
+
+    @given(st.lists(coeff_maps(("x", "y")), min_size=1, max_size=2),
+           st.lists(bound_ops(("x", "y")), min_size=1, max_size=4),
+           st.lists(bound_ops(("x", "y")), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_push_pop_parity(self, rows, base, frame):
+        results = []
+        for cls in (Simplex, PackedSimplex):
+            solver = cls()
+            for v in ("x", "y"):
+                solver.add_variable(v)
+            for i, coeffs in enumerate(rows):
+                solver.define("r%d" % i, coeffs)
+            ok = True
+            for tag, (v, upper, value) in enumerate(base):
+                if (solver.assert_upper(v, value, tag) if upper
+                        else solver.assert_lower(v, value, tag)) is not None:
+                    ok = False
+                    break
+            if not ok:
+                results.append(("base-conflict",))
+                continue
+            before = solver.check(Deadline.unbounded())
+            solver.push()
+            for tag, (v, upper, value) in enumerate(frame, start=100):
+                if (solver.assert_upper(v, value, tag) if upper
+                        else solver.assert_lower(v, value, tag)) is not None:
+                    break
+            inside = solver.check(Deadline.unbounded())
+            solver.pop()
+            after = solver.check(Deadline.unbounded())
+            values = [solver.value(v) for v in ("x", "y")] \
+                if after == "sat" else None
+            results.append((before, inside, after, values))
+        assert results[0] == results[1]
+
+
+# -- automata ----------------------------------------------------------------
+
+
+def structure(nfa):
+    # Product symbols may be (label, IDLE) pairs with None components, so
+    # order transitions by repr (total and deterministic) rather than <.
+    return (nfa.num_states, nfa.initial,
+            sorted(nfa.transitions, key=repr), sorted(nfa.finals))
+
+
+@st.composite
+def random_nfas(draw, max_states=5, symbols=(0, 1, 2)):
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    transitions = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.sampled_from(symbols),
+                  st.integers(0, n - 1)),
+        max_size=12))
+    finals = draw(st.lists(st.integers(0, n - 1), max_size=n, unique=True))
+    return NFA(n, transitions, 0, finals)
+
+
+def both_backends(operation):
+    """Run *operation* under each backend with the caches bypassed."""
+    results = []
+    with _cache.disabled():
+        for backend in ("pure", "packed"):
+            with kernels.use_backend(backend):
+                results.append(operation())
+    return results
+
+
+class TestAutomataEquivalence:
+    @given(random_nfas())
+    @settings(max_examples=100, deadline=None)
+    def test_determinize_structurally_identical(self, nfa):
+        pure, packed = both_backends(lambda: nfa.determinize(
+            alphabet=[0, 1, 2]))
+        assert structure(pure) == structure(packed)
+
+    @given(random_nfas(), random_nfas())
+    @settings(max_examples=100, deadline=None)
+    def test_intersect_structurally_identical(self, a, b):
+        pure, packed = both_backends(lambda: a.intersect(b))
+        assert structure(pure) == structure(packed)
+
+    @pytest.mark.parametrize("left_shape,right_shape", [
+        (("straight", 3), ("standard", 2, 2)),
+        (("numeric", 3), ("straight", 4)),
+        (("standard", 1, 3), ("numeric", 2)),
+        (("straight", 5), ("straight", 5)),
+    ])
+    def test_async_product_structurally_identical(self, left_shape,
+                                                  right_shape):
+        def build(shape, namer):
+            if shape[0] == "straight":
+                return straight_pfa(namer, shape[1])
+            if shape[0] == "numeric":
+                return numeric_pfa(namer, shape[1])
+            return standard_pfa(namer, shape[1], shape[2])
+
+        def product():
+            names = NameFactory()
+            left = build(left_shape, names.char_namer("u"))
+            right = build(right_shape, names.char_namer("v"))
+            return asynchronous_product(left, right)
+
+        pure, packed = both_backends(product)
+        assert structure(pure) == structure(packed)
+
+
+# -- backend selection -------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_resolve_auto_prefers_packed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert kernels.resolve(None) == kernels.PACKED
+        assert kernels.resolve("auto") == kernels.PACKED
+
+    def test_env_pins_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "pure")
+        assert kernels.resolve(None) == kernels.PURE
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "pure")
+        assert kernels.resolve("packed") == kernels.PACKED
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.resolve("vectorized")
+
+    def test_use_backend_scopes_factories(self):
+        with kernels.use_backend("pure"):
+            assert isinstance(kernels.sat_solver(), SatSolver)
+            assert isinstance(kernels.simplex_solver(), Simplex)
+        with kernels.use_backend("packed"):
+            assert isinstance(kernels.sat_solver(), PackedSatSolver)
+            assert isinstance(kernels.simplex_solver(), PackedSimplex)
+
+    def test_explicit_factory_request_wins(self):
+        with kernels.use_backend("pure"):
+            assert isinstance(kernels.sat_solver("packed"), PackedSatSolver)
+        with kernels.use_backend("packed"):
+            assert isinstance(kernels.simplex_solver("pure"), Simplex)

@@ -108,6 +108,27 @@ class TestIntegerSolver:
         r3 = solver.check([(7 - var("x"), "lo7")])
         assert r3.status == "sat"
 
+    def test_budget_exhaustion_leaves_no_stale_frames(self):
+        # x + 2y = 2 and 2x + y = 2 is rationally feasible (x = y = 2/3)
+        # but integer-infeasible, so branching starts; node_limit=1 trips
+        # the budget inside a branch frame.  The exception must unwind
+        # every push, or this check's atoms stay asserted and poison the
+        # conflict cores of every later check on the persistent solver.
+        solver = IntegerSolver(node_limit=1)
+        first = solver.check([
+            (var("x") + var("y") * 2 - 2, "e1"),
+            (2 - var("x") - var("y") * 2, "e2"),
+            (var("x") * 2 + var("y") - 2, "e3"),
+            (2 - var("x") * 2 - var("y"), "e4"),
+        ])
+        assert first.status == "unknown"
+        after = solver.check([
+            (var("x") - 5, "ux"), (5 - var("x"), "lx"),
+            (var("y") - 5, "uy"), (5 - var("y"), "ly"),
+        ])
+        assert after.status == "sat"
+        assert after.model["x"] == 5 and after.model["y"] == 5
+
     def test_conflict_core_subset_of_tags(self):
         result = solve_atoms([
             (var("x") - 3, "up"),

@@ -245,7 +245,19 @@ def main(argv=None):
     parser.add_argument("--profile-hot", type=int, metavar="N",
                         help="sample the solver deterministically and report "
                              "the N hottest (phase, function) rows")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent solve store to read/extend during "
+                             "the run (degrades to a no-op on checkouts "
+                             "without repro.store)")
     args = parser.parse_args(argv)
+
+    if args.store:
+        try:
+            from repro import store as _repro_store
+            _repro_store.set_default_path(args.store)
+        except ImportError:
+            print("perfsmoke: --store needs the persistent store; "
+                  "skipping on this checkout", file=sys.stderr)
 
     # The telemetry pipeline postdates this module's baseline contract, so
     # both knobs degrade to no-ops on checkouts that lack repro.obs.*.

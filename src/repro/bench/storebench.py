@@ -1,0 +1,195 @@
+"""Warm-start benchmark for the persistent solve store.
+
+Run with ``python -m repro.bench.storebench --json BENCH_PR8.json``.
+
+The load is repeated traffic from the differential generator (the same
+seeded problem space the fuzzer and the serve soak draw from): N
+distinct problems, solved again and again the way a symbolic-execution
+service sees the same path conditions from many clients.  The benchmark
+compares two worker generations sharing one store directory:
+
+* **cold** — a fresh worker boots against an *empty* store and solves
+  the whole traffic once (every lookup misses, every verdict is
+  written);
+* **warm** — the worker "dies" (in-process caches cleared, store
+  handles closed) and the next generation solves the same traffic
+  against the now-populated store, repeated ``--repeats`` times.
+
+Reported per phase: p50/p95/p99/total wall latency, the verdict-store
+hit rate, and the ``store.*`` counters; the ``deltas`` block holds the
+cold/warm p50 and p99 ratios the PR gate reads.  Because warm hits are
+validate-on-read (a SAT model is re-checked by the evaluator before it
+is believed), the warm numbers price in the certificate check — the
+speedup is what remains after paying for trust.
+"""
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import tempfile
+import time
+
+from repro import cache, store
+from repro.config import SolverConfig
+from repro.core.solver import TrauSolver
+from repro.diff.generator import GenConfig, generate
+from repro.obs import Metrics
+
+
+def make_traffic(distinct, seed):
+    """N distinct generated problems, reproducible from *seed*."""
+    rng = random.Random(seed)
+    config = GenConfig()
+    return [generate(rng, config, seed_index=i).problem
+            for i in range(distinct)]
+
+
+def reboot():
+    """Simulate a worker-generation boundary: every in-process cache
+    and open store handle dies; only the store directory survives."""
+    store.reset()
+    cache.clear_all()
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_pass(problems, store_path, timeout):
+    """Solve the traffic once; returns (latencies, counters, statuses)."""
+    latencies = []
+    counters = {}
+    statuses = {}
+    for problem in problems:
+        metrics = Metrics()
+        solver = TrauSolver(config=SolverConfig(store_path=store_path,
+                                                max_rounds=8),
+                            metrics=metrics)
+        start = time.monotonic()
+        result = solver.solve(problem, timeout=timeout)
+        latencies.append(time.monotonic() - start)
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+        for key, value in metrics.flat().items():
+            if key.startswith("store."):
+                counters[key] = counters.get(key, 0) + value
+    return latencies, counters, statuses
+
+
+def summarize(latencies, counters, statuses):
+    hits = counters.get("store.verdict.hits", 0)
+    misses = counters.get("store.verdict.misses", 0)
+    row = {
+        "solves": len(latencies),
+        "p50_s": round(percentile(latencies, 0.50), 5),
+        "p95_s": round(percentile(latencies, 0.95), 5),
+        "p99_s": round(percentile(latencies, 0.99), 5),
+        "mean_s": round(statistics.mean(latencies), 5),
+        "total_s": round(sum(latencies), 4),
+        "statuses": dict(sorted(statuses.items())),
+        "counters": dict(sorted(counters.items())),
+    }
+    if hits + misses:
+        row["verdict_hit_rate"] = round(hits / (hits + misses), 4)
+    return row
+
+
+def run_benchmark(distinct, repeats, seed, store_path, timeout):
+    problems = make_traffic(distinct, seed)
+
+    reboot()
+    cold_lat, cold_ctr, cold_sts = run_pass(problems, store_path, timeout)
+    cold = summarize(cold_lat, cold_ctr, cold_sts)
+
+    warm_lat, warm_ctr, warm_sts = [], {}, {}
+    for _ in range(max(1, repeats)):
+        reboot()
+        lat, ctr, sts = run_pass(problems, store_path, timeout)
+        warm_lat.extend(lat)
+        for key, value in ctr.items():
+            warm_ctr[key] = warm_ctr.get(key, 0) + value
+        for key, value in sts.items():
+            warm_sts[key] = warm_sts.get(key, 0) + value
+    warm = summarize(warm_lat, warm_ctr, warm_sts)
+
+    deltas = {}
+    for tag in ("p50_s", "p95_s", "p99_s", "total_s"):
+        if warm[tag]:
+            deltas[tag.replace("_s", "_speedup")] = round(
+                cold[tag] / warm[tag], 3)
+    document = {
+        "python": sys.version.split()[0],
+        "traffic": {"distinct": distinct, "repeats": repeats, "seed": seed},
+        "cold": cold,
+        "warm": warm,
+        "deltas": deltas,
+    }
+    opened = store.get_store(store_path)
+    if opened is not None:
+        document["store"] = opened.stats()
+    return document
+
+
+def render_table(document):
+    """The cold-vs-warm table README quotes."""
+    lines = ["%-6s %8s %9s %9s %9s %9s %10s"
+             % ("phase", "solves", "p50", "p95", "p99", "total", "hit rate")]
+    for tag in ("cold", "warm"):
+        row = document[tag]
+        rate = row.get("verdict_hit_rate")
+        lines.append("%-6s %8d %8.3fs %8.3fs %8.3fs %8.2fs %10s"
+                     % (tag, row["solves"], row["p50_s"], row["p95_s"],
+                        row["p99_s"], row["total_s"],
+                        "--" if rate is None else "%.0f%%" % (100 * rate)))
+    deltas = document["deltas"]
+    lines.append("speedup (cold/warm): p50 %.2fx  p99 %.2fx  total %.2fx"
+                 % (deltas.get("p50_speedup", 0),
+                    deltas.get("p99_speedup", 0),
+                    deltas.get("total_speedup", 0)))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the result document to FILE")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="store directory (default: a fresh temp dir, "
+                             "so the cold phase is genuinely cold)")
+    parser.add_argument("--distinct", type=int, default=24,
+                        help="distinct problems in the traffic mix")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="warm worker generations to run")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="traffic generator seed")
+    parser.add_argument("--timeout", type=float, default=20.0,
+                        help="per-solve timeout in seconds")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced set for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    distinct = 8 if args.quick else args.distinct
+    repeats = 2 if args.quick else args.repeats
+    if args.store:
+        document = run_benchmark(distinct, repeats, args.seed, args.store,
+                                 args.timeout)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-store-") as root:
+            document = run_benchmark(distinct, repeats, args.seed, root,
+                                     args.timeout)
+    print(render_table(document))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json)
+    return document
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,6 @@ construction.
 """
 
 import hashlib
-import pickle
 from collections import OrderedDict
 
 from repro import faults as _faults
@@ -74,9 +73,10 @@ class LRUCache:
     ``cache.<name>.hits`` / ``cache.<name>.misses``.
     """
 
-    __slots__ = ("name", "maxsize", "_data", "hits", "misses")
+    __slots__ = ("name", "maxsize", "_data", "hits", "misses", "persist",
+                 "validator")
 
-    def __init__(self, name, maxsize=256):
+    def __init__(self, name, maxsize=256, persist=False, validator=None):
         if maxsize <= 0:
             raise ValueError("cache maxsize must be positive")
         self.name = name
@@ -84,6 +84,8 @@ class LRUCache:
         self._data = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.persist = persist
+        self.validator = validator
         _REGISTRY[name] = self
 
     def __len__(self):
@@ -99,6 +101,14 @@ class LRUCache:
         try:
             value = data[key]
         except KeyError:
+            if self.persist:
+                value = self._persistent_get(key)
+                if value is not MISSING:
+                    data[key] = value
+                    if len(data) > self.maxsize:
+                        data.popitem(last=False)
+                    self.hits += 1
+                    return value
             self.misses += 1
             metrics = current_metrics()
             if metrics.enabled:
@@ -127,6 +137,28 @@ class LRUCache:
         data[key] = value
         if len(data) > self.maxsize:
             data.popitem(last=False)
+        if self.persist:
+            self._persistent_put(key, value)
+
+    def _persistent_get(self, key):
+        """Second-chance lookup in the ambient persistent store.
+
+        Lazy import: :mod:`repro.store` imports this module for the
+        :data:`MISSING` sentinel and the enabled flag.  The store runs
+        ``self.validator`` on anything it returns, so a corrupt or stale
+        persisted value quarantines there instead of entering the LRU.
+        """
+        from repro import store as _store
+        store = _store.active_store()
+        if store is None:
+            return MISSING
+        return store.get("cache." + self.name, key, validator=self.validator)
+
+    def _persistent_put(self, key, value):
+        from repro import store as _store
+        store = _store.active_store()
+        if store is not None:
+            store.put("cache." + self.name, key, value)
 
     def clear(self):
         self._data.clear()
@@ -140,9 +172,54 @@ class LRUCache:
             self.name, len(self._data), self.maxsize, self.hits, self.misses)
 
 
+def _canonical(obj, depth=0):
+    """A deterministic, hash-seed-independent structure for *obj*.
+
+    Only *public* fields participate: the AST and automata classes keep
+    lazily-memoized caches in underscore slots (``NFA._fp``,
+    ``RegularConstraint._dfa``, ``Atom._canon``, ...) that are populated
+    *during* solving, so any identity that serialized them would change
+    under the caller's feet mid-solve.  Sets and dicts are emitted in
+    sorted order so the result is identical across processes regardless
+    of ``PYTHONHASHSEED``.
+    """
+    if depth > 150:
+        return repr(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return ("seq",) + tuple(_canonical(x, depth + 1) for x in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set",) + tuple(sorted(
+            (_canonical(x, depth + 1) for x in obj), key=repr))
+    if isinstance(obj, dict):
+        return ("map",) + tuple(sorted(
+            ((_canonical(k, depth + 1), _canonical(v, depth + 1))
+             for k, v in obj.items()), key=repr))
+    fields = {}
+    for klass in type(obj).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if not slot.startswith("_") and hasattr(obj, slot):
+                fields[slot] = getattr(obj, slot)
+    if not fields and getattr(obj, "__dict__", None):
+        fields = {name: value for name, value in vars(obj).items()
+                  if not name.startswith("_")}
+    if fields:
+        return (type(obj).__name__,) + tuple(
+            (name, _canonical(value, depth + 1))
+            for name, value in sorted(fields.items()))
+    return repr(obj)
+
+
 def problem_fingerprint(problem):
     """A stable content identity for a string problem: the hash of its
-    canonical SMT-LIB rendering (pickle bytes as fallback).
+    canonical SMT-LIB rendering, falling back to a canonical structural
+    walk for problems the printer cannot express (e.g. parsed regular
+    constraints whose NFA has no printable source).  Both forms are
+    independent of ``PYTHONHASHSEED`` and of the lazy memo fields the
+    solver populates on AST nodes, so the fingerprint a worker computes
+    before solving equals the one any later worker generation computes —
+    the property the persistent store keys live and die by.
 
     Lives here — not in :mod:`repro.serve` where it originated — so the
     solver-phase caches keyed by it do not import the serving layer.
@@ -151,7 +228,7 @@ def problem_fingerprint(problem):
         from repro.smtlib import problem_to_smtlib
         payload = problem_to_smtlib(problem).encode("utf-8")
     except Exception:
-        payload = pickle.dumps(problem, protocol=4)
+        payload = repr(_canonical(problem)).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()[:16]
 
 

@@ -134,9 +134,24 @@ def _add_backend_argument(parser):
                              "REPRO_BACKEND environment variable")
 
 
+def _add_store_argument(parser):
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="directory of the crash-safe persistent solve "
+                             "store, shared across runs and pool workers "
+                             "(the REPRO_STORE environment variable is the "
+                             "ambient default)")
+
+
 def _build_config(args):
     """A SolverConfig from the CLI's robustness flags."""
     kwargs = {}
+    if getattr(args, "store", None):
+        # Also installed as the process default so the cache-layer
+        # persistence (automata ops, regex compiles, length hints)
+        # engages in this process, not just in config-carrying solves.
+        from repro import store as _store
+        _store.set_default_path(args.store)
+        kwargs["store_path"] = args.store
     if getattr(args, "no_cache", False):
         kwargs.update(use_caches=False, use_incremental=False)
     if getattr(args, "backend", None):
@@ -195,6 +210,7 @@ def main(argv=None):
                              "cross-round incremental solving")
     _add_backend_argument(parser)
     _add_budget_arguments(parser)
+    _add_store_argument(parser)
     parser.add_argument("--inject-fault", action="append", default=[],
                         metavar="SPEC",
                         help="arm a deterministic fault at an internal seam "
@@ -328,6 +344,7 @@ def serve_batch(argv=None):
                         help="disable caches/incremental in the workers")
     _add_backend_argument(parser)
     _add_budget_arguments(parser)
+    _add_store_argument(parser)
     parser.add_argument("--inject-fault", action="append", default=[],
                         metavar="SPEC",
                         help="arm a solver-level fault in every request")
@@ -405,7 +422,7 @@ def serve_batch(argv=None):
         queue_limit=args.queue_limit, max_retries=args.max_retries,
         quarantine_threshold=args.quarantine_threshold,
         aggregator=aggregator, flight_dir=args.flight_dir,
-        slo_seconds=args.slo)
+        slo_seconds=args.slo, store_path=args.store)
     try:
         with scope(tracer, metrics):
             # Mirrors SolverService.run_batch, hand-rolled so the
@@ -582,8 +599,14 @@ def fuzz(argv=None):
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write a Prometheus text-exposition snapshot "
                              "of the campaign's telemetry to FILE")
+    _add_store_argument(parser)
     args = parser.parse_args(argv)
 
+    if args.store:
+        # The campaign's engines build their own configs; the process
+        # default makes every one of them share the persistent store.
+        from repro import store as _repro_store
+        _repro_store.set_default_path(args.store)
     config = GenConfig(max_len=args.max_len,
                        alphabet_chars=args.alphabet,
                        max_constraints=args.max_constraints,
@@ -656,6 +679,7 @@ def selfcheck(argv=None):
                              "cross-round incremental solving")
     _add_backend_argument(parser)
     _add_budget_arguments(parser)
+    _add_store_argument(parser)
     parser.add_argument("--inject-fault", action="append", default=[],
                         metavar="SPEC",
                         help="arm a deterministic fault (repeatable); "

@@ -150,6 +150,10 @@ class SolverConfig:
     # "pure" (object graphs), "packed" (flat arrays, repro.kernels), or
     # "auto" (REPRO_BACKEND env var, else packed when available).
     backend: str = "auto"
+    # Directory of the crash-safe persistent store (repro.store), shared
+    # across worker boots; None falls back to the process default and
+    # then $REPRO_STORE (see repro.store.active_store), unset disables.
+    store_path: str = None
 
     def budget(self, seconds=None):
         """A fresh :class:`Budget` carrying this config's limits."""

@@ -38,6 +38,7 @@ from dataclasses import replace
 from repro import cache as _cache
 from repro import faults as _faults
 from repro import kernels as _kernels
+from repro import store as _store
 from repro.alphabet import DEFAULT_ALPHABET
 from repro.config import DEFAULT_CONFIG
 from repro.core.flatten import Flattener
@@ -72,6 +73,45 @@ def _rung_name(config):
     if config.use_presolve:
         return "no-cache"
     return "minimal"
+
+
+def _stored_fragments_ok(value, _meta):
+    """Shape validator for persisted flattener output.  Deliberately
+    structural only: the *semantic* certificate for a reused fragment set
+    is downstream — its ``complete`` flag is discarded on reuse (so it
+    can never transfer UNSAT) and any SAT model it produces still passes
+    concrete validation before being returned."""
+    from repro.core.pfa import PA
+    try:
+        restriction = value["restriction"]
+        fragments = value["fragments"]
+        int(value["names_after"])
+    except Exception:
+        return False
+    if not isinstance(restriction, dict) or not isinstance(fragments, list):
+        return False
+    if not all(isinstance(name, str) and isinstance(pfa, PA)
+               for name, pfa in restriction.items()):
+        return False
+    return all(isinstance(item, tuple) and len(item) == 2
+               for item in fragments)
+
+
+def _stored_lemmas_ok(value, _meta):
+    """Shape validator for persisted warm-start lemmas; each lemma is
+    additionally re-*proved* by ``seed_lemmas`` before it is believed."""
+    if not isinstance(value, list):
+        return False
+    for lemma in value:
+        if not isinstance(lemma, tuple) or not lemma:
+            return False
+        for item in lemma:
+            if not (isinstance(item, tuple) and len(item) == 2
+                    and isinstance(item[1], bool)
+                    and hasattr(item[0], "expr")
+                    and hasattr(item[0], "negate")):
+                return False
+    return True
 
 
 def _corrupt_interp(interp):
@@ -132,8 +172,24 @@ class TrauSolver:
         with obs_scope(self.tracer, self.metrics) as (tracer, metrics):
             with _faults.injected(specs=self.config.fault_specs):
                 with tracer.span("solve") as root:
-                    result = self._solve_ladder(problem, budget, tracer,
-                                                metrics)
+                    store = _store.active_store(self.config)
+                    result = None
+                    verdict_key = None
+                    if store is not None:
+                        # One key per solve, computed before any phase
+                        # can touch the problem object: the key recorded
+                        # after solving must be the key the next worker
+                        # generation looks up.
+                        verdict_key = self._verdict_key(problem)
+                        result = self._store_lookup(store, problem,
+                                                    verdict_key, tracer,
+                                                    metrics)
+                    if result is None:
+                        result = self._solve_ladder(problem, budget, tracer,
+                                                    metrics, store=store)
+                        if store is not None:
+                            self._store_record(store, problem, verdict_key,
+                                               result)
                     root.set(status=result.status)
             result.stats["elapsed_s"] = time.monotonic() - started
             if metrics.enabled:
@@ -141,6 +197,70 @@ class TrauSolver:
                               result.stats.get("rounds", 0))
                 result.stats.update(metrics.flat())
         return result
+
+    def _verdict_key(self, problem):
+        return (_cache.problem_fingerprint(problem),
+                self.alphabet.signature())
+
+    def _store_lookup(self, store, problem, verdict_key, tracer, metrics):
+        """A persisted verdict for *problem*, or None.
+
+        Validate-on-read is the whole contract: a SAT entry's model (its
+        certificate) is re-checked by the concrete evaluator on every
+        read, and an UNSAT entry is believed only with the
+        budget-independence marker from the memo discipline — entries
+        that fail either check are quarantined by the store and the
+        solve proceeds fresh.
+        """
+        def validator(value, meta):
+            if not isinstance(value, dict):
+                return False
+            status = value.get("status")
+            if status == "sat":
+                model = value.get("model")
+                return isinstance(model, dict) and check_model(
+                    problem, model, self.alphabet)
+            if status == "unsat":
+                return bool(meta.get("budget_independent"))
+            return False
+
+        hit = store.get("verdict", verdict_key, validator=validator)
+        if hit is _store.MISSING:
+            if metrics.enabled:
+                metrics.add("store.verdict.misses")
+            return None
+        if metrics.enabled:
+            metrics.add("store.verdict.hits")
+        tracer.event("store.verdict_hit", status=hit["status"])
+        return SolveResult(hit["status"], model=hit.get("model"),
+                           stats={"rounds": 0, "phase": "store",
+                                  "store": "hit"})
+
+    def _store_record(self, store, problem, verdict_key, result):
+        """Persist a verdict worth re-using: never from a degraded rung
+        (the failing rung, not the answer, is suspect), never UNKNOWN.
+        SAT entries carry their model as the certificate (re-validated
+        here unless the solve already did); UNSAT entries only come from
+        proof-carrying phases, all budget-independent — a deeper
+        refinement schedule could not change them."""
+        if result.stats.get("degraded_to") or result.stats.get("store"):
+            return
+        if result.status == "sat":
+            model = result.model
+            if not isinstance(model, dict):
+                return
+            if not self.validate and not check_model(problem, model,
+                                                     self.alphabet):
+                return
+            store.put("verdict", verdict_key,
+                      {"status": "sat", "model": dict(model)},
+                      meta={"phase": result.stats.get("phase")})
+        elif result.status == "unsat":
+            phase = result.stats.get("phase")
+            if phase in ("normalization", "overapproximation",
+                         "complete-underapproximation"):
+                store.put("verdict", verdict_key, {"status": "unsat"},
+                          meta={"budget_independent": True, "phase": phase})
 
     def _ladder(self):
         """The (rung name, config) sequence to try, starting from the
@@ -165,7 +285,7 @@ class TrauSolver:
                 rungs.append((name, config))
         return rungs
 
-    def _solve_ladder(self, problem, budget, tracer, metrics):
+    def _solve_ladder(self, problem, budget, tracer, metrics, store=None):
         """Try each ladder rung until one completes; never raises."""
         degradations = []
         last_error = None
@@ -180,7 +300,7 @@ class TrauSolver:
                         metrics.add("solver.backend.%s" % backend)
                     if config.use_caches:
                         result = self._solve(problem, budget, tracer,
-                                             metrics, config)
+                                             metrics, config, store=store)
                     else:
                         with _cache.disabled():
                             result = self._solve(problem, budget, tracer,
@@ -221,7 +341,8 @@ class TrauSolver:
             metrics.add("resilience.gave_up")
         return SolveResult("unknown", stats=stats)
 
-    def _solve(self, problem, deadline, tracer, metrics, config=None):
+    def _solve(self, problem, deadline, tracer, metrics, config=None,
+               store=None):
         config = config or self.config
         names = NameFactory()
         stats = {"rounds": 0}
@@ -262,63 +383,133 @@ class TrauSolver:
         session = IncrementalSmtSession(config) if incremental else None
         pfa_reuse = {} if incremental else None
         frag_cache = {} if incremental else None
+        store_fp = None
+        if store is not None:
+            store_fp = _cache.problem_fingerprint(expanded)
+            if session is not None:
+                self._seed_session(store, session, store_fp, tracer, metrics)
 
-        for round_index, step in enumerate(config.schedule(q0)):
-            if deadline.checkpoint(tracer):
-                stats["stopped_by"] = "deadline"
-                break
-            stats["rounds"] = round_index + 1
-            with tracer.span("round", round=round_index + 1,
-                             m=step.numeric_m, p=step.loops,
-                             q=step.loop_length) as round_span:
-                try:
-                    result = self._round(problem, normalized, expanded, step,
-                                         names, hints, round_index, deadline,
-                                         tracer, metrics, stats,
-                                         session, pfa_reuse, frag_cache,
-                                         config)
-                except ResourceLimit as exc:
-                    # The satellite fix: name the budget that actually
-                    # tripped instead of blaming the deadline for every
-                    # exhaustion.
-                    stats["stopped_by"] = exc.reason
-                    round_span.set(status=exc.reason)
-                    return SolveResult("unknown", stats=stats)
-                round_span.set(status="refine" if result is None
-                               else result.status)
-            if result is not None:
-                return result
-            # UNSAT of the under-approximation is inconclusive; refine.
+        try:
+            for round_index, step in enumerate(config.schedule(q0)):
+                if deadline.checkpoint(tracer):
+                    stats["stopped_by"] = "deadline"
+                    break
+                stats["rounds"] = round_index + 1
+                with tracer.span("round", round=round_index + 1,
+                                 m=step.numeric_m, p=step.loops,
+                                 q=step.loop_length) as round_span:
+                    try:
+                        result = self._round(problem, normalized, expanded,
+                                             step, names, hints, round_index,
+                                             deadline, tracer, metrics, stats,
+                                             session, pfa_reuse, frag_cache,
+                                             config, store, store_fp)
+                    except ResourceLimit as exc:
+                        # The satellite fix: name the budget that actually
+                        # tripped instead of blaming the deadline for every
+                        # exhaustion.
+                        stats["stopped_by"] = exc.reason
+                        round_span.set(status=exc.reason)
+                        return SolveResult("unknown", stats=stats)
+                    round_span.set(status="refine" if result is None
+                                   else result.status)
+                if result is not None:
+                    return result
+                # UNSAT of the under-approximation is inconclusive; refine.
+        finally:
+            # Whatever the outcome, theory lemmas learnt this session are
+            # worth shipping to the next worker boot (they are re-proved
+            # before reuse, so even an interrupted session's harvest is
+            # safe to offer).
+            if session is not None and store is not None:
+                lemmas = session.harvest_lemmas()
+                if lemmas:
+                    store.put("session.lemmas",
+                              (store_fp, self.alphabet.signature()), lemmas)
         if "stopped_by" not in stats and deadline.expired():
             stats["stopped_by"] = "deadline"
         stats.setdefault("stopped_by", "refinement-exhausted")
         return SolveResult("unknown", stats=stats)
 
+    def _seed_session(self, store, session, store_fp, tracer, metrics):
+        """Warm-start an incremental session from persisted lemmas."""
+        key = (store_fp, self.alphabet.signature())
+        lemmas = store.get("session.lemmas", key,
+                           validator=_stored_lemmas_ok)
+        if lemmas is _store.MISSING:
+            return
+        installed, rejected = session.seed_lemmas(lemmas)
+        if rejected:
+            # A lemma's infeasibility claim failed its re-proof: the
+            # stored certificate is corrupt.  The proven remainder is
+            # already installed; the entry as a whole is quarantined.
+            store.quarantine("session.lemmas", key,
+                             "lemma re-validation failed")
+            if metrics.enabled:
+                metrics.add("store.revalidation_failures")
+        if installed:
+            if metrics.enabled:
+                metrics.add("store.lemmas_installed", installed)
+            tracer.event("store.warm_start", lemmas=installed)
+
     def _round(self, problem, normalized, expanded, step, names, hints,
                round_index, deadline, tracer, metrics, stats,
-               session=None, pfa_reuse=None, frag_cache=None, config=None):
+               session=None, pfa_reuse=None, frag_cache=None, config=None,
+               store=None, store_fp=None):
         """One refinement round; None means "too small, refine"."""
         config = config or self.config
         counter_bound = deadline.parikh_counter_bound \
             or config.parikh_counter_bound
-        with tracer.span("restrict"):
-            restriction, complete = build_restriction(
-                expanded, step, names, self.alphabet, hints, round_index,
-                reuse=pfa_reuse)
-        with tracer.span("flatten") as span:
-            flattener = Flattener(expanded, restriction, self.alphabet,
-                                  names, counter_bound,
-                                  fragment_cache=frag_cache,
-                                  deadline=deadline)
-            if session is not None:
-                fragments = flattener.fragments()
-                formula = None
-            else:
-                formula = flattener.flatten()
-                if metrics.enabled:
-                    lia_vars = len(variables_of(formula))
-                    span.set(lia_vars=lia_vars)
-                    metrics.observe("flatten.lia_vars", lia_vars)
+
+        # Persisted flattener output (incremental mode only): keyed by the
+        # round shape AND the fresh-name counter at round entry, so a hit
+        # only happens when the stored fragments embed exactly the names
+        # this factory would have allocated.  Reused fragments are never
+        # allowed to transfer UNSAT (complete is forced False below): a
+        # stale or subtly-wrong fragment set can cost a wasted round or a
+        # model that fails validation, never a wrong verdict.
+        frag_key = None
+        frag_entry = None
+        if store is not None and session is not None:
+            frag_key = (store_fp, self.alphabet.signature(),
+                        step.numeric_m, step.loops, step.loop_length,
+                        names.state())
+            frag_entry = store.get("flatten.fragments", frag_key,
+                                   validator=_stored_fragments_ok)
+            if frag_entry is _store.MISSING:
+                frag_entry = None
+        if frag_entry is not None:
+            restriction = frag_entry["restriction"]
+            fragments = frag_entry["fragments"]
+            complete = False
+            names.restore(frag_entry["names_after"])
+            if metrics.enabled:
+                metrics.add("store.fragment_hits")
+            tracer.event("store.fragments_reused", count=len(fragments))
+        else:
+            with tracer.span("restrict"):
+                restriction, complete = build_restriction(
+                    expanded, step, names, self.alphabet, hints, round_index,
+                    reuse=pfa_reuse)
+            with tracer.span("flatten") as span:
+                flattener = Flattener(expanded, restriction, self.alphabet,
+                                      names, counter_bound,
+                                      fragment_cache=frag_cache,
+                                      deadline=deadline)
+                if session is not None:
+                    fragments = flattener.fragments()
+                    formula = None
+                else:
+                    formula = flattener.flatten()
+                    if metrics.enabled:
+                        lia_vars = len(variables_of(formula))
+                        span.set(lia_vars=lia_vars)
+                        metrics.observe("flatten.lia_vars", lia_vars)
+            if frag_key is not None:
+                store.put("flatten.fragments", frag_key,
+                          {"restriction": dict(restriction),
+                           "fragments": list(fragments),
+                           "names_after": names.state()})
         if session is not None:
             result = session.solve(fragments, deadline=deadline)
         else:
@@ -351,6 +542,11 @@ class TrauSolver:
                     tracer.event("model_quarantined")
                     if metrics.enabled:
                         metrics.add("resilience.quarantined_models")
+                    if frag_entry is not None:
+                        # The bad model came out of reused persisted
+                        # fragments: distrust the whole entry.
+                        store.quarantine("flatten.fragments", frag_key,
+                                         "model validation failed")
                     raise SolverError(
                         "decoded model fails validation on %r"
                         % failing_constraints(problem, interp,

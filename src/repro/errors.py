@@ -22,6 +22,15 @@ class SolverError(ReproError):
     """Internal invariant violation inside a solver component."""
 
 
+class StoreError(ReproError):
+    """Persistent-store framing or record violation.
+
+    Internal to :mod:`repro.store`: every public store entry point
+    degrades to a miss (or a dropped write) instead of letting this
+    escape into a solve.
+    """
+
+
 class FaultInjected(SolverError):
     """An artificial failure raised by an armed :mod:`repro.faults` point.
 

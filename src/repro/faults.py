@@ -73,6 +73,15 @@ CATALOG = {
     "serve.worker.result": "pool worker result envelope — corrupt "
                            "fabricates a wrong verdict, a raise kills the "
                            "worker after the work is done",
+    "store.read": "Store.get — persistent-store read; a raise degrades to "
+                  "a miss, corrupt bit-flips the payload *after* the "
+                  "checksum so validate-on-read must catch it",
+    "store.write": "Store.put — persistent-store append; corrupt writes a "
+                   "record whose checksum cannot verify (a torn write)",
+    "store.lock": "Store._locked — advisory-lock acquisition; delay "
+                  "models a stalled holder, raise a lock failure",
+    "store.validate": "Store.get validator outcome — corrupt forces a "
+                      "certificate rejection, driving the quarantine path",
 }
 """Every plantable seam: name -> where it lives.  The chaos suite
 (`tests/test_faults.py`) arms each of these in turn."""

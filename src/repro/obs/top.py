@@ -50,8 +50,11 @@ def render_top(metrics, source="", rps=None, max_phases=15):
 
     uptime = g("telemetry.uptime_s", 0.0)
     answers = c("serve.answers")
-    if rps is None and uptime:
+    if rps is None and uptime > 0:
         rps = answers / uptime
+    # First scrape with no uptime yet: there is nothing to diff against
+    # and nothing to divide by, so show "--" rather than a made-up 0.00.
+    rps_text = "--" if rps is None else "%.2f" % rps
     lines = []
     title = "repro top"
     if source:
@@ -60,10 +63,10 @@ def render_top(metrics, source="", rps=None, max_phases=15):
                  % (title, uptime, g("telemetry.workers"),
                     g("telemetry.deltas")))
     lines.append(
-        "answers %d (sat=%d unsat=%d unknown=%d)    rps %.2f    "
+        "answers %d (sat=%d unsat=%d unknown=%d)    rps %s    "
         "requests %d"
         % (answers, c("serve.answers.sat"), c("serve.answers.unsat"),
-           c("serve.answers.unknown"), rps or 0.0, c("serve.requests")))
+           c("serve.answers.unknown"), rps_text, c("serve.requests")))
     lines.append(
         "queue %d  inflight %d  open %d  retries %d  deaths %d  "
         "hard-kills %d"

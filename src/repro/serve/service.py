@@ -188,9 +188,13 @@ class _Request:
         return self.result is not None
 
 
-def _service_worker_init(flight_dir=None, slo_seconds=None):
+def _service_worker_init(flight_dir=None, slo_seconds=None, store_path=None):
     """Worker-side handler: one fresh TrauSolver per request (the
     process-wide memoization caches still persist across requests).
+
+    *store_path* installs the shared persistent store as the worker's
+    process default at boot, so every solve — and every recycled
+    successor of this worker — reads and extends the same on-disk state.
 
     When a flight directory or SLO is configured the handler also keeps
     a :class:`FlightRecorder` ring and dumps it on the worker-side
@@ -198,6 +202,9 @@ def _service_worker_init(flight_dir=None, slo_seconds=None):
     parent-side triggers, hard-kill and quarantine, live in the service:
     a hung worker cannot write its own black box.)
     """
+    if store_path:
+        from repro import store as _store
+        _store.set_default_path(store_path)
     recorder = None
     if flight_dir is not None or slo_seconds is not None:
         recorder = FlightRecorder(flight_dir, source="worker")
@@ -255,7 +262,8 @@ class SolverService:
                  quarantine_threshold=3, backoff_base=0.05, backoff_cap=1.0,
                  validate_models=True, max_requests_per_worker=64,
                  max_worker_rss=None, worker_fault_specs=(),
-                 aggregator=None, flight_dir=None, slo_seconds=None):
+                 aggregator=None, flight_dir=None, slo_seconds=None,
+                 store_path=None):
         if portfolio:
             self.entries = tuple(portfolio)
         else:
@@ -291,8 +299,10 @@ class SolverService:
         if aggregator is not None:
             def sink(delta, pid):
                 aggregator.ingest(delta, worker=pid)
+        self.store_path = store_path
         self.pool = WorkerPool(_service_worker_init,
-                               init_args=(flight_dir, slo_seconds),
+                               init_args=(flight_dir, slo_seconds,
+                                          store_path),
                                jobs=jobs, grace=grace,
                                max_requests=max_requests_per_worker,
                                max_rss=max_worker_rss,
@@ -442,7 +452,13 @@ class SolverService:
         self._metrics().add("serve.worker_deaths")
         if self._strike(request):
             return
-        if self._draining or attempt.retries >= self.max_retries:
+        # A retry only makes sense while the request still has budget: a
+        # backoff longer than what remains of timeout+grace would sleep
+        # through the whole deadline and fail anyway, later.
+        remaining = (request.started + self.timeout + self.grace
+                     - time.monotonic())
+        if self._draining or attempt.retries >= self.max_retries \
+                or remaining <= 0:
             attempt.state = "failed"
             self._advance(request)
             return
@@ -451,6 +467,7 @@ class SolverService:
         delay = min(self.backoff_cap,
                     self.backoff_base * (2 ** (attempt.retries - 1)))
         delay *= 0.5 + self._rng.random()          # jitter in [0.5, 1.5)
+        delay = min(delay, remaining)
         attempt.state = "backoff"
         attempt.not_before = time.monotonic() + delay
         self._backoff.append((request, attempt))
@@ -602,7 +619,7 @@ class SolverService:
         if tracer.enabled:
             tracer.record_span(
                 "serve.request", request.started, time.monotonic(),
-                name=request.name, status=status, reason=reason,
+                request=request.name, status=status, reason=reason,
                 winner=winner, retries=retries)
 
     # -- driving ------------------------------------------------------------

@@ -17,7 +17,12 @@ Usage::
     python -m repro fuzz [--seed N] [--n N] [--max-len N]
                          [--save-failures DIR] [--lie-rate R] [--trace]
                          [--metrics-out FILE]
-    python -m repro top SNAPSHOT [--interval S] [--iterations N]
+    python -m repro top SNAPSHOT_OR_URL [--interval S] [--iterations N]
+    python -m repro netserve [--port N] [--shards N] [--jobs N]
+                             [--api-key NAME=KEY[:RPS[:BURST]]]
+                             [--admin-key KEY] [--store DIR]
+                             [--metrics-out FILE]
+    python -m repro loadgen [--rps N] [--requests N] [--json FILE]
 
 Prints ``sat``/``unsat``/``unknown`` like an SMT solver; ``--model`` adds
 a ``(model ...)`` block with the string/integer assignments.  ``--trace``
@@ -45,6 +50,18 @@ cross-checked (and checked for stability under satisfiability-
 preserving transforms), and every disagreement is shrunk to a minimal
 ``.smt2`` reproducer under ``--save-failures DIR``.  Exits non-zero on
 any disagreement.
+
+``netserve`` puts the same supervised stack on a TCP port
+(:mod:`repro.serve.net`): N ``SolverService`` shards behind a
+fingerprint-hashing router with request coalescing, a verdict cache,
+per-shard circuit breakers, token-bucket tenant quotas and bounded
+intake at the door, and client deadlines propagated down to the worker
+``Budget``.  Speaks HTTP/1.1 (``POST /solve``, ``GET /metrics``) and
+length-prefixed JSON on one port; SIGTERM drains gracefully.
+``loadgen`` is its chaos proof: a controlled-rate load harness that
+kills a shard and arms ``net.*`` faults mid-run and asserts every
+request still gets a well-formed answer (see
+:mod:`repro.bench.loadgen`).
 
 ``serve-batch`` solves a directory (or list) of SMT-LIB files through
 the supervised :class:`~repro.serve.service.SolverService`: a pool of
@@ -182,6 +199,10 @@ def main(argv=None):
         return fuzz(argv[1:])
     if argv and argv[0] == "top":
         return top(argv[1:])
+    if argv and argv[0] == "netserve":
+        return netserve(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return loadgen(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -649,9 +670,11 @@ def top(argv=None):
         description="live view over a --metrics-out snapshot: RPS, "
                     "queue depth, quarantine/recycle counts, and "
                     "p50/p95/p99 per solver phase")
-    parser.add_argument("snapshot", metavar="FILE",
+    parser.add_argument("snapshot", metavar="FILE_OR_URL",
                         help="the file a running serve-batch rewrites "
-                             "via --metrics-out")
+                             "via --metrics-out, or the /metrics URL of "
+                             "a running netserve (e.g. "
+                             "http://127.0.0.1:8642/metrics)")
     parser.add_argument("--interval", type=float, default=1.0,
                         help="seconds between scrapes (default 1)")
     parser.add_argument("--iterations", type=int, default=None, metavar="N",
@@ -662,6 +685,133 @@ def top(argv=None):
     frames = run_top(args.snapshot, interval=args.interval,
                      iterations=args.iterations, clear=not args.no_clear)
     return 0 if frames else 1
+
+
+def netserve(argv=None):
+    """Run the asyncio network front door until SIGTERM drains it."""
+    import asyncio
+    import signal as _signal
+
+    from repro.config import NetConfig, TenantQuota
+    from repro.serve.net import NetServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro netserve",
+        description="serve solve/validate/fuzz/metrics over TCP: "
+                    "HTTP/1.1 and length-prefixed JSON on one port, "
+                    "multi-shard routing, admission control, deadline "
+                    "propagation, graceful SIGTERM drain")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="TCP port (0 picks an ephemeral port, "
+                             "printed at startup)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="SolverService shards behind the router")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes per shard")
+    parser.add_argument("--max-open-requests", type=int, default=256,
+                        help="admitted-but-unanswered bound; beyond it "
+                             "the door sheds unknown(overloaded)")
+    parser.add_argument("--default-deadline", type=float, default=10.0,
+                        metavar="S",
+                        help="deadline for requests that name none")
+    parser.add_argument("--max-deadline", type=float, default=60.0,
+                        metavar="S",
+                        help="cap on client-supplied deadlines")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable identical-fingerprint coalescing "
+                             "and the front-door verdict cache")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        help="consecutive shard failures before its "
+                             "circuit breaker opens")
+    parser.add_argument("--breaker-cooldown", type=float, default=2.0,
+                        metavar="S", help="open-breaker cooldown before "
+                                          "a half-open probe")
+    parser.add_argument("--restart-after", type=float, default=None,
+                        metavar="S",
+                        help="auto-restart a dead shard after S seconds "
+                             "(default: stay down until admin restart)")
+    parser.add_argument("--api-key", action="append", default=[],
+                        metavar="NAME=KEY[:RPS[:BURST]]",
+                        help="register a tenant with a token-bucket "
+                             "quota (repeatable); with none, the door "
+                             "is open (anonymous tenant)")
+    parser.add_argument("--admin-key", default=None,
+                        help="require X-Admin-Key on /admin endpoints")
+    parser.add_argument("--grace", type=float, default=2.0,
+                        help="seconds past a deadline before hard kill")
+    parser.add_argument("--portfolio", action="store_true",
+                        help="race incremental vs one-shot per request "
+                             "with a cross-check")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="periodically rewrite FILE as a Prometheus "
+                             "snapshot (also served at /metrics)")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="per-request flight-recorder dumps")
+    parser.add_argument("--slo", type=float, default=None, metavar="S",
+                        help="latency SLO arming the flight recorder")
+    _add_backend_argument(parser)
+    _add_budget_arguments(parser)
+    _add_store_argument(parser)
+    parser.add_argument("--inject-fault", action="append", default=[],
+                        metavar="SPEC",
+                        help="arm a deterministic fault (repeatable); "
+                             "net.* seams live in this server")
+    args = parser.parse_args(argv)
+
+    faults.arm_from_env()
+    for spec in args.inject_fault:
+        try:
+            faults.arm(faults.parse_spec(spec))
+        except ValueError as exc:
+            raise SystemExit("repro netserve: %s" % exc)
+    tenants = []
+    for spec in args.api_key:
+        try:
+            tenants.append(TenantQuota.parse(spec))
+        except ValueError as exc:
+            raise SystemExit("repro netserve: %s" % exc)
+    net_config = NetConfig(
+        host=args.host, port=args.port, shards=args.shards,
+        jobs_per_shard=args.jobs,
+        max_open_requests=args.max_open_requests,
+        default_deadline_s=args.default_deadline,
+        max_deadline_s=args.max_deadline,
+        coalesce=not args.no_coalesce,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        restart_after_s=args.restart_after,
+        tenants=tuple(tenants), admin_key=args.admin_key)
+    args.inject_fault = []     # already armed; keep them out of the config
+    server = NetServer(
+        solver_config=_build_config(args), net_config=net_config,
+        grace=args.grace, store_path=getattr(args, "store", None),
+        portfolio=args.portfolio, flight_dir=args.flight_dir,
+        slo_seconds=args.slo, metrics_out=args.metrics_out)
+
+    async def run():
+        host, port = await server.start()
+        print("netserve: listening on %s:%d (%d shard(s) x %d worker(s), "
+              "%s tenants)" % (host, port, args.shards, args.jobs,
+                               len(tenants) or "open-door"), flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.initiate_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await server.serve_forever()
+
+    asyncio.run(run())
+    print("netserve: drained; all shards down, exiting cleanly",
+          flush=True)
+    return 0
+
+
+def loadgen(argv=None):
+    """Chaos load harness against an in-process NetServer."""
+    from repro.bench.loadgen import main as loadgen_main
+    return loadgen_main(argv)
 
 
 def selfcheck(argv=None):

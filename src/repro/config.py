@@ -177,4 +177,92 @@ class SolverConfig:
         return steps
 
 
+@dataclass(frozen=True)
+class TenantQuota:
+    """One API tenant of the network front door: its key and its
+    token-bucket rate limit (*rps* refills per second up to *burst*)."""
+
+    name: str
+    key: str
+    rps: float = 50.0
+    burst: int = 100
+
+    @classmethod
+    def parse(cls, spec):
+        """``name=key[:rps[:burst]]`` (the ``--api-key`` CLI syntax)."""
+        head, sep, tail = spec.partition("=")
+        if not sep or not head.strip() or not tail.strip():
+            raise ValueError("tenant spec %r is not name=key[:rps[:burst]]"
+                             % spec)
+        parts = tail.split(":")
+        key = parts[0].strip()
+        rps = float(parts[1]) if len(parts) > 1 and parts[1].strip() \
+            else cls.rps
+        burst = int(parts[2]) if len(parts) > 2 and parts[2].strip() \
+            else cls.burst
+        if rps <= 0 or burst <= 0:
+            raise ValueError("tenant %r needs positive rps/burst" % head)
+        return cls(head.strip(), key, rps, burst)
+
+
+@dataclass
+class NetConfig:
+    """Shape of the network front door (:mod:`repro.serve.net`).
+
+    Robustness knobs, layer by layer: admission (``max_open_requests``
+    bounds intake, tenants carry token buckets), deadline propagation
+    (``default_deadline_s`` when the caller names none, capped at
+    ``max_deadline_s``), and failure handling (per-shard circuit
+    breakers, optional automatic shard restart).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    shards: int = 2
+    jobs_per_shard: int = 2
+    # Admission: total open requests across all shards before the door
+    # sheds with unknown(overloaded); reject-don't-buffer, as in the
+    # SolverService intake.
+    max_open_requests: int = 256
+    # Deadline propagation: the caller's deadline_s rides the wire and
+    # is clamped into (0, max_deadline_s]; absent, the default applies.
+    default_deadline_s: float = 10.0
+    max_deadline_s: float = 60.0
+    # Identical-fingerprint requests in flight share one solve, and
+    # finished sat/unsat verdicts are answered from a front-door LRU.
+    coalesce: bool = True
+    cache_size: int = 1024
+    # Per-shard circuit breaker: consecutive infrastructure failures
+    # before the shard is routed around, and the half-open cooldown.
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 2.0
+    # Automatic shard restart this many seconds after a kill (None
+    # leaves dead shards down until an admin restart).
+    restart_after_s: float = None
+    # Wire limits: one framed request (or HTTP body) may not exceed
+    # this many bytes; longer frames answer unknown(too-large).
+    max_frame_bytes: int = 4 * 1024 * 1024
+    # Authentication: with any tenants configured, requests must carry
+    # a known key; an empty tuple leaves the door open (dev mode) with
+    # one anonymous tenant using the default quota.
+    tenants: tuple = ()
+    # Key for /admin endpoints (kill/restart shard, arm faults); None
+    # leaves admin open — only sensible in tests and chaos harnesses.
+    admin_key: str = None
+    # Seconds a retry-after hint suggests to a shed client.
+    retry_after_s: float = 0.5
+
+    def tenant_for(self, key):
+        """The matching :class:`TenantQuota`, or None.  With no tenants
+        configured every caller maps to the anonymous tenant."""
+        if not self.tenants:
+            return ANONYMOUS_TENANT
+        for tenant in self.tenants:
+            if tenant.key == key:
+                return tenant
+        return None
+
+
+ANONYMOUS_TENANT = TenantQuota("anonymous", "", rps=10 ** 6, burst=10 ** 6)
+
 DEFAULT_CONFIG = SolverConfig()

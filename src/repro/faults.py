@@ -82,6 +82,17 @@ CATALOG = {
                   "models a stalled holder, raise a lock failure",
     "store.validate": "Store.get validator outcome — corrupt forces a "
                       "certificate rejection, driving the quarantine path",
+    "net.accept": "NetServer connection accept — a raise drops the "
+                  "connection before any request is read (the client "
+                  "retries), a delay models a slow accept path",
+    "net.read": "NetServer request read — a raise closes the connection "
+                "mid-read, modelling a torn or malformed request",
+    "net.write": "NetServer response write — a raise loses the response "
+                 "after the work is done (the client retries; coalescing "
+                 "and the store make the retry cheap)",
+    "net.route": "ShardRouter.submit — a raise models a routing failure; "
+                 "the front door answers unknown(route-error) instead of "
+                 "crashing the connection",
 }
 """Every plantable seam: name -> where it lives.  The chaos suite
 (`tests/test_faults.py`) arms each of these in turn."""

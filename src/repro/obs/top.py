@@ -96,12 +96,24 @@ def render_top(metrics, source="", rps=None, max_phases=15):
 
 def scrape(path):
     """Read + parse one snapshot; returns a Metrics registry or None
-    when the file does not exist yet (the run has not flushed)."""
-    try:
-        with open(path) as handle:
-            text = handle.read()
-    except OSError:
-        return None
+    when the source is not there yet (the run has not flushed, or the
+    server is not up).  *path* is a snapshot file, or an ``http(s)://``
+    URL — typically a ``repro netserve`` ``/metrics`` endpoint, which
+    serves the same Prometheus exposition the snapshot file holds."""
+    if path.startswith(("http://", "https://")):
+        import urllib.error
+        import urllib.request
+        try:
+            with urllib.request.urlopen(path, timeout=5.0) as response:
+                text = response.read().decode("utf-8", "replace")
+        except (urllib.error.URLError, OSError, ValueError):
+            return None
+    else:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError:
+            return None
     return metrics_from_prometheus(text)
 
 

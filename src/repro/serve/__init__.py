@@ -12,16 +12,24 @@ cross-checked portfolio mode.
 * :class:`~repro.serve.service.SolverService` — the solving front-end:
   every submitted request gets exactly one answer, whatever the
   instance does to its workers.
+* :class:`~repro.serve.router.ShardRouter` — hashes problem
+  fingerprints across N services, coalesces identical in-flight solves,
+  answers repeat verdicts from a front-door cache, and routes around
+  dead or circuit-broken shards.
+* :class:`~repro.serve.net.NetServer` — the asyncio network front door
+  (``python -m repro netserve``): admission control, deadline
+  propagation, and the chaos/admin surface.
 * ``python -m repro serve-batch DIR`` — CLI over a corpus of SMT-LIB
   files, with ``--metrics-out`` Prometheus snapshots (watch them live
   with ``python -m repro top``) and ``--flight-dir`` black-box dumps.
 
-Both layers speak the :mod:`repro.obs.pipeline` delta protocol when
+All layers speak the :mod:`repro.obs.pipeline` delta protocol when
 telemetry is enabled, so worker-side spans and counters survive the
 process boundary.
 """
 
 from repro.serve.pool import PoolEvent, WorkerPool
+from repro.serve.router import CircuitBreaker, RouterTicket, ShardRouter
 from repro.serve.service import (
     PortfolioEntry, ServeResult, SolverService, default_portfolio,
     problem_fingerprint,
@@ -31,4 +39,5 @@ __all__ = [
     "WorkerPool", "PoolEvent",
     "SolverService", "ServeResult", "PortfolioEntry",
     "default_portfolio", "problem_fingerprint",
+    "ShardRouter", "CircuitBreaker", "RouterTicket",
 ]

@@ -127,6 +127,16 @@ class ServeResult:
             return "%s(%s)" % (self.status, self.reason)
         return self.status
 
+    def copy(self, name=None):
+        """A shallow duplicate, optionally renamed — how the router
+        answers coalesced followers and cache hits from one solve."""
+        return ServeResult(
+            self.name if name is None else name, self.status,
+            reason=self.reason, model=self.model, seconds=self.seconds,
+            stats=dict(self.stats), winner=self.winner,
+            fingerprint=self.fingerprint, retries=self.retries,
+            worker_exits=list(self.worker_exits))
+
     def as_dict(self):
         row = {"name": self.name, "answer": self.answer,
                "status": self.status, "reason": self.reason,
@@ -172,9 +182,10 @@ class _Request:
     """
 
     __slots__ = ("rid", "name", "problem", "fingerprint", "attempts",
-                 "result", "started")
+                 "result", "started", "timeout")
 
-    def __init__(self, rid, name, problem, fingerprint, attempts):
+    def __init__(self, rid, name, problem, fingerprint, attempts,
+                 timeout=None):
         self.rid = rid
         self.name = name
         self.problem = problem
@@ -182,6 +193,7 @@ class _Request:
         self.attempts = attempts
         self.result = None
         self.started = time.monotonic()
+        self.timeout = timeout
 
     @property
     def done(self):
@@ -332,7 +344,7 @@ class SolverService:
         return self._quarantined.get(fingerprint)
 
     def submit(self, problem, name=None, fault_specs=(),
-               entry_fault_specs=None):
+               entry_fault_specs=None, timeout=None, fingerprint=None):
         """Enqueue *problem*; always returns a request handle that will
         carry exactly one :class:`ServeResult`.
 
@@ -340,7 +352,11 @@ class SolverService:
         comes back already ``done``).  *fault_specs* arm serve-layer
         fault points around every attempt of this request;
         *entry_fault_specs* (``{label: specs}``) target one portfolio
-        arm — both are chaos-testing instruments.
+        arm — both are chaos-testing instruments.  *timeout* overrides
+        the service-wide solver budget for this request only — the
+        deadline-propagation hook: the network front door passes each
+        caller's remaining deadline here, the worker receives it as its
+        solve budget, and retries are capped by what is left of it.
         """
         metrics = self._metrics()
         metrics.add("serve.requests")
@@ -348,7 +364,8 @@ class SolverService:
         rid = self._next_rid
         self._next_rid += 1
         name = name or ("req-%d" % rid)
-        fingerprint = problem_fingerprint(problem)
+        if fingerprint is None:
+            fingerprint = problem_fingerprint(problem)
         if self._draining:
             return self._instant(rid, name, fingerprint, "shutdown",
                                  "serve.shutdown_answers")
@@ -367,7 +384,10 @@ class SolverService:
                      + tuple(entry_specs.get(entry.label, ())))
             for entry in self.entries
         ]
-        request = _Request(rid, name, problem, fingerprint, attempts)
+        budget = self.timeout if timeout is None \
+            else max(0.001, min(float(timeout), self.timeout))
+        request = _Request(rid, name, problem, fingerprint, attempts,
+                           timeout=budget)
         self._requests[rid] = request
         for attempt in attempts:
             self._launch(request, attempt)
@@ -381,10 +401,12 @@ class SolverService:
         return request
 
     def _launch(self, request, attempt):
-        payload = (request.problem, attempt.entry.config, self.timeout,
+        budget = request.timeout if request.timeout is not None \
+            else self.timeout
+        payload = (request.problem, attempt.entry.config, budget,
                    request.name, request.fingerprint)
         attempt.ticket = self.pool.submit(
-            payload, timeout=self.timeout + self.grace,
+            payload, timeout=budget + self.grace,
             fault_specs=attempt.specs)
         attempt.state = "inflight"
         self._by_ticket[attempt.ticket] = (request, attempt)
@@ -455,7 +477,9 @@ class SolverService:
         # A retry only makes sense while the request still has budget: a
         # backoff longer than what remains of timeout+grace would sleep
         # through the whole deadline and fail anyway, later.
-        remaining = (request.started + self.timeout + self.grace
+        budget = request.timeout if request.timeout is not None \
+            else self.timeout
+        remaining = (request.started + budget + self.grace
                      - time.monotonic())
         if self._draining or attempt.retries >= self.max_retries \
                 or remaining <= 0:
@@ -667,16 +691,13 @@ class SolverService:
 
     # -- teardown -----------------------------------------------------------
 
-    def shutdown(self, drain=True, poll=0.05):
-        """Stop intake and reap the pool.
-
-        With *drain* (the default), queued-but-not-dispatched requests
-        answer ``unknown(shutdown)`` immediately, in-flight attempts run
-        to completion or to their hard deadline, and only then is the
-        pool torn down.  Without it everything open answers
-        ``unknown(shutdown)`` and the pool is reaped at once.  Either
-        way no request is ever left unanswered and no child process
-        survives.  Idempotent.
+    def begin_drain(self, keep_inflight=True):
+        """Stop intake without blocking: requests with nothing running
+        answer ``unknown(shutdown)`` now, queued/backoff attempts are
+        cancelled, and (with *keep_inflight*) attempts already on a
+        worker keep running — keep pumping and they finish or die at
+        their deadline.  The async front door drains this way so its
+        event loop never blocks.  Idempotent.
         """
         self._draining = True
         metrics = self._metrics()
@@ -684,7 +705,7 @@ class SolverService:
             running = any(a.state == "inflight"
                           and self.pool.is_inflight(a.ticket)
                           for a in request.attempts)
-            if drain and running:
+            if keep_inflight and running:
                 # Give up on the arms that have not started; keep the
                 # running ones (they finish or die at their deadline).
                 for attempt in request.attempts:
@@ -702,6 +723,19 @@ class SolverService:
                 self._cancel_attempts(request)
                 metrics.add("serve.shutdown_answers")
                 self._finalize(request, "unknown", reason="shutdown")
+
+    def shutdown(self, drain=True, poll=0.05):
+        """Stop intake and reap the pool.
+
+        With *drain* (the default), queued-but-not-dispatched requests
+        answer ``unknown(shutdown)`` immediately, in-flight attempts run
+        to completion or to their hard deadline, and only then is the
+        pool torn down.  Without it everything open answers
+        ``unknown(shutdown)`` and the pool is reaped at once.  Either
+        way no request is ever left unanswered and no child process
+        survives.  Idempotent.
+        """
+        self.begin_drain(keep_inflight=drain)
         if drain:
             self.drain(poll)
         self.pool.shutdown()

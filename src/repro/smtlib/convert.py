@@ -120,6 +120,12 @@ class _Converter:
         term = self._expand(term)
         if isinstance(term, str) and term == "true":
             return
+        if isinstance(term, str) and term == "false":
+            # A top-level trivial falsehood: the printer emits these for
+            # degenerate generated problems, so the round-trip must
+            # re-read them (as an unsatisfiable integer-layer fact).
+            self.builder.require_int(FALSE)
+            return
         if not isinstance(term, list):
             raise UnsupportedConstraint("cannot assert %r" % (term,))
         head = term[0]

@@ -18,11 +18,12 @@ from repro.alphabet import DEFAULT_ALPHABET
 from repro.config import Deadline
 from repro.core.overapprox import length_abstraction
 from repro.core.solver import SolveResult
-from repro.logic.formula import conj, eq, substitute
+from repro.logic.formula import FALSE, TRUE, conj, disj, eq, substitute
 from repro.logic.intervals import propagate_intervals
 from repro.smt import solve_formula
 from repro.strings.ast import (
-    IntConstraint, RegularConstraint, ToNum, WordEquation, length_var,
+    CharCode, CharNeq, Disjunction, IntConstraint, RegularConstraint,
+    ToNum, WordEquation, length_var,
 )
 from repro.strings.eval import evaluate_constraint, to_num_value
 
@@ -81,6 +82,11 @@ class EnumerativeSolver:
                     else "search-bound"})
             candidates[name] = words
 
+        # Assign externally-named variables before desugaring auxiliaries
+        # (and tighter domains first): the user-facing equations then
+        # prune the branch-local auxiliaries instead of the reverse.
+        string_vars.sort(key=lambda n: (n.startswith("_"),
+                                        len(candidates[n]), n))
         assignment = {}
         outcome = self._search(problem, string_vars, 0, candidates,
                                assignment, deadline)
@@ -96,18 +102,89 @@ class EnumerativeSolver:
     # -- candidate generation -------------------------------------------------
 
     def _candidate_chars(self, problem):
+        """A character pool large enough that restricting the search to
+        it cannot turn SAT into "exhaustive" UNSAT.
+
+        The interchangeability argument: given any model, remap every
+        character the constraints cannot distinguish to one from the
+        pool.  Word equations survive arbitrary character substitutions,
+        regular constraints survive substitutions within an automaton's
+        unnamed-symbol classes, and conversions pin exactly their digit
+        and marker characters.  Two constraint kinds observe more:
+
+        * ``CharCode`` exposes the *code* of a character to arbitrary
+          integer arithmetic — every character is distinguishable, so
+          its presence forces the full alphabet into the pool.
+        * ``CharNeq`` needs the substitution to stay injective on the
+          disequal pair; each edge can consume at most two pool
+          characters beyond the literals, so the pool grows by two
+          spare characters per edge (greedy recoloring then always
+          finds room).
+        """
         chars = set("a0")
-        for constraint in problem:
-            if isinstance(constraint, WordEquation):
-                for element in constraint.lhs + constraint.rhs:
-                    if isinstance(element, str):
-                        chars.update(element)
-            elif isinstance(constraint, RegularConstraint):
-                for code in constraint.nfa.alphabet():
-                    chars.add(self.alphabet.char(code))
-            elif isinstance(constraint, ToNum):
-                chars.update("0123456789")
+        neq_edges = 0
+        full = False
+
+        def scan(constraints):
+            nonlocal neq_edges, full
+            for constraint in constraints:
+                if isinstance(constraint, WordEquation):
+                    for element in constraint.lhs + constraint.rhs:
+                        if isinstance(element, str):
+                            chars.update(element)
+                elif isinstance(constraint, RegularConstraint):
+                    codes = constraint.nfa.alphabet()
+                    if len(codes) < len(self.alphabet):
+                        for code in codes:
+                            chars.add(self.alphabet.char(code))
+                    elif constraint.source:
+                        # Complements (and dot-heavy regexes) mention the
+                        # whole alphabet; only the literally-named
+                        # characters distinguish words, the rest are
+                        # interchangeable.
+                        chars.update(self._source_chars(constraint.source))
+                elif isinstance(constraint, ToNum):
+                    chars.update("0123456789")
+                    if constraint.semantics is not None:
+                        chars.update(constraint.semantics.digit_chars())
+                        chars.update(constraint.semantics.extra_chars())
+                elif isinstance(constraint, CharCode):
+                    full = True
+                elif isinstance(constraint, CharNeq):
+                    neq_edges += 1
+                elif isinstance(constraint, Disjunction):
+                    for branch in constraint.branches:
+                        scan(branch)
+
+        scan(problem)
+        if full:
+            return [ch for ch in self.alphabet.chars()]
+        spare = iter(self.alphabet.chars())
+        needed = len(chars) + 2 * neq_edges
+        while len(chars) < needed:
+            ch = next(spare, None)
+            if ch is None:
+                break
+            chars.add(ch)
         return sorted(chars)
+
+    def _source_chars(self, source):
+        """Literal characters appearing in a regex source string."""
+        out = set()
+        meta = set("()[]|*+?{}.!^-")
+        i = 0
+        while i < len(source):
+            ch = source[i]
+            if ch == "\\" and i + 1 < len(source):
+                ch = source[i + 1]
+                if ch in self.alphabet:
+                    out.add(ch)
+                i += 2
+                continue
+            if ch not in meta and ch in self.alphabet:
+                out.add(ch)
+            i += 1
+        return out
 
     def _candidates_for(self, problem, name, max_len, chars, deadline):
         """Words up to *max_len* consistent with the var's automata.
@@ -182,7 +259,12 @@ class EnumerativeSolver:
     def _consistent_so_far(self, problem, assignment):
         """Check constraints whose string variables are all assigned."""
         for constraint in problem:
-            if isinstance(constraint, (IntConstraint, ToNum)):
+            if isinstance(constraint, (IntConstraint, ToNum, CharCode)):
+                # Integer-carrying kinds wait for the SMT residue.
+                continue
+            if isinstance(constraint, Disjunction):
+                if not self._disjunction_viable(constraint, assignment):
+                    return False
                 continue
             names = {v.name for v in constraint.string_vars()}
             if not names.issubset(assignment):
@@ -192,19 +274,64 @@ class EnumerativeSolver:
                 return False
         return True
 
+    def _disjunction_viable(self, constraint, assignment):
+        """False only when every branch already has a fully-assigned
+        string constraint that evaluates false — a sound partial check
+        (integer-layer parts wait for the SMT residue)."""
+        for branch in constraint.branches:
+            viable = True
+            for c in branch:
+                if isinstance(c, (IntConstraint, ToNum, CharCode)):
+                    continue
+                if isinstance(c, Disjunction):
+                    if not self._disjunction_viable(c, assignment):
+                        viable = False
+                        break
+                    continue
+                names = {v.name for v in c.string_vars()}
+                if names.issubset(assignment) \
+                        and not evaluate_constraint(c, assignment,
+                                                    self.alphabet):
+                    viable = False
+                    break
+            if viable:
+                return True
+        return False
+
+    def _residue(self, constraint, assignment):
+        """*constraint* as a pure integer formula under the assignment.
+
+        String-only constraints fold to TRUE/FALSE by evaluation;
+        integer-carrying kinds contribute their formulas; disjunctions
+        fold branch-by-branch."""
+        if isinstance(constraint, IntConstraint):
+            return constraint.formula
+        if isinstance(constraint, ToNum):
+            text = assignment[constraint.var.name]
+            value = to_num_value(text) if constraint.semantics is None \
+                else constraint.semantics.convert(text)
+            return eq(constraint.result, value)
+        if isinstance(constraint, CharCode):
+            word = assignment[constraint.var.name]
+            if len(word) != 1:
+                return FALSE
+            return eq(constraint.result, ord(word))
+        if isinstance(constraint, Disjunction):
+            return disj(*[conj(*[self._residue(c, assignment)
+                                 for c in branch])
+                          for branch in constraint.branches])
+        return TRUE if evaluate_constraint(constraint, assignment,
+                                           self.alphabet) else FALSE
+
     def _try_assignment(self, problem, assignment, deadline):
         """Strings fixed: discharge the integer residue with the SMT core."""
         substitution = {}
         parts = []
         for constraint in problem:
-            if isinstance(constraint, IntConstraint):
-                parts.append(constraint.formula)
-            elif isinstance(constraint, ToNum):
-                value = to_num_value(assignment[constraint.var.name])
-                parts.append(eq(constraint.result, value))
-            elif not evaluate_constraint(constraint, assignment,
-                                         self.alphabet):
+            residue = self._residue(constraint, assignment)
+            if residue is FALSE:
                 return None
+            parts.append(residue)
         for name, word in assignment.items():
             substitution[length_var(name)] = len(word)
         formula = substitute(conj(*parts), substitution)

@@ -358,12 +358,14 @@ class SplittingSolver:
             shortest = nfa.shortest_word()
             if shortest is None:
                 return None
-            from repro.core.overapprox import _acyclic_length_set
+            from repro.core.overapprox import _length_image
             from repro.logic.formula import disj, eq as eq_f
-            lengths = _acyclic_length_set(nfa.without_epsilon().trim())
-            if lengths is not None:
+            image = _length_image(nfa.without_epsilon().trim())
+            if image is not None and not image[1]:
+                # No periodic residues: the language's length set is the
+                # finite part of the image, exactly.
                 parts.append(disj(*[eq_f(str_len(name), L)
-                                    for L in sorted(lengths)]))
+                                    for L in sorted(image[0])]))
             else:
                 parts.append(ge(str_len(name), len(shortest)))
         formula = conj(*parts)

@@ -10,7 +10,9 @@ import argparse
 import os
 
 from repro.smtlib import problem_to_smtlib
-from repro.symbex import cvc4, fuzz, javascript, leetcode, pyex, pythonlib
+from repro.symbex import (
+    cvc4, fuzz, javascript, leetcode, pyex, pythonlib, validation,
+)
 from repro.symbex.common import Instance
 from repro.symbex.luhn import luhn_problem
 
@@ -29,6 +31,7 @@ def all_suites(count=10, seed=0, luhn_max=12):
         "javascript": javascript.generate(count, seed),
         "luhn": [Instance("luhn-%02d" % k, luhn_problem(k), "sat")
                  for k in range(2, luhn_max + 1)],
+        "validation": validation.generate(count, seed),
     }
     return suites
 

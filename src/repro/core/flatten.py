@@ -34,14 +34,49 @@ from repro.logic.sets import member_of, not_member_of
 from repro.logic.terms import const, var as int_var
 from repro.obs import current_metrics
 from repro.strings.ast import (
-    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
-    length_var,
+    CharCode, CharNeq, Disjunction, IntConstraint, RegularConstraint, StrVar,
+    ToNum, WordEquation, length_var,
 )
+from repro.strings.numsem import EXP_MARKERS, NumSemantics
+
+BASE_SEMANTICS = NumSemantics("base")
+"""The paper's toNum expressed as a NumSemantics: bare decimal digit
+strings, no sign/whitespace/exponent, exact integers, -1 on error.  Used
+to route base conversions through the transducer flattening when the
+variable's PFA is a conversion PFA (shared with real-parser variants)."""
 
 
 def length_aux_var(char):
     """Name of the per-character length contribution variable ``lv``."""
     return "l." + char
+
+
+_CODE_ORD_SEGMENTS = {}
+
+
+def _code_ord_segments(alphabet):
+    """Contiguous alphabet-code ranges with a constant code->ord offset.
+
+    Returns ``[(lo, hi, offset), ...]`` covering every code, such that the
+    Unicode code point of the character with code ``u`` in ``lo..hi`` is
+    ``u + offset``.  The default alphabet decomposes into three segments
+    (digits, then two printable-ASCII runs), keeping the CharCode
+    flattening linear.
+    """
+    key = alphabet.signature()
+    segments = _CODE_ORD_SEGMENTS.get(key)
+    if segments is None:
+        segments = []
+        start = prev_offset = None
+        for code in alphabet.codes():
+            offset = ord(alphabet.char(code)) - code
+            if prev_offset is None or offset != prev_offset:
+                if start is not None:
+                    segments.append((start, code - 1, prev_offset))
+                start, prev_offset = code, offset
+        segments.append((start, alphabet.max_code, prev_offset))
+        _CODE_ORD_SEGMENTS[key] = segments
+    return segments
 
 
 
@@ -140,18 +175,25 @@ class Flattener:
     def _constraint_deps(self, constraint):
         """The PFA objects a constraint's flattening depends on."""
         names = []
+        self._dep_names(constraint, names)
+        return tuple(self.restriction[n] for n in names
+                     if n in self.restriction)
+
+    def _dep_names(self, constraint, names):
         if isinstance(constraint, WordEquation):
             for term in (constraint.lhs, constraint.rhs):
                 for element in term:
                     if isinstance(element, StrVar):
                         names.append(element.name)
-        elif isinstance(constraint, (RegularConstraint, ToNum)):
+        elif isinstance(constraint, (RegularConstraint, ToNum, CharCode)):
             names.append(constraint.var.name)
         elif isinstance(constraint, CharNeq):
             names.append(constraint.left.name)
             names.append(constraint.right.name)
-        return tuple(self.restriction[n] for n in names
-                     if n in self.restriction)
+        elif isinstance(constraint, Disjunction):
+            for branch in constraint.branches:
+                for c in branch:
+                    self._dep_names(c, names)
 
     def _var_fragment(self, name, pfa):
         """Per-PFA structure shared by all constraints: interpretation
@@ -219,6 +261,11 @@ class Flattener:
             return constraint.formula
         if isinstance(constraint, ToNum):
             return self._flatten_tonum(constraint)
+        if isinstance(constraint, CharCode):
+            return self._flatten_charcode(constraint)
+        if isinstance(constraint, Disjunction):
+            return disj(*[conj(*[self.flatten_constraint(c) for c in branch])
+                          for branch in constraint.branches])
         if isinstance(constraint, CharNeq):
             return self._flatten_charneq(constraint)
         raise UnsupportedConstraint("cannot flatten %r" % (constraint,))
@@ -461,6 +508,13 @@ class Flattener:
 
     def _flatten_tonum(self, constraint):
         pfa = self.pfa_of(constraint.var)
+        if constraint.semantics is None \
+                and getattr(pfa, "parse", None) is None:
+            return self._flatten_tonum_base(constraint, pfa)
+        return self._flatten_tonum_sem(
+            constraint, pfa, constraint.semantics or BASE_SEMANTICS)
+
+    def _flatten_tonum_base(self, constraint, pfa):
         chain, zero_count = self._numeric_shape(pfa)
         n = int_var(constraint.result)
         m = len(chain)
@@ -505,6 +559,257 @@ class Flattener:
                 "toNum variable %r needs a numeric or straight-line PFA"
                 % (pfa,))
         return pfa.stem, const(0)
+
+    # -- real-parser conversion semantics (NumSemantics transducer) -----------------------
+    #
+    # The flatten rule for ``n = toNum[sem](x)`` is a deterministic parser
+    # transducer — states below, plus an accumulator (and an exponent
+    # accumulator when enabled) — unrolled over the PFA chain exactly like
+    # the BMC-style membership unrolling above.  Leading whitespace, sign
+    # and leading zeros supplied by a conversion PFA's prefix variables are
+    # folded into the initial state via their Parikh counts; on a straight
+    # PFA the same transducer reads them in-chain, so a sound length hint
+    # keeps the restriction complete.  Every (state, character) pair is
+    # covered by exactly one disjunct (the char classes per state are
+    # disjoint and a not-member catch-all leads to the dead state), which
+    # is what makes the encoding a function of the word — the soundness
+    # requirement for the error branch.
+
+    _T_START = 0
+    _T_SPOS = 1
+    _T_SNEG = 2
+    _T_DPOS = 3
+    _T_DNEG = 4
+    _T_EMARK = 5
+    _T_EPOS = 6
+    _T_DEAD = 7
+
+    def _flatten_tonum_sem(self, constraint, pfa, sem):
+        alphabet = self.alphabet
+        n = int_var(constraint.result)
+
+        parse = getattr(pfa, "parse", None)
+        if parse is not None:
+            ws_var = parse["ws"]
+            sign_var = parse["sign"]
+            zero_var = parse["zero"]
+            chain = parse["chain"]
+        elif pfa.numeric is not None:
+            zero_var, chain = pfa.numeric
+            ws_var = sign_var = None
+        elif pfa.is_straight:
+            ws_var = sign_var = zero_var = None
+            chain = pfa.stem
+        else:
+            raise UnsupportedConstraint(
+                "toNum variable %r needs a conversion, numeric or "
+                "straight-line PFA" % (constraint.var,))
+        if sign_var is not None and pfa.binding_of(sign_var) == EPSILON:
+            sign_var = None
+
+        use_exp = sem.exponent
+        radix = sem.radix
+        segments = sem.digit_segments(alphabet)
+        space = alphabet.code(" ")
+        plus = alphabet.code("+")
+        minus = alphabet.code("-")
+        markers = sorted(alphabet.code(c) for c in EXP_MARKERS)
+        decimal = list(range(10))
+
+        prefix = self.names.fresh("cv.")
+
+        def st(j):
+            return int_var("%s.st%d" % (prefix, j))
+
+        def acc(j):
+            return int_var("%s.acc%d" % (prefix, j))
+
+        def ex(j):
+            return int_var("%s.ex%d" % (prefix, j))
+
+        def init(state):
+            base = [eq(st(0), state), eq(acc(0), 0)]
+            if use_exp:
+                base.append(eq(ex(0), 0))
+            return base
+
+        parts = []
+
+        # Initial state from the conversion-PFA prefix (whitespace count A,
+        # sign character S, leading-zero count Z).  The cases partition the
+        # prefix space, so the initial state is a function of the prefix.
+        ws_count = int_var(count_var(ws_var)) if ws_var is not None else None
+        sign_val = int_var(sign_var) if sign_var is not None else None
+        zero_count = (int_var(count_var(zero_var))
+                      if zero_var is not None else None)
+
+        a_zero = TRUE
+        options = []
+        if ws_count is not None and not sem.whitespace:
+            # A leading space is garbage under this semantics.
+            options.append(conj(ge(ws_count, 1), *init(self._T_DEAD)))
+            a_zero = eq(ws_count, 0)
+        z_zero = eq(zero_count, 0) if zero_count is not None else TRUE
+        z_pos = ge(zero_count, 1) if zero_count is not None else None
+        if sign_val is None:
+            options.append(conj(a_zero, z_zero, *init(self._T_START)))
+            if z_pos is not None:
+                options.append(conj(a_zero, z_pos, *init(self._T_DPOS)))
+        else:
+            s_eps = eq(sign_val, EPSILON)
+            options.append(conj(a_zero, s_eps, z_zero, *init(self._T_START)))
+            if z_pos is not None:
+                options.append(conj(a_zero, s_eps, z_pos,
+                                    *init(self._T_DPOS)))
+            if sem.sign:
+                for code, state, digits in (
+                        (plus, self._T_SPOS, self._T_DPOS),
+                        (minus, self._T_SNEG, self._T_DNEG)):
+                    options.append(conj(a_zero, eq(sign_val, code), z_zero,
+                                        *init(state)))
+                    if z_pos is not None:
+                        options.append(conj(a_zero, eq(sign_val, code),
+                                            z_pos, *init(digits)))
+            else:
+                options.append(conj(a_zero, ne(sign_val, EPSILON),
+                                    *init(self._T_DEAD)))
+        parts.append(disj(*options))
+
+        active = {self._T_START, self._T_DPOS, self._T_DEAD}
+        if sem.sign or sign_val is not None:
+            active |= {self._T_SPOS, self._T_SNEG, self._T_DNEG}
+        if use_exp:
+            active |= {self._T_EMARK, self._T_EPOS}
+
+        for j, char in enumerate(chain):
+            u = int_var(char)
+            prev, here = st(j), st(j + 1)
+            parts.append(ge(here, 0))
+            parts.append(le(here, self._T_DEAD))
+
+            options = []
+            eps_opt = [eq(u, EPSILON), eq(here, prev), eq(acc(j + 1), acc(j))]
+            if use_exp:
+                eps_opt.append(eq(ex(j + 1), ex(j)))
+            options.append(conj(*eps_opt))
+
+            covered = {state: [] for state in active}
+
+            def add(state, codes, target, acc_value=None, ex_value=None):
+                if state not in active:
+                    return
+                covered[state].extend(codes)
+                step = [eq(prev, state), member_of(u, sorted(codes)),
+                        eq(here, target),
+                        eq(acc(j + 1),
+                           acc(j) if acc_value is None else acc_value)]
+                if use_exp:
+                    step.append(eq(ex(j + 1),
+                                   ex(j) if ex_value is None else ex_value))
+                options.append(conj(*step))
+
+            if sem.whitespace:
+                add(self._T_START, [space], self._T_START)
+            if sem.sign:
+                add(self._T_START, [plus], self._T_SPOS)
+                add(self._T_START, [minus], self._T_SNEG)
+            for lo, hi, offset in segments:
+                codes = range(lo, hi + 1)
+                digit = u + offset
+                add(self._T_START, codes, self._T_DPOS, acc_value=digit)
+                add(self._T_SPOS, codes, self._T_DPOS, acc_value=digit)
+                add(self._T_SNEG, codes, self._T_DNEG,
+                    acc_value=const(0) - digit)
+                add(self._T_DPOS, codes, self._T_DPOS,
+                    acc_value=acc(j) * radix + digit)
+                add(self._T_DNEG, codes, self._T_DNEG,
+                    acc_value=acc(j) * radix - digit)
+            if use_exp:
+                add(self._T_DPOS, markers, self._T_EMARK)
+                add(self._T_DNEG, markers, self._T_EMARK)
+                add(self._T_EMARK, decimal, self._T_EPOS, ex_value=u)
+                add(self._T_EPOS, decimal, self._T_EPOS,
+                    ex_value=ex(j) * 10 + u)
+
+            for state in sorted(active):
+                if state == self._T_DEAD:
+                    continue
+                dead = [eq(prev, state), ge(u, 0),
+                        not_member_of(u, sorted(covered[state]),
+                                      alphabet.max_code),
+                        eq(here, self._T_DEAD), eq(acc(j + 1), acc(j))]
+                if use_exp:
+                    dead.append(eq(ex(j + 1), ex(j)))
+                options.append(conj(*dead))
+            absorb = [eq(prev, self._T_DEAD), ge(u, 0),
+                      eq(here, self._T_DEAD), eq(acc(j + 1), acc(j))]
+            if use_exp:
+                absorb.append(eq(ex(j + 1), ex(j)))
+            options.append(conj(*absorb))
+
+            parts.append(disj(*options))
+
+        # Final value.
+        final = st(len(chain))
+        acc_final = acc(len(chain))
+        error_states = sorted(
+            active - {self._T_DPOS, self._T_DNEG, self._T_EPOS})
+        accept_states = sorted(
+            active & {self._T_DPOS, self._T_DNEG, self._T_EPOS})
+        accept = disj(*[eq(final, state) for state in accept_states])
+        finals = [conj(disj(*[eq(final, state) for state in error_states]),
+                       eq(n, sem.error_value))]
+        if not use_exp:
+            finals.append(conj(accept,
+                               self._overflow_clause(n, acc_final, sem)))
+        else:
+            ex_final = ex(len(chain))
+            for k in range(sem.exp_max + 1):
+                finals.append(conj(
+                    accept, eq(ex_final, k),
+                    self._overflow_clause(n, acc_final * (10 ** k), sem)))
+            big = ge(ex_final, sem.exp_max + 1)
+            finals.append(conj(accept, big, eq(acc_final, 0), eq(n, 0)))
+            if sem.overflow == "saturate":
+                finals.append(conj(accept, big, ge(acc_final, 1),
+                                   eq(n, sem.max_value)))
+                finals.append(conj(accept, big, le(acc_final, -1),
+                                   eq(n, sem.min_value)))
+            else:
+                finals.append(conj(accept, big, ne(acc_final, 0),
+                                   eq(n, sem.error_value)))
+        parts.append(disj(*finals))
+        return conj(*parts)
+
+    def _overflow_clause(self, n, value, sem):
+        """``n`` is *value* adjusted by the semantics' overflow mode."""
+        if sem.overflow == "bignum":
+            return eq(n, value)
+        top, bottom = sem.max_value, sem.min_value
+        if sem.overflow == "saturate":
+            over, under = eq(n, top), eq(n, bottom)
+        else:
+            over = under = eq(n, sem.error_value)
+        return disj(
+            conj(ge(value, bottom), le(value, top), eq(n, value)),
+            conj(ge(value, top + 1), over),
+            conj(le(value, bottom - 1), under))
+
+    # -- character code (str.to_code / str.from_code) -------------------------------------
+
+    def _flatten_charcode(self, constraint):
+        """``result`` is the Unicode code point of the single character in
+        the variable's one-transition PFA.  The alphabet's code->ord map
+        decomposes into a few contiguous linear segments, so the mapping
+        stays linear."""
+        char = self._single_char(constraint.var)
+        u = int_var(char)
+        result = int_var(constraint.result)
+        options = []
+        for lo, hi, offset in _code_ord_segments(self.alphabet):
+            options.append(conj(ge(u, lo), le(u, hi),
+                                eq(result, u + offset)))
+        return conj(ge(u, 0), disj(*options))
 
     # -- character disequality ------------------------------------------------------------
 

@@ -18,8 +18,8 @@ problem to the original variables.
 
 from repro.logic.formula import FALSE, substitute as substitute_formula
 from repro.strings.ast import (
-    CharNeq, IntConstraint, RegularConstraint, StringProblem, StrVar,
-    ToNum, WordEquation, length_var,
+    CharCode, CharNeq, IntConstraint, RegularConstraint, StringProblem,
+    StrVar, ToNum, WordEquation, length_var,
 )
 from repro.strings.eval import to_num_value
 
@@ -125,8 +125,23 @@ def _apply(constraints, pins, alphabet):
             if c.var.name in pins:
                 from repro.logic.formula import eq
                 from repro.logic.terms import var as int_var
-                value = to_num_value(pins[c.var.name])
+                text = pins[c.var.name]
+                if c.semantics is None:
+                    value = to_num_value(text)
+                else:
+                    value = c.semantics.convert(text)
                 reduced.append(IntConstraint(eq(int_var(c.result), value)))
+                continue
+            reduced.append(c)
+        elif isinstance(c, CharCode):
+            if c.var.name in pins:
+                from repro.logic.formula import eq
+                from repro.logic.terms import var as int_var
+                text = pins[c.var.name]
+                if len(text) != 1:
+                    return [], True
+                reduced.append(
+                    IntConstraint(eq(int_var(c.result), ord(text))))
                 continue
             reduced.append(c)
         elif isinstance(c, CharNeq):

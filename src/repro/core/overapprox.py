@@ -30,8 +30,8 @@ from repro.logic.terms import const, var as int_var
 from repro.obs import current_tracer
 from repro.smt import solve_formula
 from repro.strings.ast import (
-    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
-    str_len,
+    CharCode, CharNeq, Disjunction, IntConstraint, RegularConstraint, StrVar,
+    ToNum, WordEquation, str_len,
 )
 from repro.errors import ResourceLimit, UnsupportedConstraint
 
@@ -55,22 +55,12 @@ def length_abstraction(problem, alphabet=DEFAULT_ALPHABET, names=None,
 
     regular_by_var = {}
     for constraint in problem:
-        if isinstance(constraint, WordEquation):
-            parts.append(eq(_term_length(constraint.lhs),
-                            _term_length(constraint.rhs)))
-        elif isinstance(constraint, RegularConstraint):
+        if isinstance(constraint, RegularConstraint):
             regular_by_var.setdefault(constraint.var.name, []).append(
                 constraint.nfa)
-        elif isinstance(constraint, IntConstraint):
-            parts.append(constraint.formula)
-        elif isinstance(constraint, ToNum):
-            parts.append(tonum_relaxation(constraint))
-        elif isinstance(constraint, CharNeq):
-            parts.append(ge(str_len(constraint.left)
-                            + str_len(constraint.right), 1))
         else:
-            raise UnsupportedConstraint(
-                "cannot over-approximate %r" % (constraint,))
+            parts.append(_constraint_relaxation(constraint, alphabet,
+                                                fresh_prefix))
 
     if include_regular:
         for name, nfas in regular_by_var.items():
@@ -80,6 +70,39 @@ def length_abstraction(problem, alphabet=DEFAULT_ALPHABET, names=None,
             parts.append(_regular_length_formula(name, combined,
                                                  fresh_prefix("re")))
     return conj(*parts)
+
+
+def _constraint_relaxation(constraint, alphabet, fresh_prefix):
+    """Sound LIA relaxation of one constraint (truth implies it).
+
+    Regular constraints get the cheap per-constraint length formula here;
+    the top level of :func:`length_abstraction` intersects same-variable
+    memberships first, which this per-constraint path (used inside
+    disjunction branches) cannot do.
+    """
+    if isinstance(constraint, WordEquation):
+        return eq(_term_length(constraint.lhs), _term_length(constraint.rhs))
+    if isinstance(constraint, RegularConstraint):
+        return _regular_length_formula(constraint.var.name, constraint.nfa,
+                                       fresh_prefix("re"))
+    if isinstance(constraint, IntConstraint):
+        return constraint.formula
+    if isinstance(constraint, ToNum):
+        return tonum_relaxation(constraint)
+    if isinstance(constraint, CharNeq):
+        return ge(str_len(constraint.left) + str_len(constraint.right), 1)
+    if isinstance(constraint, CharCode):
+        ords = [ord(c) for c in alphabet.chars()]
+        return conj(eq(str_len(constraint.var), 1),
+                    ge(int_var(constraint.result), min(ords)),
+                    le(int_var(constraint.result), max(ords)))
+    if isinstance(constraint, Disjunction):
+        return disj(*[
+            conj(*[_constraint_relaxation(c, alphabet, fresh_prefix)
+                   for c in branch])
+            for branch in constraint.branches])
+    raise UnsupportedConstraint(
+        "cannot over-approximate %r" % (constraint,))
 
 
 def _term_length(term):
@@ -95,65 +118,104 @@ def _term_length(term):
 def _regular_length_formula(name, nfa, prefix):
     """Constraint tying |x| to the length image of L(nfa).
 
-    A finite language of lengths (acyclic automaton) becomes the exact
-    disjunction ``|x| = L1 or ... or |x| = Lk`` — small and transparent to
-    interval propagation, which the static length analysis depends on.
-    Cyclic automata keep the exact Parikh characterization plus an
-    explicit minimum-length atom for the propagator.
+    The abstraction only ever projects a membership onto the *total*
+    length of the word, and that projection of the Parikh image is
+    exactly the language's length image — an eventually periodic set
+    computable from the unary projection of the automaton (one subset-
+    construction lasso over the transition graph).  This replaces the
+    per-symbol Parikh construction, whose count and flow variables blew
+    up on alphabet-wide automata (complements, dot-heavy regexes) while
+    contributing nothing beyond their sum.  The rare automaton whose
+    lasso exceeds the exploration cap falls back to exact Parikh.
     """
     trimmed = nfa.without_epsilon().trim()
     if trimmed.num_states == 0 or not trimmed.finals:
         return FALSE
-    lengths = _acyclic_length_set(trimmed)
-    if lengths is not None:
-        return disj(*[eq(str_len(name), L) for L in sorted(lengths)])
-    symbols = sorted(trimmed.alphabet())
-    count_names = {sym: "%s.c%d" % (prefix, i)
-                   for i, sym in enumerate(symbols)}
-    phi = parikh_formula(trimmed, lambda sym: count_names[sym], prefix + ".f")
-    total = const(0)
-    for sym in symbols:
-        total = total + int_var(count_names[sym])
-    shortest = trimmed.shortest_word()
-    minimum = TRUE if shortest is None else ge(str_len(name), len(shortest))
-    return conj(phi, eq(str_len(name), total), minimum)
+    image = _length_image(trimmed)
+    if image is None:
+        symbols = sorted(trimmed.alphabet())
+        count_names = {sym: "%s.c%d" % (prefix, i)
+                       for i, sym in enumerate(symbols)}
+        phi = parikh_formula(trimmed, lambda sym: count_names[sym],
+                             prefix + ".f")
+        total = const(0)
+        for sym in symbols:
+            total = total + int_var(count_names[sym])
+        shortest = trimmed.shortest_word()
+        minimum = TRUE if shortest is None \
+            else ge(str_len(name), len(shortest))
+        return conj(phi, eq(str_len(name), total), minimum)
+    finite, offsets, period = image
+    parts = [eq(str_len(name), L) for L in finite]
+    for i, offset in enumerate(offsets):
+        if period == 1:
+            parts.append(ge(str_len(name), offset))
+        else:
+            # |x| = offset + period * q for some q >= 0.
+            q = int_var("%s.q%d" % (prefix, i))
+            parts.append(conj(ge(q, 0),
+                              eq(str_len(name), q * period + offset)))
+    if not parts:
+        return FALSE
+    return disj(*parts)
 
 
-def _acyclic_length_set(nfa):
-    """Accepted word lengths when the automaton is acyclic, else None."""
-    indegree = [0] * nfa.num_states
-    for _, _, dst in nfa.transitions:
-        indegree[dst] += 1
-    queue = [q for q in range(nfa.num_states) if indegree[q] == 0]
-    topo = []
-    while queue:
-        q = queue.pop()
-        topo.append(q)
-        for _, t in nfa.out_edges(q):
-            indegree[t] -= 1
-            if indegree[t] == 0:
-                queue.append(t)
-    if len(topo) != nfa.num_states:
-        return None
-    distances = [set() for _ in range(nfa.num_states)]
-    distances[nfa.initial].add(0)
-    for q in topo:
-        for _, t in nfa.out_edges(q):
-            distances[t].update(d + 1 for d in distances[q])
-    lengths = set()
-    for f in nfa.finals:
-        lengths.update(distances[f])
-    return lengths
+# Distinct reachable subsets explored before giving up on the lasso and
+# paying for the full Parikh construction instead.
+_LASSO_LIMIT = 4096
+
+
+def _length_image(nfa):
+    """The length image of L(nfa) as ``(finite, offsets, period)``.
+
+    ``finite`` lists accepted lengths below the lasso's preperiod;
+    every ``offset`` contributes the arithmetic progression
+    ``offset + period * k`` (k >= 0).  None when the subset lasso
+    exceeds the exploration cap.
+    """
+    successors = [set() for _ in range(nfa.num_states)]
+    for src, _, dst in nfa.transitions:
+        successors[src].add(dst)
+    finals = set(nfa.finals)
+    seen = {}
+    accept = []
+    frontier = frozenset([nfa.initial])
+    while frontier not in seen:
+        if len(seen) >= _LASSO_LIMIT:
+            return None
+        seen[frontier] = len(accept)
+        accept.append(bool(frontier & finals))
+        nxt = set()
+        for q in frontier:
+            nxt |= successors[q]
+        frontier = frozenset(nxt)
+    preperiod = seen[frontier]
+    period = len(accept) - preperiod
+    finite = [i for i in range(preperiod) if accept[i]]
+    offsets = [i for i in range(preperiod, preperiod + period) if accept[i]]
+    return finite, offsets, period
 
 
 def tonum_relaxation(constraint):
     """Sound bracketing between n = toNum(x) and |x|.
 
-    ``n = -1`` (not a numeral) or ``n >= 0`` with: a numeral has at least
-    one character (``|x| >= 1``); the value fits in its length
-    (``|x| = L -> n <= 10^L - 1``); and conversely a large value needs a
-    long string (``n >= 10^L -> |x| >= L + 1``).
+    Base semantics: ``n = -1`` (not a numeral) or ``n >= 0`` with: a
+    numeral has at least one character (``|x| >= 1``); the value fits in
+    its length (``|x| = L -> n <= 10^L - 1``); and conversely a large
+    value needs a long string (``n >= 10^L -> |x| >= L + 1``).
+
+    Real-parser semantics produce negative values, so none of the base
+    bounds apply.  Bit-bounded overflow modes (error/saturate) still pin
+    the result into the value range extended by the error value; bignum
+    variants get the trivial relaxation.
     """
+    sem = constraint.semantics
+    if sem is not None:
+        n = int_var(constraint.result)
+        if sem.overflow in ("error", "saturate"):
+            return conj(ge(n, min(sem.min_value, sem.error_value)),
+                        le(n, max(sem.max_value, sem.error_value)))
+        return TRUE
     n = int_var(constraint.result)
     length = str_len(constraint.var)
     # The bracketing implications hold unconditionally (for a non-numeral

@@ -239,6 +239,54 @@ def literal_pfa(namer, codes):
     return PFA(stem, [[] for _ in range(len(stem) + 1)], psi, bindings)
 
 
+def conversion_pfa(namer, m, ws_code=None, sign_codes=None):
+    """The conversion PFA for real-parser numeric semantics.
+
+    Shape: an optional whitespace self-loop on the initial state, a sign
+    slot, a ``0`` self-loop (unbounded leading zeros), then a chain of
+    ``m`` unconstrained character variables — decoding to
+    ``ws^a sign 0^b chain``.  The sign slot is always present so the shape
+    is uniform; it is bound to epsilon when *sign_codes* is None.
+
+    Unlike :func:`numeric_pfa` there is no NaN disjunct: the per-semantics
+    transducer flattening interprets every word the language covers
+    (including malformed ones, which it maps to the error value), and the
+    chain's characters are unconstrained, so all words of length <= m are
+    covered.  The ``parse`` attribute names the role of each variable for
+    the flattener.
+    """
+    ws_var = namer() if ws_code is not None else None
+    sign_var = namer()
+    zero_var = namer()
+    chain = [namer() for _ in range(m)]
+    stem = [sign_var] + chain
+    loops = [[] for _ in range(len(stem) + 1)]
+    if ws_var is not None:
+        loops[0] = [ws_var]
+    loops[1] = [zero_var]
+
+    parts = []
+    bindings = {zero_var: 0}
+    parts.append(eq(int_var(zero_var), 0))
+    if ws_var is not None:
+        bindings[ws_var] = ws_code
+        parts.append(eq(int_var(ws_var), ws_code))
+    if sign_codes:
+        parts.append(disj(eq(int_var(sign_var), EPSILON),
+                          *[eq(int_var(sign_var), code)
+                            for code in sign_codes]))
+    else:
+        bindings[sign_var] = EPSILON
+        parts.append(eq(int_var(sign_var), EPSILON))
+    parts.append(conj(*[implies(ne(int_var(chain[i]), EPSILON),
+                                ne(int_var(chain[i - 1]), EPSILON))
+                        for i in range(1, m)]))
+    pfa = PFA(stem, loops, conj(*parts), bindings)
+    pfa.parse = {"ws": ws_var, "sign": sign_var, "zero": zero_var,
+                 "chain": list(chain)}
+    return pfa
+
+
 def numeric_pfa(namer, m):
     """The numeric PFA (A^m, psi^m) of Section 8.
 

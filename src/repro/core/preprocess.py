@@ -3,10 +3,42 @@
 Section 7.2 assumes every variable occurs at most once per word equation
 (counting both sides together); repeated occurrences are replaced by fresh
 variables linked with auxiliary equations ``x = x'``.  This module performs
-that expansion on a copy of the problem.
+that expansion on a copy of the problem, including equations inside
+disjunction branches.  The link equations always live at the top level:
+``x = x'`` over a fresh ``x'`` never changes satisfiability, whether or
+not the branch that mentions ``x'`` is taken.
 """
 
-from repro.strings.ast import StringProblem, StrVar, WordEquation
+from repro.strings.ast import Disjunction, StringProblem, StrVar, WordEquation
+
+
+def _rewrite_equation(constraint, names, extra):
+    seen = set()
+
+    def rewrite(term):
+        rewritten = []
+        for element in term:
+            if isinstance(element, StrVar):
+                if element in seen:
+                    fresh = StrVar(names.fresh("dup." + element.name + "."))
+                    extra.append(WordEquation((element,), (fresh,)))
+                    element = fresh
+                else:
+                    seen.add(element)
+            rewritten.append(element)
+        return tuple(rewritten)
+
+    return WordEquation(rewrite(constraint.lhs), rewrite(constraint.rhs))
+
+
+def _rewrite_constraint(constraint, names, extra):
+    if isinstance(constraint, WordEquation):
+        return _rewrite_equation(constraint, names, extra)
+    if isinstance(constraint, Disjunction):
+        return Disjunction([
+            [_rewrite_constraint(c, names, extra) for c in branch]
+            for branch in constraint.branches])
+    return constraint
 
 
 def expand_duplicates(problem, names):
@@ -20,25 +52,6 @@ def expand_duplicates(problem, names):
     out = StringProblem()
     extra = []
     for constraint in problem:
-        if not isinstance(constraint, WordEquation):
-            out.add(constraint)
-            continue
-        seen = set()
-
-        def rewrite(term):
-            rewritten = []
-            for element in term:
-                if isinstance(element, StrVar):
-                    if element in seen:
-                        fresh = StrVar(names.fresh("dup." + element.name + "."))
-                        extra.append(WordEquation((element,), (fresh,)))
-                        element = fresh
-                    else:
-                        seen.add(element)
-                rewritten.append(element)
-            return tuple(rewritten)
-
-        out.add(WordEquation(rewrite(constraint.lhs),
-                             rewrite(constraint.rhs)))
+        out.add(_rewrite_constraint(constraint, names, extra))
     out.extend(extra)
     return out

@@ -22,11 +22,15 @@ from repro import cache as _cache
 from repro import faults as _faults
 from repro.alphabet import DEFAULT_ALPHABET
 from repro.core.overapprox import length_abstraction
-from repro.core.pfa import numeric_pfa, standard_pfa, straight_pfa
+from repro.core.pfa import (
+    conversion_pfa, numeric_pfa, standard_pfa, straight_pfa,
+)
 from repro.logic.intervals import propagate_intervals, range_of
 from repro.logic.presolve import presolve
 from repro.obs import current_metrics
-from repro.strings.ast import CharNeq, RegularConstraint, ToNum, length_var
+from repro.strings.ast import (
+    CharCode, CharNeq, Disjunction, RegularConstraint, ToNum, length_var,
+)
 
 LENGTH_HINT_THRESHOLD = 40
 """Hints above this length are ignored (the variable is treated as
@@ -96,12 +100,39 @@ def analyze_lengths(problem, alphabet=DEFAULT_ALPHABET, deadline=None,
 
 
 def classify_variables(problem):
-    """Partition string variables by the PFA shape they need."""
-    tonum = {c.var.name for c in problem.by_kind(ToNum)}
+    """Partition string variables by the PFA shape they need.
+
+    Returns ``(tonum, single_char)`` where *tonum* maps each variable
+    under a conversion to its feature set — empty for base-only
+    variables, otherwise a subset of ``{"sem", "ws", "sign"}`` unioned
+    over every semantics applied to it (the conversion PFA must cover
+    the prefix features of all of them).  Constraints inside
+    :class:`Disjunction` branches count the same as top-level ones: the
+    restriction is shared by every branch.
+    """
+    tonum = {}
     single_char = set()
-    for c in problem.by_kind(CharNeq):
-        single_char.add(c.left.name)
-        single_char.add(c.right.name)
+
+    def scan(constraints):
+        for c in constraints:
+            if isinstance(c, ToNum):
+                features = tonum.setdefault(c.var.name, set())
+                if c.semantics is not None:
+                    features.add("sem")
+                    if c.semantics.whitespace:
+                        features.add("ws")
+                    if c.semantics.sign:
+                        features.add("sign")
+            elif isinstance(c, CharNeq):
+                single_char.add(c.left.name)
+                single_char.add(c.right.name)
+            elif isinstance(c, CharCode):
+                single_char.add(c.var.name)
+            elif isinstance(c, Disjunction):
+                for branch in c.branches:
+                    scan(branch)
+
+    scan(problem)
     return tonum, single_char
 
 
@@ -173,6 +204,12 @@ def build_restriction(problem, step, names, alphabet=DEFAULT_ALPHABET,
             pfa = straight_pfa(namer, shape[1])
         elif kind == "numeric":
             pfa = numeric_pfa(namer, shape[1])
+        elif kind == "conversion":
+            pfa = conversion_pfa(
+                namer, shape[1],
+                ws_code=alphabet.code(" ") if shape[2] else None,
+                sign_codes=((alphabet.code("+"), alphabet.code("-"))
+                            if shape[3] else None))
         else:
             pfa = standard_pfa(namer, shape[1], shape[2])
         if reuse is not None:
@@ -187,12 +224,19 @@ def build_restriction(problem, step, names, alphabet=DEFAULT_ALPHABET,
             if hint is None or hint > 1:
                 complete = False
         elif name in tonum_vars:
+            features = tonum_vars[name]
             if hint is not None:
                 # A sound length bound makes the plain chain lossless even
-                # for conversions (leading zeros are just digit values),
-                # and keeps the variable eligible for positional equations.
+                # for conversions (leading zeros are just digit values and
+                # the semantics transducer reads prefixes in-chain), and
+                # keeps the variable eligible for positional equations.
                 restriction[name] = pfa_for(
                     name, ("straight", min(hint, LENGTH_HINT_THRESHOLD)))
+            elif "sem" in features:
+                restriction[name] = pfa_for(
+                    name, ("conversion", step.numeric_m,
+                           "ws" in features, "sign" in features))
+                complete = False
             else:
                 restriction[name] = pfa_for(name, ("numeric", step.numeric_m))
                 complete = False

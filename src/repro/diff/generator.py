@@ -21,6 +21,7 @@ from repro.logic.formula import eq, ge, le, ne
 from repro.logic.terms import var as int_var
 from repro.strings.ast import str_len
 from repro.strings.eval import to_num_value
+from repro.strings.numsem import standard_semantics
 from repro.strings.ops import ProblemBuilder
 
 
@@ -175,6 +176,10 @@ class _Gen:
     def emit_membership(self):
         v, w = self._pick_var()
         chars = self.config.alphabet_chars
+        # The picked witness may come from a numeric emitter and contain
+        # digits, signs or whitespace outside alphabet_chars; a truthful
+        # character class must cover them or the certificate is a lie.
+        cover = _regex_class(set(chars) | set(w))
         kind = self.rng.choice(["exact", "star", "bounded", "prefix",
                                 "digits"])
         if kind == "exact":
@@ -182,15 +187,16 @@ class _Gen:
                 if self._lie() else _regex_literal(w)
         elif kind == "star":
             if w and self._lie():
-                regex = "[%s]{0,%d}" % (w[0], max(0, len(w) - 1))
+                regex = "%s{0,%d}" % (_regex_class(w[0]),
+                                      max(0, len(w) - 1))
             else:
-                regex = "[%s]*" % chars
+                regex = cover + "*"
         elif kind == "bounded":
             if w and self._lie():
                 hi = len(w) - 1
             else:
                 hi = len(w) + self.rng.randint(0, 1)
-            regex = "[%s]{0,%d}" % (chars, hi)
+            regex = "%s{0,%d}" % (cover, hi)
         elif kind == "prefix":
             prefix = w[: self.rng.randint(0, len(w))]
             if self._lie():
@@ -203,7 +209,7 @@ class _Gen:
             elif self._lie():
                 regex = "[0-9]+"      # w is empty or has a non-digit
             else:
-                regex = "[%s]*" % chars
+                regex = cover + "*"
         self.builder.member(v, regex)
 
     def emit_not_membership(self):
@@ -283,7 +289,161 @@ class _Gen:
         self.witness[c2.name] = other[i:i + 1]
         self.witness[s2.name] = other[i + 1:]
 
+    def _int_shape(self, name, value):
+        """Constrain integer *name* (witness *value*) like emit_tonum."""
+        shape = self.rng.choice(["eq", "ineq", "ne", "free"])
+        if shape == "eq":
+            target = value + (self._offset() if self._lie() else 0)
+            self.builder.require_int(eq(int_var(name), target))
+        elif shape == "ineq":
+            if self._lie():
+                self.builder.require_int(ge(int_var(name), value + 1))
+            elif self.rng.random() < 0.5:
+                self.builder.require_int(le(int_var(name), value))
+            else:
+                self.builder.require_int(ge(int_var(name), value))
+        elif shape == "ne":
+            target = value if self._lie() else value + self._offset()
+            self.builder.require_int(ne(int_var(name), target))
+
+    def emit_tonum_sem(self):
+        """n = toNum[sem](x) for a rotating real-parser semantics."""
+        rng = self.rng
+        sem = rng.choice(self._SEMANTICS)
+        digits = sem.digit_chars()
+        w = "".join(rng.choice(digits)
+                    for _ in range(rng.randint(1, self.config.max_len)))
+        if sem.exponent and rng.random() < 0.4:
+            w += rng.choice("eE") + rng.choice("0123456789")
+        if sem.sign and rng.random() < 0.4:
+            w = rng.choice("+-") + w
+        if sem.whitespace and rng.random() < 0.4:
+            w = " " * rng.randint(1, 2) + w
+        if rng.random() < 0.2:
+            # Inject garbage so the error paths stay exercised; the
+            # witness value below accounts for it.
+            pos = rng.randint(0, len(w))
+            w = w[:pos] + rng.choice("x#") + w[pos:]
+        v = self._new_var(w, prefix="sd")
+        n = self.builder.to_num_sem(v, sem)
+        value = sem.convert(w)
+        self.witness[n] = value
+        self._int_shape(n, value)
+
+    def emit_at(self):
+        v, w = self._pick_var()
+        rng = self.rng
+        if w and rng.random() < 0.7:
+            index = rng.randint(0, len(w) - 1)
+        else:
+            index = rng.choice([-1, len(w), len(w) + 2])
+        in_range = 0 <= index < len(w)
+        r, aux = self.builder.at_total(v, index)
+        expected = w[index] if in_range else ""
+        self.witness[r.name] = expected
+        self.witness[aux["prefix"].name] = w[:index] if in_range else ""
+        self.witness[aux["suffix"].name] = w[index + 1:] if in_range else ""
+        target = expected
+        if self._lie():
+            target = expected + rng.choice(self.config.alphabet_chars)
+        self.builder.equal((r,), (target,) if target else ())
+
+    def emit_indexof(self):
+        v, w = self._pick_var()
+        rng = self.rng
+        if w and rng.random() < 0.6:
+            i = rng.randint(0, len(w) - 1)
+            needle = w[i: i + rng.randint(1, 2)]
+        else:
+            needle = self._word()
+        start = rng.choice([0, 0, 1, len(w) + 1])
+        if 0 <= start <= len(w):
+            expected = w.find(needle, start)
+        else:
+            expected = -1
+        r, aux = self.builder.index_of(v, needle, start)
+        self.witness[r] = expected
+        for name in ("p", "a", "b", "u", "q"):
+            self.witness[aux[name].name] = ""
+        if expected >= 0:
+            self.witness[aux["p"].name] = w[:start]
+            self.witness[aux["a"].name] = w[start:expected]
+            self.witness[aux["b"].name] = w[expected + len(needle):]
+            self.witness[aux["u"].name] = w[start:expected] + needle
+        elif 0 <= start <= len(w):
+            self.witness[aux["p"].name] = w[:start]
+            self.witness[aux["q"].name] = w[start:]
+        target = expected + (self._offset() if self._lie() else 0)
+        self.builder.require_int(eq(int_var(r), target))
+
+    def emit_replace(self):
+        v, w = self._pick_var()
+        rng = self.rng
+        if w and rng.random() < 0.6:
+            i = rng.randint(0, len(w) - 1)
+            needle = w[i: i + rng.randint(1, 2)]
+        else:
+            needle = self._word()
+        replacement = self._word()
+        if rng.random() < 0.5:
+            r, aux = self.builder.replace(v, needle, replacement)
+            if needle == "":
+                expected = replacement + w
+            elif needle in w:
+                i = w.find(needle)
+                expected = w[:i] + replacement + w[i + len(needle):]
+                self.witness[aux["a"].name] = w[:i]
+                self.witness[aux["b"].name] = w[i + len(needle):]
+                self.witness[aux["u"].name] = w[:i] + needle
+            else:
+                expected = w
+                for key in ("a", "b", "u"):
+                    self.witness[aux[key].name] = ""
+        else:
+            r, aux = self.builder.replace_all(v, needle, replacement)
+            if needle == "":
+                expected = w          # SMT-LIB: identity for ""
+            else:
+                parts = w.split(needle)
+                expected = replacement.join(parts)
+                for j, gap in enumerate(aux["gaps"]):
+                    self.witness[gap.name] = parts[j] \
+                        if j < len(parts) else ""
+                for j, first in enumerate(aux["firsts"]):
+                    self.witness[first.name] = parts[j] + needle \
+                        if j < len(parts) - 1 else ""
+        self.witness[r.name] = expected
+        target = expected
+        if self._lie():
+            target = expected + rng.choice(self.config.alphabet_chars)
+        self.builder.equal((r,), (target,) if target else ())
+
+    def emit_code(self):
+        rng = self.rng
+        if rng.random() < 0.5:
+            v, w = self._pick_var()
+            r, aux = self.builder.to_code(v)
+            value = ord(w) if len(w) == 1 else -1
+            self.witness[r] = value
+            self.witness[aux["char"].name] = w if len(w) == 1 else ""
+            self._int_shape(r, value)
+        else:
+            code = ord(rng.choice(self.config.alphabet_chars)) \
+                if rng.random() < 0.7 else rng.choice([-3, 10, 200])
+            k = self.builder.fresh_int("c")
+            self.builder.require_int(eq(int_var(k), code))
+            self.witness[k] = code
+            s = self.builder.from_code(k)
+            expected = chr(code) if 32 <= code <= 126 else ""
+            self.witness[s.name] = expected
+            target = expected
+            if self._lie():
+                target = expected + rng.choice(self.config.alphabet_chars)
+            self.builder.equal((s,), (target,) if target else ())
+
     # -- driver ---------------------------------------------------------------
+
+    _SEMANTICS = standard_semantics()
 
     EMITTERS = (
         ("emit_length", 3),
@@ -293,8 +453,13 @@ class _Gen:
         ("emit_membership", 3),
         ("emit_not_membership", 1),
         ("emit_tonum", 3),
+        ("emit_tonum_sem", 2),
         ("emit_tostr", 1),
         ("emit_diseq", 1),
+        ("emit_at", 1),
+        ("emit_indexof", 1),
+        ("emit_replace", 1),
+        ("emit_code", 1),
     )
 
     def run(self):
@@ -333,6 +498,14 @@ def _regex_literal(text):
     for ch in text:
         out.append("\\" + ch if ch in "()[]|*+?{}.\\^-" else ch)
     return "".join(out)
+
+
+def _regex_class(chars):
+    """A character class matching exactly the characters in *chars*."""
+    out = []
+    for ch in sorted(set(chars)):
+        out.append("\\" + ch if ch in "]\\^-" else ch)
+    return "[" + "".join(out) + "]"
 
 
 def generate(rng, config=None, seed_index=None):

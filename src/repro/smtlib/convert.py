@@ -21,6 +21,7 @@ from repro.smtlib.parser import StringLiteral, parse_sexprs
 from repro.strings.ast import StrVar
 from repro.strings.ops import ProblemBuilder
 
+_REGEX_META = set("()[]|*+?{}.\\")
 _TO_INT = {"str.to_int", "str.to.int"}
 _FROM_INT = {"str.from_int", "int.to.str", "str.from-int"}
 _IN_RE = {"str.in_re", "str.in.re"}
@@ -102,17 +103,42 @@ class _Converter:
                 return self._sort_of(self.macros[term])
             if term in ("true", "false"):
                 return "Bool"
-            return self.sorts.get(term, "Int")
+            if term in self.sorts:
+                return self.sorts[term]
+            # Defaulting unknown names to Int silently turned a mistyped
+            # symbol into a free integer variable (and a wrong model).
+            raise UnsupportedConstraint("undeclared symbol %r" % term)
         head = term[0] if term else None
-        if head in ("str.++", "str.at", "str.substr", "str.replace") \
+        if head in ("str.++", "str.at", "str.substr", "str.replace",
+                    "str.replace_all", "str.from_code") \
                 or head in _FROM_INT:
             return "String"
-        if head in ("str.len", "+", "-", "*", "div", "mod", "abs") \
-                or head in _TO_INT:
+        if head in ("str.len", "+", "-", "*", "div", "mod", "abs",
+                    "str.indexof", "str.to_code", "str.to_code.partial") \
+                or head in _TO_INT \
+                or self._head_semantics(head) is not None:
             return "Int"
         if head == "ite":
             return self._sort_of(term[2])
+        if head == "!":
+            return self._sort_of(term[1])
         return "Bool"
+
+    @staticmethod
+    def _head_semantics(head):
+        """The semantics name of a ``str.to_int.<name>`` head, else None."""
+        if isinstance(head, str) and head.startswith("str.to_int."):
+            return head[len("str.to_int."):]
+        return None
+
+    @staticmethod
+    def _annotation(term):
+        """``(! inner :semantics name ...)`` -> (inner, name-or-None)."""
+        inner = term[1]
+        for i in range(2, len(term) - 1):
+            if term[i] == ":semantics":
+                return inner, term[i + 1]
+        return inner, None
 
     # -- assertions ------------------------------------------------------------------
 
@@ -133,9 +159,31 @@ class _Converter:
             for part in term[1:]:
                 self._assert(part)
             return
+        if head == "or":
+            # Pure integer/boolean disjunctions stay in the int layer;
+            # disjunctions involving string atoms become a Disjunction
+            # constraint whose branches capture each disjunct's encoding
+            # (including any desugaring the disjunct needs).
+            try:
+                captured = self._capture(
+                    lambda: self.builder.require_int(
+                        self._bool_formula(term)))
+            except UnsupportedConstraint:
+                from repro.strings.ast import Disjunction, IntConstraint
+                branches = []
+                for part in term[1:]:
+                    branch = self._capture(
+                        lambda part=part: self._assert(part))
+                    branches.append(branch or [IntConstraint(TRUE)])
+                self.builder.require(Disjunction(branches))
+                return
+            self.builder.problem.extend(captured)
+            return
         if head == "=" and self._sort_of(term[1]) == "String":
-            self.builder.equal(self._str_term(term[1]),
-                               self._str_term(term[2]))
+            # Chained (= a b c ...) means all operands are equal.
+            first = self._str_term(term[1])
+            for t in term[2:]:
+                self.builder.equal(first, self._str_term(t))
             return
         if head == "=" and len(term) == 3 \
                 and self._tonum_binding(term[1], term[2]):
@@ -151,21 +199,36 @@ class _Converter:
                     variable = self._varify(self._str_term(inner[1]))
                     nfa = self._regex(inner[2])
                     complement = nfa.complement(self.alphabet.codes()).trim()
+                    source = self._regex_source(inner[2])
                     from repro.strings.ast import RegularConstraint
                     self.builder.require(
-                        RegularConstraint(variable,
-                                          self._compact(complement)))
+                        RegularConstraint(
+                            variable, self._compact(complement),
+                            source=None if source is None
+                            else "!(%s)" % source))
                     return
+        if head == "str.diseq.char" and len(term) == 3:
+            # Dialect form the printer emits for CharNeq (see printer).
+            from repro.strings.ast import CharNeq
+            self.builder.require(CharNeq(
+                self._varify(self._str_term(term[1])),
+                self._varify(self._str_term(term[2]))))
+            return
         if head == "distinct" and self._sort_of(term[1]) == "String":
-            self.builder.diseq(self._str_term(term[1]),
-                               self._str_term(term[2]))
+            # (distinct a b c ...) is pairwise: every operand differs from
+            # every other, not just the first two.
+            operands = [self._str_term(t) for t in term[1:]]
+            for i in range(len(operands)):
+                for j in range(i + 1, len(operands)):
+                    self.builder.diseq(operands[i], operands[j])
             return
         if head in _IN_RE:
             variable = self._varify(self._str_term(term[1]))
             from repro.strings.ast import RegularConstraint
             self.builder.require(
                 RegularConstraint(variable,
-                                  self._compact(self._regex(term[2]))))
+                                  self._compact(self._regex(term[2])),
+                                  source=self._regex_source(term[2])))
             return
         if head == "str.prefixof":
             self.builder.prefix_of(self._str_term(term[1]),
@@ -207,16 +270,29 @@ class _Converter:
             return disj(conj(condition, self._bool_formula(term[2])),
                         conj(neg(condition), self._bool_formula(term[3])))
         if head == "=":
-            if self._sort_of(term[1]) == "Bool":
-                return iff(self._bool_formula(term[1]),
-                           self._bool_formula(term[2]))
-            return eq(self._int_term(term[1]), self._int_term(term[2]))
+            sort = self._sort_of(term[1])
+            if sort == "String":
+                raise UnsupportedConstraint(
+                    "string equality under boolean structure")
+            if sort == "Bool":
+                return conj(*[iff(self._bool_formula(a),
+                                  self._bool_formula(b))
+                              for a, b in zip(term[1:], term[2:])])
+            first = self._int_term(term[1])
+            return conj(*[eq(first, self._int_term(t)) for t in term[2:]])
         comparisons = {"<=": le, "<": lt, ">=": ge, ">": gt}
         if head in comparisons:
             return comparisons[head](self._int_term(term[1]),
                                      self._int_term(term[2]))
         if head == "distinct":
-            return ne(self._int_term(term[1]), self._int_term(term[2]))
+            if self._sort_of(term[1]) == "String":
+                raise UnsupportedConstraint(
+                    "string distinct under boolean structure")
+            # Pairwise over all operands, not just the first two.
+            operands = [self._int_term(t) for t in term[1:]]
+            return conj(*[ne(operands[i], operands[j])
+                          for i in range(len(operands))
+                          for j in range(i + 1, len(operands))])
         raise UnsupportedConstraint("boolean operator %r" % head)
 
     def _int_term(self, term):
@@ -257,6 +333,18 @@ class _Converter:
         if head in _TO_INT:
             variable = self._varify(self._str_term(term[1]))
             return int_var(self.builder.to_num(variable))
+        semantics = self._head_semantics(head)
+        if semantics is not None:
+            variable = self._varify(self._str_term(term[1]))
+            return int_var(self.builder.to_num_sem(variable, semantics))
+        if head == "!":
+            inner, semantics = self._annotation(term)
+            inner = self._expand(inner)
+            if semantics is not None and isinstance(inner, list) \
+                    and inner and inner[0] in _TO_INT:
+                variable = self._varify(self._str_term(inner[1]))
+                return int_var(self.builder.to_num_sem(variable, semantics))
+            return self._int_term(inner)
         if head == "ite":
             condition = self._bool_formula(term[1])
             result = self.builder.ite_int(condition,
@@ -265,14 +353,18 @@ class _Converter:
             return int_var(result)
         if head == "str.indexof":
             needle = self._expand(term[2])
-            start = self._expand(term[3]) if len(term) > 3 else 0
-            if isinstance(needle, StringLiteral) \
-                    and len(needle.value) == 1 and start == 0:
-                variable = self._varify(self._str_term(term[1]))
-                return int_var(self.builder.index_of_char(variable,
-                                                          needle.value))
-            raise UnsupportedConstraint(
-                "str.indexof needs a single-character literal and start 0")
+            if not isinstance(needle, StringLiteral):
+                raise UnsupportedConstraint(
+                    "str.indexof needs a literal needle")
+            variable = self._varify(self._str_term(term[1]))
+            start = self._int_term(term[3]) if len(term) > 3 \
+                else LinExpr.of_const(0)
+            result, _ = self.builder.index_of(variable, needle.value, start)
+            return int_var(result)
+        if head == "str.to_code":
+            variable = self._varify(self._str_term(term[1]))
+            result, _ = self.builder.to_code(variable)
+            return int_var(result)
         raise UnsupportedConstraint("integer operator %r" % head)
 
     # -- string layer ----------------------------------------------------------------------
@@ -293,7 +385,27 @@ class _Converter:
             return tuple(out)
         if head == "str.at":
             variable = self._varify(self._str_term(term[1]))
-            return (self.builder.char_at(variable, self._int_term(term[2])),)
+            result, _ = self.builder.at_total(variable,
+                                              self._int_term(term[2]))
+            return (result,)
+        if head in ("str.replace", "str.replace_all"):
+            variable = self._varify(self._str_term(term[1]))
+            needle = self._expand(term[2])
+            replacement = self._expand(term[3])
+            if not isinstance(needle, StringLiteral) \
+                    or not isinstance(replacement, StringLiteral):
+                raise UnsupportedConstraint(
+                    "%s needs a literal needle and replacement" % head)
+            if head == "str.replace":
+                result, _ = self.builder.replace(
+                    variable, needle.value, replacement.value)
+            else:
+                result, _ = self.builder.replace_all(
+                    variable, needle.value, replacement.value)
+            return (result,)
+        if head == "str.from_code":
+            name = self._int_name(self._int_term(term[1]))
+            return (self.builder.from_code(name),)
         if head == "str.substr":
             variable = self._varify(self._str_term(term[1]))
             return (self.builder.substr(variable, self._int_term(term[2]),
@@ -311,13 +423,44 @@ class _Converter:
         linking equality, so print -> parse would grow the problem."""
         lhs, rhs = self._expand(lhs), self._expand(rhs)
         for name, conversion in ((lhs, rhs), (rhs, lhs)):
-            if isinstance(name, str) and self.sorts.get(name) == "Int" \
-                    and isinstance(conversion, list) and conversion \
-                    and conversion[0] in _TO_INT:
+            if not (isinstance(name, str) and self.sorts.get(name) == "Int"
+                    and isinstance(conversion, list) and conversion):
+                continue
+            head = conversion[0]
+            semantics = self._head_semantics(head)
+            if head in _TO_INT:
                 variable = self._varify(self._str_term(conversion[1]))
                 self.builder.to_num(variable, result=name)
                 return True
+            if semantics is not None:
+                variable = self._varify(self._str_term(conversion[1]))
+                self.builder.to_num_sem(variable, semantics, result=name)
+                return True
+            if head == "str.to_code.partial":
+                # Dialect head for the partial char-code relation the
+                # printer emits for CharCode (sat only when the subject
+                # is a single character).  Parsing it back as total
+                # str.to_code would re-desugar into a fresh disjunction
+                # on every round trip.
+                from repro.strings.ast import CharCode
+                variable = self._varify(self._str_term(conversion[1]))
+                self.builder.require(CharCode(name, variable))
+                return True
         return False
+
+    def _capture(self, thunk):
+        """Run *thunk* with the builder writing to a scratch problem and
+        return the constraints it produced (the main problem untouched).
+        Used to materialize disjunct branches: fresh variables minted by
+        a branch's desugarings stay scoped to that branch."""
+        from repro.strings.ast import StringProblem
+        saved = self.builder.problem
+        self.builder.problem = StringProblem()
+        try:
+            thunk()
+            return list(self.builder.problem)
+        finally:
+            self.builder.problem = saved
 
     def _int_name(self, expr):
         """An integer variable equal to *expr* (fresh if needed)."""
@@ -387,6 +530,50 @@ class _Converter:
             low, high = head[2], head[3]
             return self._regex(term[1]).repeat(low, high)
         raise UnsupportedConstraint("regex operator %r" % (head,))
+
+    def _regex_source(self, term):
+        """*term* re-rendered in the solver's compact regex syntax, or
+        None when it has no such rendering.  Recording a source keeps
+        parsed memberships printable, so print -> parse -> print is
+        stable."""
+        term = self._expand(term)
+        if isinstance(term, str):
+            if term == "re.allchar":
+                return "."
+            if term == "re.all":
+                return ".*"
+            return None
+        head = term[0]
+        if head in ("str.to_re", "str.to.re"):
+            return "".join("\\" + c if c in _REGEX_META else c
+                           for c in term[1].value) or "()"
+        if head == "re.++":
+            parts = [self._regex_source(t) for t in term[1:]]
+            if None in parts:
+                return None
+            return "".join("(%s)" % p for p in parts)
+        if head == "re.union":
+            parts = [self._regex_source(t) for t in term[1:]]
+            if None in parts:
+                return None
+            return "(%s)" % "|".join(parts)
+        if head in ("re.*", "re.+", "re.opt"):
+            inner = self._regex_source(term[1])
+            if inner is None:
+                return None
+            return "(%s)%s" % (inner, {"re.*": "*", "re.+": "+",
+                                       "re.opt": "?"}[head])
+        if head == "re.range":
+            def cls(c):
+                return "\\" + c if c in "]^\\-" else c
+            return "[%s-%s]" % (cls(term[1].value), cls(term[2].value))
+        if isinstance(head, list) and len(head) >= 2 \
+                and head[0] == "_" and head[1] == "re.loop":
+            inner = self._regex_source(term[1])
+            if inner is None:
+                return None
+            return "(%s){%d,%d}" % (inner, head[2], head[3])
+        return None
 
     def _compact(self, nfa):
         """Shrink a Thompson-constructed automaton.

@@ -10,7 +10,8 @@ from repro.alphabet import DEFAULT_ALPHABET
 from repro.errors import UnsupportedConstraint
 from repro.logic.formula import And, Atom, BoolConst, Not, Or
 from repro.strings.ast import (
-    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
+    CharCode, CharNeq, Disjunction, IntConstraint, RegularConstraint,
+    StrVar, ToNum, WordEquation,
 )
 from repro.automata.regex import (
     parse_regex, RConcat, REmpty, REps, RRepeat, RSym, RUnion,
@@ -101,8 +102,23 @@ def _regex_node(node, alphabet):
         codes = sorted(node.codes)
         if len(codes) == len(alphabet):
             return "re.allchar"
-        parts = ['(str.to_re "%s")' % _escape(alphabet.char(c))
-                 for c in codes]
+        # Contiguous character runs render as re.range, keeping classes
+        # like [a-z] compact instead of a 26-way union.
+        ords = sorted(ord(alphabet.char(c)) for c in codes)
+        runs = []
+        for o in ords:
+            if runs and o == runs[-1][1] + 1:
+                runs[-1][1] = o
+            else:
+                runs.append([o, o])
+        parts = []
+        for low, high in runs:
+            if high - low >= 2:
+                parts.append('(re.range "%s" "%s")'
+                             % (_escape(chr(low)), _escape(chr(high))))
+            else:
+                parts.extend('(str.to_re "%s")' % _escape(chr(o))
+                             for o in range(low, high + 1))
         if len(parts) == 1:
             return parts[0]
         return "(re.union %s)" % " ".join(parts)
@@ -174,9 +190,30 @@ def _constraint(constraint, alphabet):
     if isinstance(constraint, IntConstraint):
         return _formula(constraint.formula)
     if isinstance(constraint, ToNum):
-        return "(= %s (str.to_int %s))" % (_symbol(constraint.result),
-                                           _symbol(constraint.var.name))
+        head = "str.to_int" if constraint.semantics is None \
+            else "str.to_int.%s" % constraint.semantics.name
+        return "(= %s (%s %s))" % (_symbol(constraint.result), head,
+                                   _symbol(constraint.var.name))
     if isinstance(constraint, CharNeq):
-        return "(not (= %s %s))" % (_symbol(constraint.left.name),
-                                    _symbol(constraint.right.name))
+        # Dialect head: CharNeq restricts both sides to at most one
+        # character on top of the disequality.  Printing a generic
+        # (not (= a b)) would re-desugar through diseq() on every parse,
+        # growing the problem instead of reaching a round-trip fixpoint.
+        return "(str.diseq.char %s %s)" % (_symbol(constraint.left.name),
+                                           _symbol(constraint.right.name))
+    if isinstance(constraint, CharCode):
+        # The dialect head keeps the partial relation (|var| = 1 and
+        # result = code) distinct from total str.to_code, so the parser
+        # reconstructs CharCode instead of re-desugaring a disjunction.
+        return "(= %s (str.to_code.partial %s))" % (
+            _symbol(constraint.result), _symbol(constraint.var.name))
+    if isinstance(constraint, Disjunction):
+        branches = []
+        for branch in constraint.branches:
+            parts = [_constraint(c, alphabet) for c in branch]
+            branches.append(parts[0] if len(parts) == 1
+                            else "(and %s)" % " ".join(parts))
+        if len(branches) == 1:
+            return branches[0]
+        return "(or %s)" % " ".join(branches)
     raise UnsupportedConstraint("cannot print %r" % (constraint,))

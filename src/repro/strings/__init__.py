@@ -3,19 +3,26 @@
 The atomic constraint kinds follow Section 3 of the paper: word equations,
 regular membership, linear integer constraints over integer variables and
 string lengths, and string-number conversion ``n = toNum(x)``.  A
-:class:`StringProblem` is a conjunction of atomic constraints.
+:class:`StringProblem` is a conjunction of atomic constraints;
+:class:`Disjunction` carries the case splits total operation semantics
+need, and :class:`NumSemantics` parameterizes real-parser conversion
+variants.
 """
 
 from repro.strings.ast import (
     StrVar, WordEquation, RegularConstraint, IntConstraint,
-    ToNum, CharNeq, StringProblem, length_var, str_len,
+    ToNum, CharNeq, CharCode, Disjunction, StringProblem,
+    length_var, str_len,
 )
 from repro.strings.eval import to_num_value, evaluate_constraint, check_model
+from repro.strings.numsem import NumSemantics, semantics_named
 from repro.strings.ops import ProblemBuilder
 
 __all__ = [
     "StrVar", "WordEquation", "RegularConstraint", "IntConstraint",
-    "ToNum", "CharNeq", "StringProblem", "length_var", "str_len",
+    "ToNum", "CharNeq", "CharCode", "Disjunction", "StringProblem",
+    "length_var", "str_len",
     "to_num_value", "evaluate_constraint", "check_model",
+    "NumSemantics", "semantics_named",
     "ProblemBuilder",
 ]

@@ -175,13 +175,20 @@ class IntConstraint(Constraint):
 
 
 class ToNum(Constraint):
-    """``result = toNum(var)`` with *result* an integer variable name."""
+    """``result = toNum(var)`` with *result* an integer variable name.
 
-    __slots__ = ("result", "var")
+    ``semantics`` is None for the paper's base toNum (decimal digit
+    strings, everything else -1) or a
+    :class:`~repro.strings.numsem.NumSemantics` describing a real-parser
+    variant (sign/whitespace/radix/exponent/overflow).
+    """
 
-    def __init__(self, result, variable):
+    __slots__ = ("result", "var", "semantics")
+
+    def __init__(self, result, variable, semantics=None):
         self.result = result
         self.var = variable
+        self.semantics = semantics
 
     def string_vars(self):
         return {self.var}
@@ -190,6 +197,9 @@ class ToNum(Constraint):
         return {self.result}
 
     def __repr__(self):
+        if self.semantics is not None:
+            return "%s = toNum[%s](%r)" % (self.result, self.semantics.name,
+                                           self.var)
         return "%s = toNum(%r)" % (self.result, self.var)
 
 
@@ -207,6 +217,80 @@ class CharNeq(Constraint):
 
     def __repr__(self):
         return "%r !=c %r" % (self.left, self.right)
+
+
+class CharCode(Constraint):
+    """``result`` is the code point of the single character held by *var*.
+
+    Only satisfied when ``|var| = 1``; the total SMT-LIB semantics of
+    ``str.to_code`` (length != 1 yields -1) is expressed by wrapping this
+    in a :class:`Disjunction` with the out-of-range branches.  ``result``
+    carries the Unicode code point (``ord``), not the solver-internal
+    alphabet code; the flattening maps between the two.
+    """
+
+    __slots__ = ("result", "var")
+
+    def __init__(self, result, variable):
+        self.result = result
+        self.var = variable
+
+    def string_vars(self):
+        return {self.var}
+
+    def int_vars(self):
+        return {self.result}
+
+    def __repr__(self):
+        return "%s = code(%r)" % (self.result, self.var)
+
+
+class Disjunction(Constraint):
+    """At least one *branch* — a conjunction of atomic constraints — holds.
+
+    The solver's input language is otherwise purely conjunctive; this kind
+    carries the case splits that total operation semantics need
+    (``str.at`` out of range, ``str.indexof`` absent, ...).  Soundness of
+    the flattening is structural: every branch constraint flattens to a
+    formula over the *same* global per-variable PFA character variables,
+    so the disjunction of the flattened branch conjunctions is exactly the
+    flattening of the disjunction.
+    """
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches):
+        coerced = []
+        for branch in branches:
+            branch = tuple(branch)
+            for c in branch:
+                if not isinstance(c, Constraint):
+                    raise SolverError(
+                        "Disjunction branch element %r is not a constraint"
+                        % (c,))
+            coerced.append(branch)
+        if not coerced:
+            raise SolverError("Disjunction needs at least one branch")
+        self.branches = tuple(coerced)
+
+    def string_vars(self):
+        out = set()
+        for branch in self.branches:
+            for c in branch:
+                out |= c.string_vars()
+        return out
+
+    def int_vars(self):
+        out = set()
+        for branch in self.branches:
+            for c in branch:
+                out |= c.int_vars()
+        return out
+
+    def __repr__(self):
+        return "(or %s)" % " | ".join(
+            "[%s]" % "; ".join(map(repr, branch))
+            for branch in self.branches)
 
 
 class StringProblem:

@@ -10,7 +10,8 @@ from repro.alphabet import DEFAULT_ALPHABET
 from repro.logic.formula import evaluate as eval_formula, variables_of
 from repro.obs import current_tracer
 from repro.strings.ast import (
-    CharNeq, IntConstraint, RegularConstraint, StrVar, ToNum, WordEquation,
+    CharCode, CharNeq, Disjunction, IntConstraint, RegularConstraint, StrVar,
+    ToNum, WordEquation,
 )
 from repro.errors import SolverError
 
@@ -58,8 +59,19 @@ def evaluate_constraint(constraint, interp, alphabet=DEFAULT_ALPHABET):
                 assignment[name] = interp[name]
         return eval_formula(constraint.formula, assignment)
     if isinstance(constraint, ToNum):
-        return interp[constraint.result] == to_num_value(
-            interp[constraint.var.name])
+        text = interp[constraint.var.name]
+        if constraint.semantics is None:
+            expected = to_num_value(text)
+        else:
+            expected = constraint.semantics.convert(text)
+        return interp[constraint.result] == expected
+    if isinstance(constraint, CharCode):
+        value = interp[constraint.var.name]
+        return len(value) == 1 and interp[constraint.result] == ord(value)
+    if isinstance(constraint, Disjunction):
+        return any(
+            all(evaluate_constraint(c, interp, alphabet) for c in branch)
+            for branch in constraint.branches)
     if isinstance(constraint, CharNeq):
         left = interp[constraint.left.name]
         right = interp[constraint.right.name]

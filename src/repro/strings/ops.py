@@ -11,13 +11,14 @@ applies the standard encodings.
 from repro.alphabet import DEFAULT_ALPHABET
 from repro.automata.nfa import NFA
 from repro.automata.regex import regex_to_nfa
-from repro.logic.formula import conj, disj, eq, ge, implies, le
+from repro.logic.formula import conj, disj, eq, ge, implies, le, ne
 from repro.logic.terms import LinExpr, var as int_var
 from repro.errors import SolverError
 from repro.strings.ast import (
-    CharNeq, IntConstraint, RegularConstraint, StringProblem, StrVar,
-    ToNum, WordEquation, str_len,
+    CharCode, CharNeq, Disjunction, IntConstraint, RegularConstraint,
+    StringProblem, StrVar, ToNum, WordEquation, str_len,
 )
+from repro.strings.numsem import semantics_named
 
 NUMERAL_REGEX = "0|[1-9][0-9]*"
 """Canonical decimal numerals (no leading zeros) — the range of toStr."""
@@ -37,6 +38,18 @@ class ProblemBuilder:
 
     def str_var(self, name):
         return StrVar(name)
+
+    def _str_result(self, result, prefix):
+        """Coerce a caller-supplied result into a StrVar.
+
+        A bare name must become a variable here: left as a plain str it
+        would read as a string *literal* inside the word equations the
+        encodings build."""
+        if result is None:
+            return self.fresh_str(prefix)
+        if isinstance(result, str):
+            return StrVar(result)
+        return result
 
     def reserve(self, names):
         """Mark *names* as taken so no fresh variable ever collides.
@@ -74,17 +87,23 @@ class ProblemBuilder:
         self.problem.add(WordEquation(lhs, rhs))
 
     def member(self, variable, regex):
+        self.problem.add(self._member_constraint(variable, regex))
+
+    def not_member(self, variable, regex):
+        self.problem.add(self._not_member_constraint(variable, regex))
+
+    def _member_constraint(self, variable, regex):
         nfa = regex if isinstance(regex, NFA) \
             else regex_to_nfa(regex, self.alphabet)
         source = regex if isinstance(regex, str) else None
-        self.problem.add(RegularConstraint(variable, nfa, source))
+        return RegularConstraint(variable, nfa, source)
 
-    def not_member(self, variable, regex):
+    def _not_member_constraint(self, variable, regex):
         nfa = regex if isinstance(regex, NFA) \
             else regex_to_nfa(regex, self.alphabet)
         complement = nfa.complement(self.alphabet.codes()).trim()
         source = "!(%s)" % regex if isinstance(regex, str) else None
-        self.problem.add(RegularConstraint(variable, complement, source))
+        return RegularConstraint(variable, complement, source)
 
     # -- lengths ----------------------------------------------------------------------
 
@@ -144,6 +163,224 @@ class ProblemBuilder:
         """``n = toNum(x)``; returns the integer variable name n."""
         result = result or self.fresh_int("_num")
         self.problem.add(ToNum(result, variable))
+        return result
+
+    def _pin_unused(self, branches, aux):
+        """Branches extended so each pins to ``""`` every *aux* variable
+        it doesn't mention.  The auxiliaries are existential don't-cares
+        in the branches that omit them, so the union over branches
+        projected onto the non-auxiliary variables is unchanged — but the
+        length abstraction's branch hull over each ``|aux|`` becomes
+        bounded, which keeps straight-line PFA hints available and the
+        encodings fast to solve."""
+        out = []
+        for branch in branches:
+            used = set()
+            for c in branch:
+                used |= c.string_vars()
+            extended = list(branch)
+            extended.extend(WordEquation((v,), ())
+                            for v in aux if v not in used)
+            out.append(extended)
+        return out
+
+    def to_num_sem(self, variable, semantics, result=None):
+        """``n = toNum[sem](x)`` for a real-parser semantics variant.
+
+        *semantics* is a :class:`~repro.strings.numsem.NumSemantics` or a
+        registry name (``strtol``, ``pg_int``, ``radix16``, ``sci``...).
+        Returns the integer variable name n.
+        """
+        if isinstance(semantics, str):
+            semantics = semantics_named(semantics)
+        result = result or self.fresh_int("_num")
+        self.problem.add(ToNum(result, variable, semantics))
+        return result
+
+    def at_total(self, variable, index, result=None):
+        """SMT-LIB ``str.at``: the character at *index*, or ``""`` when
+        the index is out of range.  Total, unlike :meth:`char_at` (which
+        asserts the in-range path condition).  Returns
+        ``(result_var, aux)`` where *aux* names the branch-local fresh
+        variables for witness construction.
+        """
+        index = LinExpr.coerce(index)
+        result = self._str_result(result, "_at")
+        prefix = self.fresh_str("_pre")
+        suffix = self.fresh_str("_suf")
+        in_range = (
+            WordEquation((variable,), (prefix, result, suffix)),
+            IntConstraint(conj(eq(str_len(prefix), index),
+                               eq(str_len(result), 1))),
+        )
+        out_of_range = (
+            WordEquation((result,), ()),
+            IntConstraint(disj(le(index, -1),
+                               ge(index, str_len(variable)))),
+        )
+        self.require(Disjunction(self._pin_unused(
+            [in_range, out_of_range], (prefix, suffix))))
+        self.single_char_vars.add(result)
+        return result, {"prefix": prefix, "suffix": suffix}
+
+    def index_of(self, variable, needle, start=0, result=None):
+        """SMT-LIB ``str.indexof`` with a literal *needle* (any length),
+        arbitrary *start*, and the total semantics: -1 when the needle is
+        absent from the suffix or the start is out of range.  Returns
+        ``(result_name, aux)``.
+        """
+        if not isinstance(needle, str):
+            raise SolverError("index_of needs a literal needle")
+        start = LinExpr.coerce(start)
+        result = result or self.fresh_int("_idx")
+        i = int_var(result)
+        pattern = "".join(_regex_escape(c) for c in needle)
+        p = self.fresh_str("_ipre")
+        a = self.fresh_str("_ibef")
+        b = self.fresh_str("_iaft")
+        u = self.fresh_str("_ifst")
+        q = self.fresh_str("_itail")
+        # Present: x = p.a.needle.b with |p| = start and no occurrence of
+        # the needle inside a.needle other than the final one — the
+        # leftmost occurrence at or after start ends exactly at the end of
+        # a.needle, so i = start + |a|.
+        present = (
+            WordEquation((variable,), (p, a, needle, b)),
+            WordEquation((u,), (a, needle)),
+            self._not_member_constraint(u, ".*%s.+" % pattern),
+            IntConstraint(conj(ge(start, 0), eq(str_len(p), start),
+                               eq(i, start + str_len(a)))),
+        )
+        absent = (
+            WordEquation((variable,), (p, q)),
+            self._not_member_constraint(q, ".*%s.*" % pattern),
+            IntConstraint(conj(ge(start, 0), eq(str_len(p), start),
+                               eq(i, -1))),
+        )
+        out_of_range = (
+            IntConstraint(conj(disj(le(start, -1),
+                                    ge(start, str_len(variable) + 1)),
+                               eq(i, -1))),
+        )
+        self.require(Disjunction(self._pin_unused(
+            [present, absent, out_of_range], (p, a, b, u, q))))
+        return result, {"p": p, "a": a, "b": b, "u": u, "q": q}
+
+    def replace(self, variable, needle, replacement, result=None):
+        """SMT-LIB ``str.replace``: the leftmost occurrence of literal
+        *needle* replaced by literal *replacement*; the string unchanged
+        when the needle is absent.  Returns ``(result_var, aux)``.
+        """
+        if not isinstance(needle, str) or not isinstance(replacement, str):
+            raise SolverError("replace needs literal needle/replacement")
+        result = self._str_result(result, "_rep")
+        if needle == "":
+            # SMT-LIB: replacing the empty string prepends the replacement.
+            self.equal((result,), _concat(replacement, variable))
+            return result, {}
+        pattern = "".join(_regex_escape(c) for c in needle)
+        a = self.fresh_str("_rbef")
+        b = self.fresh_str("_raft")
+        u = self.fresh_str("_rfst")
+        present = (
+            WordEquation((variable,), (a, needle, b)),
+            WordEquation((u,), (a, needle)),
+            self._not_member_constraint(u, ".*%s.+" % pattern),
+            WordEquation((result,), _concat(a, replacement, b)),
+        )
+        absent = (
+            self._not_member_constraint(variable, ".*%s.*" % pattern),
+            WordEquation((result,), (variable,)),
+        )
+        self.require(Disjunction(self._pin_unused(
+            [present, absent], (a, b, u))))
+        return result, {"a": a, "b": b, "u": u}
+
+    def replace_all(self, variable, needle, replacement,
+                    max_occurrences=8, result=None):
+        """SMT-LIB ``str.replace_all`` for a literal non-overlapping
+        *needle*, with every (leftmost-greedy) occurrence replaced.
+
+        Domain restriction: the subject is modeled up to *max_occurrences*
+        occurrences of the needle — strings with more occurrences are
+        outside the encoded language (README documents this bound).
+        Returns ``(result_var, aux)`` with the per-gap variables.
+        """
+        if not isinstance(needle, str) or not isinstance(replacement, str):
+            raise SolverError("replace_all needs literal needle/replacement")
+        result = self._str_result(result, "_rall")
+        if needle == "":
+            # SMT-LIB: replace_all with an empty pattern is the identity.
+            self.equal((result,), (variable,))
+            return result, {}
+        pattern = "".join(_regex_escape(c) for c in needle)
+        gaps = [self.fresh_str("_rg") for _ in range(max_occurrences + 1)]
+        firsts = [self.fresh_str("_rf") for _ in range(max_occurrences)]
+        branches = []
+        for count in range(max_occurrences + 1):
+            branch = []
+            subject = []
+            replaced = []
+            for k in range(count):
+                subject.extend((gaps[k], needle))
+                replaced.extend((gaps[k], replacement))
+                # Leftmost-greedy: no earlier occurrence inside each
+                # gap.needle junction.
+                branch.append(WordEquation((firsts[k],),
+                                           (gaps[k], needle)))
+                branch.append(self._not_member_constraint(
+                    firsts[k], ".*%s.+" % pattern))
+            subject.append(gaps[count])
+            replaced.append(gaps[count])
+            branch.append(self._not_member_constraint(
+                gaps[count], ".*%s.*" % pattern))
+            branch.append(WordEquation((variable,), tuple(subject)))
+            branch.append(WordEquation((result,), tuple(replaced)))
+            branches.append(branch)
+        self.require(Disjunction(self._pin_unused(
+            branches, tuple(gaps) + tuple(firsts))))
+        return result, {"gaps": gaps, "firsts": firsts}
+
+    def to_code(self, variable, result=None):
+        """SMT-LIB ``str.to_code``: the code point of a length-1 string,
+        -1 otherwise.  Returns the integer variable name."""
+        result = result or self.fresh_int("_code")
+        c = self.fresh_str("_cch")
+        single = (
+            WordEquation((variable,), (c,)),
+            CharCode(result, c),
+        )
+        other = (
+            IntConstraint(conj(ne(str_len(variable), 1),
+                               eq(int_var(result), -1))),
+        )
+        self.require(Disjunction(self._pin_unused([single, other], (c,))))
+        self.single_char_vars.add(c)
+        return result, {"char": c}
+
+    def from_code(self, code, result=None):
+        """SMT-LIB ``str.from_code``: the one-character string of a code
+        point, ``""`` out of range.
+
+        Divergence from SMT-LIB (documented in README): code points
+        outside the solver's printable-ASCII alphabet behave as invalid
+        and yield ``""``, consistently across evaluator, flattening and
+        the enumerative oracle.
+        """
+        if not isinstance(code, str):
+            raise SolverError("from_code needs an integer variable name")
+        result = self._str_result(result, "_fc")
+        ords = [ord(ch) for ch in self.alphabet.chars()]
+        valid = (
+            CharCode(code, result),
+        )
+        invalid = (
+            WordEquation((result,), ()),
+            IntConstraint(disj(le(int_var(code), min(ords) - 1),
+                               ge(int_var(code), max(ords) + 1))),
+        )
+        self.require(Disjunction([valid, invalid]))
+        self.single_char_vars.add(result)
         return result
 
     def to_str(self, int_name, variable=None):

@@ -1,0 +1,159 @@
+"""Input-validation path constraints using real-parser conversion semantics.
+
+Four families modeled on the string-to-number handling of real validation
+code, the motivating workloads for the NumSemantics variants:
+
+* ``currency``  — ``"$1,234"``-style amounts: strip the thousands
+  separators with ``replaceAll``, parse the rest with ``strtol``
+  semantics, compare against a limit.
+* ``isodate``   — ``YYYY-MM-DD``: structural split plus range checks on
+  the month/day fields through the SMT-LIB conversion.
+* ``ipv4``      — dotted-quad addresses: four octet fields, each
+  converted and bounded by 255 (the classic off-by-parsing workload).
+* ``checkid``   — checksummed identifiers: a namespace letter (via
+  ``to_code``) plus a ``pg_int``-parsed payload whose value must agree
+  with the namespace modulo a small base.
+
+Every instance carries a certified expected status: SAT instances are
+built around a concrete accepted input, UNSAT ones add a bound the
+conversion semantics make impossible.
+"""
+
+from repro.logic.formula import conj, eq, ge, le
+from repro.logic.terms import var as int_var
+from repro.strings.ast import str_len
+from repro.strings.ops import ProblemBuilder
+from repro.symbex.common import Instance, rng_for
+
+
+def currency_problem(digits, limit, expect_within=True):
+    """An amount string ``$d,ddd...`` whose numeric value faces *limit*.
+
+    The validator strips "$" structurally and the "," separators with
+    replaceAll, then parses with strtol semantics.  ``expect_within``
+    asks for an amount <= limit; with enough digits forced, flipping it
+    to a lower bound the digit count cannot reach makes the path UNSAT.
+    """
+    b = ProblemBuilder()
+    x = b.str_var("amount")
+    body = b.fresh_str("_body")
+    b.equal((x,), ("$", body))
+    b.member(body, "[0-9,]+")
+    # Amounts this size hold at most two thousands separators; the lower
+    # occurrence cap keeps the branch count (and solve time) down.
+    stripped, _ = b.replace_all(body, ",", "", max_occurrences=2,
+                                result="stripped")
+    b.member(stripped, "[0-9]+")
+    b.require_int(eq(str_len(stripped), digits))
+    n = b.to_num_sem(stripped, "strtol", result="value")
+    if expect_within:
+        b.require_int(conj(ge(int_var(n), 0), le(int_var(n), limit)))
+    else:
+        # More than 10^digits - 1: no digit string of that width reaches it.
+        b.require_int(ge(int_var(n), 10 ** digits))
+    return b.problem
+
+
+def isodate_problem(month_ok=True):
+    """A ``YYYY-MM-DD`` date whose month field is range-checked."""
+    b = ProblemBuilder()
+    x = b.str_var("date")
+    year = b.fresh_str("_year")
+    month = b.fresh_str("_month")
+    day = b.fresh_str("_day")
+    b.equal((x,), (year, "-", month, "-", day))
+    for part, width in ((year, 4), (month, 2), (day, 2)):
+        b.member(part, "[0-9]+")
+        b.require_int(eq(str_len(part), width))
+    # The validator locates the first separator before splitting.
+    i = b.index_of(x, "-")[0]
+    b.require_int(eq(int_var(i), 4))
+    m = b.to_num(month)
+    d = b.to_num(day)
+    b.require_int(conj(ge(int_var(d), 1), le(int_var(d), 31)))
+    if month_ok:
+        b.require_int(conj(ge(int_var(m), 1), le(int_var(m), 12)))
+    else:
+        # Two digits cap the month at 99; demanding more is impossible.
+        b.require_int(ge(int_var(m), 100))
+    return b.problem
+
+
+def ipv4_problem(last_octet_max=255):
+    """A dotted-quad address with every octet converted and bounded."""
+    b = ProblemBuilder()
+    x = b.str_var("addr")
+    octets = [b.fresh_str("_oct%d" % i) for i in range(4)]
+    b.equal((x,), (octets[0], ".", octets[1], ".", octets[2], ".",
+                   octets[3]))
+    values = []
+    for octet in octets:
+        b.member(octet, "[0-9]+")
+        b.require_int(conj(ge(str_len(octet), 1), le(str_len(octet), 3)))
+        n = b.to_num(octet)
+        values.append(n)
+        b.require_int(conj(ge(int_var(n), 0), le(int_var(n), 255)))
+    # The scenario's extra demand on the last octet; pushing it past
+    # 255 contradicts the shared bound above and the instance is UNSAT.
+    b.require_int(ge(int_var(values[3]), last_octet_max))
+    return b.problem
+
+
+def checkid_problem(payload_digits, residue_ok=True):
+    """A checksummed ID: namespace letter + pg_int-parsed payload.
+
+    The namespace letter's code picks a residue class; the payload value
+    must land in it modulo 7 (encoded as value = 7q + r with the fresh
+    quotient bounded to keep the instance finite).
+    """
+    b = ProblemBuilder()
+    x = b.str_var("ident")
+    letter, _ = b.at_total(x, 0, result="nsletter")
+    payload = b.fresh_str("_payload")
+    b.equal((x,), (letter, payload))
+    b.member(payload, "[0-9]+")
+    b.require_int(eq(str_len(payload), payload_digits))
+    code = b.to_code(letter)[0]
+    b.require_int(conj(ge(int_var(code), 65), le(int_var(code), 90)))
+    value = b.to_num_sem(payload, "pg_int", result="payload_value")
+    quotient = b.fresh_int("_q")
+    residue = int_var(code) - 65 if residue_ok else int_var(code) - 64
+    b.require_int(conj(
+        ge(int_var(quotient), 0),
+        eq(int_var(value), int_var(quotient) * 7 + residue)))
+    if not residue_ok:
+        # Residue forced to 26 while the namespace codes cap it at 25:
+        # together with code = 90 the two value equations clash mod 7.
+        b.require_int(eq(int_var(code), 90))
+        b.require_int(eq(int_var(value), int_var(quotient) * 7 + 25))
+    return b.problem
+
+
+def generate(count=10, seed=0):
+    """The validation suite: *count* instances across the four families."""
+    rng = rng_for(seed, "validation")
+    out = []
+    for i in range(count):
+        digits = 2 + (i % 3)
+        out.append(Instance(
+            "validation/currency-sat-%02d" % i,
+            currency_problem(digits, limit=10 ** digits), "sat"))
+        out.append(Instance(
+            "validation/currency-unsat-%02d" % i,
+            currency_problem(digits, limit=0, expect_within=False),
+            "unsat"))
+        out.append(Instance(
+            "validation/isodate-sat-%02d" % i, isodate_problem(), "sat"))
+        out.append(Instance(
+            "validation/isodate-unsat-%02d" % i,
+            isodate_problem(month_ok=False), "unsat"))
+        out.append(Instance(
+            "validation/ipv4-sat-%02d" % i,
+            ipv4_problem(last_octet_max=rng.choice([0, 100, 255])), "sat"))
+        out.append(Instance(
+            "validation/checkid-sat-%02d" % i,
+            checkid_problem(2 + (i % 2)), "sat"))
+        out.append(Instance(
+            "validation/checkid-unsat-%02d" % i,
+            checkid_problem(2, residue_ok=False), "unsat"))
+    return out[:count * 4]

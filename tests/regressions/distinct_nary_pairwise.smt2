@@ -1,0 +1,13 @@
+(set-logic QF_SLIA)
+(set-info :status unsat)
+; (distinct a b c) once expanded to a != b only, so a two-word language
+; admitted a "model" with c = a.  Pairwise expansion makes this the
+; pigeonhole: three mutually distinct words cannot fit in {"x", "y"}.
+(declare-fun a () String)
+(declare-fun b () String)
+(declare-fun c () String)
+(assert (str.in_re a (re.union (str.to_re "x") (str.to_re "y"))))
+(assert (str.in_re b (re.union (str.to_re "x") (str.to_re "y"))))
+(assert (str.in_re c (re.union (str.to_re "x") (str.to_re "y"))))
+(assert (distinct a b c))
+(check-sat)

@@ -91,13 +91,12 @@ class TestTransforms:
 
         A reparsed problem keeps regexes only as automata, so a second
         print may legitimately fail for infinite languages (the
-        transform then returns None); and CharNeq prints as a plain
-        disequality that re-desugars into fresh variables, so problems
-        containing one grow across roundtrips.  On the remaining
-        problems consecutive prints must agree byte-for-byte.
+        transform then returns None).  On the remaining problems
+        consecutive prints must agree byte-for-byte — the dialect heads
+        (str.to_code.partial, str.diseq.char) exist precisely so that
+        desugar-internal constraints reach this fixpoint.
         """
         from repro.errors import ReproError
-        from repro.strings import CharNeq
 
         stable = 0
         for index in range(12):
@@ -108,7 +107,7 @@ class TestTransforms:
                 continue
             again = apply_transform("roundtrip", transformed,
                                     random.Random(0))
-            if again is None or transformed.by_kind(CharNeq):
+            if again is None:
                 continue
             try:
                 first = problem_to_smtlib(transformed)
@@ -177,6 +176,136 @@ class TestShrink:
         assert "(set-info :status sat)" in text
         reloaded = load_problem(text)
         assert reloaded.expected == "sat"
+
+
+class TestNewOpsOracle:
+    """Enumerative-oracle cross-checks over the widened fragment.
+
+    Each case builds a small bounded problem around one of the new ops
+    and requires the PFA solver and the brute-force oracle to agree
+    whenever both answer, with every SAT model validating concretely.
+    This is the per-op version of the campaign's arbitration rule.
+    """
+
+    def _agree(self, problem, expected, label):
+        from repro.baselines import EnumerativeSolver
+        from repro.core.solver import TrauSolver
+
+        answers = {}
+        for name, solver in (("pfa", TrauSolver()),
+                             ("enum", EnumerativeSolver())):
+            result = solver.solve(problem, timeout=20)
+            if result.status == "sat":
+                assert check_model(problem, result.model), (label, name)
+            if result.status in ("sat", "unsat"):
+                answers[name] = result.status
+        assert answers, (label, "neither solver answered")
+        assert set(answers.values()) == {expected}, (label, answers)
+        return answers
+
+    def test_replace_first_occurrence(self):
+        from repro.logic.terms import var as int_var  # noqa: F401
+
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]{2}")
+        r, _ = b.replace(x, "a", "X", result="r")
+        b.equal((r,), ("Xb",))
+        answers = self._agree(b.problem, "sat", "replace-sat")
+        assert "enum" in answers  # the oracle really arbitrated
+
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]{2}")
+        r, _ = b.replace(x, "a", "X", result="r")
+        b.equal((r,), ("XX",))  # first-only: a second "a" stays put
+        answers = self._agree(b.problem, "unsat", "replace-unsat")
+        assert "enum" in answers
+
+    def test_replace_all(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]{3}")
+        r, _ = b.replace_all(x, "a", "c", max_occurrences=3, result="r")
+        b.equal((r,), ("cbc",))
+        self._agree(b.problem, "sat", "replace_all-sat")
+
+    def test_indexof_with_start(self):
+        from repro.logic.terms import var as int_var
+
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.member(x, "[ab]{4}")
+        i = b.index_of(x, "b", start=2)[0]
+        b.require_int(eq(int_var(i), 3))
+        self._agree(b.problem, "sat", "indexof-start")
+
+    def test_at_out_of_range(self):
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.require_int(eq(str_len(x), 2))
+        c, _ = b.at_total(x, 5, result="c")
+        b.require_int(eq(str_len(c), 1))  # but at(x, 5) is ""
+        self._agree(b.problem, "unsat", "at-oob")
+
+    def test_code_inversion_regression(self):
+        """Regression: CharCode defeats the oracle's character pool.
+
+        The candidate-character restriction is justified by a character
+        interchangeability argument that CharCode breaks (the integer
+        side can pin any specific code — here 66 forces "B", a character
+        no literal mentions).  The oracle used to answer "unsat" with
+        refuted_by=exhaustive-search on this satisfiable problem.
+        """
+        from repro.logic.terms import var as int_var
+
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        n, _ = b.to_code(x)
+        b.require_int(eq(int_var(n), 66))
+        y = b.from_code(n, result="y")
+        b.equal((y,), (x,))
+        answers = self._agree(b.problem, "sat", "code-inversion")
+        assert "enum" in answers
+
+    def test_charneq_pool_is_wide_enough(self):
+        """Regression: disequality chains need spare pool characters.
+
+        Three pairwise-distinct single-character variables with no
+        literal constraints need three distinct characters; the old
+        two-character baseline pool made the oracle claim exhaustive
+        unsat.  The widened pool must never produce that wrong answer
+        (unknown is acceptable — the search may legitimately exhaust
+        its budget)."""
+        from repro.baselines import EnumerativeSolver
+        from repro.smtlib import load_problem as _load
+
+        text = """
+        (set-logic QF_SLIA)
+        (declare-fun a () String)
+        (declare-fun b () String)
+        (declare-fun c () String)
+        (assert (= (str.len a) 1))
+        (assert (= (str.len b) 1))
+        (assert (= (str.len c) 1))
+        (assert (distinct a b c))
+        (check-sat)
+        """
+        problem = _load(text).problem
+        result = EnumerativeSolver().solve(problem, timeout=5)
+        assert result.status != "unsat", result.stats
+        if result.status == "sat":
+            assert check_model(problem, result.model)
+
+    def test_strtol_semantics(self):
+        from repro.logic.terms import var as int_var
+
+        b = ProblemBuilder()
+        x = b.str_var("x")
+        b.require_int(eq(str_len(x), 3))
+        n = b.to_num_sem(x, "strtol", result="n")
+        b.require_int(eq(int_var(n), 42))
+        self._agree(b.problem, "sat", "strtol")
 
 
 class TestDriver:

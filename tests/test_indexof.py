@@ -58,9 +58,47 @@ class TestSmtlib:
         assert result.status == "sat"
         assert result.model["i"] == 2
 
+    def test_multichar_needle(self):
+        text = """
+        (declare-fun s () String)
+        (declare-fun i () Int)
+        (assert (= s "xabab"))
+        (assert (= i (str.indexof s "ab" 0)))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["i"] == 1      # leftmost occurrence
+
+    def test_nonzero_start(self):
+        text = """
+        (declare-fun s () String)
+        (declare-fun i () Int)
+        (assert (= s "xabab"))
+        (assert (= i (str.indexof s "ab" 2)))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["i"] == 3
+
+    def test_absent_needle_is_minus_one(self):
+        text = """
+        (declare-fun s () String)
+        (declare-fun i () Int)
+        (assert (= s "xyz"))
+        (assert (= i (str.indexof s "ab" 0)))
+        """
+        script = load_problem(text)
+        result = TrauSolver().solve(script.problem, timeout=30)
+        assert result.status == "sat"
+        assert result.model["i"] == -1
+
     def test_unsupported_forms_are_loud(self):
+        # A variable needle is outside the literal-needle fragment.
         with pytest.raises(UnsupportedConstraint):
             load_problem("""
             (declare-fun s () String)
-            (assert (= 0 (str.indexof s "ab" 0)))
+            (declare-fun t () String)
+            (assert (= 0 (str.indexof s t 0)))
             """)

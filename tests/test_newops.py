@@ -1,0 +1,319 @@
+"""End-to-end tests for the widened string fragment and converter fixes.
+
+Covers the new SMT-LIB ops (``str.replace``/``str.replace_all``, total
+``str.at``, ``str.to_code``/``str.from_code``, annotated
+``str.to_int.<semantics>``), the n-ary ``distinct``/chained ``=``
+converter bugfixes, the undeclared-symbol bugfix, and print -> parse
+round-trip properties over the widened generator.
+"""
+
+import random
+
+import pytest
+
+from repro.core import TrauSolver
+from repro.diff.generator import GenConfig, generate
+from repro.errors import UnsupportedConstraint
+from repro.smtlib import load_problem, problem_to_smtlib
+from repro.strings import check_model
+
+
+def _solve(text, timeout=30):
+    return TrauSolver().solve(load_problem(text).problem, timeout=timeout)
+
+
+class TestReplace:
+    def test_replace_first_only(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun r () String)
+        (assert (= s "abcabc"))
+        (assert (= r (str.replace s "bc" "X")))
+        """)
+        assert result.status == "sat"
+        assert result.model["r"] == "aXabc"
+
+    def test_replace_absent_is_identity(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun r () String)
+        (assert (= s "abc"))
+        (assert (= r (str.replace s "zz" "X")))
+        """)
+        assert result.status == "sat"
+        assert result.model["r"] == "abc"
+
+    def test_replace_empty_needle_prepends(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun r () String)
+        (assert (= s "ab"))
+        (assert (= r (str.replace s "" "X")))
+        """)
+        assert result.status == "sat"
+        assert result.model["r"] == "Xab"
+
+    def test_replace_all(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun r () String)
+        (assert (= s "abcabc"))
+        (assert (= r (str.replace_all s "bc" "X")))
+        """)
+        assert result.status == "sat"
+        assert result.model["r"] == "aXaX"
+
+    def test_replace_all_wrong_result_unsat(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun r () String)
+        (assert (= s "aaa"))
+        (assert (= r (str.replace_all s "a" "b")))
+        (assert (= r "bba"))
+        """)
+        assert result.status == "unsat"
+
+
+class TestAt:
+    def test_in_range(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun c () String)
+        (assert (= s "xyz"))
+        (assert (= c (str.at s 1)))
+        """)
+        assert result.status == "sat"
+        assert result.model["c"] == "y"
+
+    def test_out_of_range_is_empty(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun c () String)
+        (assert (= s "xyz"))
+        (assert (= c (str.at s 7)))
+        """)
+        assert result.status == "sat"
+        assert result.model["c"] == ""
+
+    def test_negative_index_is_empty(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun c () String)
+        (assert (= s "xyz"))
+        (assert (= c (str.at s (- 1))))
+        """)
+        assert result.status == "sat"
+        assert result.model["c"] == ""
+
+
+class TestCharCodes:
+    def test_to_code(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun n () Int)
+        (assert (= s "A"))
+        (assert (= n (str.to_code s)))
+        """)
+        assert result.status == "sat"
+        assert result.model["n"] == 65
+
+    def test_to_code_non_singleton_is_minus_one(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun n () Int)
+        (assert (= s "AB"))
+        (assert (= n (str.to_code s)))
+        """)
+        assert result.status == "sat"
+        assert result.model["n"] == -1
+
+    def test_from_code(self):
+        result = _solve("""
+        (declare-fun n () Int)
+        (declare-fun s () String)
+        (assert (= n 97))
+        (assert (= s (str.from_code n)))
+        """)
+        assert result.status == "sat"
+        assert result.model["s"] == "a"
+
+    def test_from_code_invalid_is_empty(self):
+        result = _solve("""
+        (declare-fun n () Int)
+        (declare-fun s () String)
+        (assert (= n 7))
+        (assert (= s (str.from_code n)))
+        """)
+        assert result.status == "sat"
+        assert result.model["s"] == ""
+
+    def test_code_inversion(self):
+        # Synthesize the char from its code going the other way round.
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun n () Int)
+        (assert (= n (str.to_code s)))
+        (assert (= n 90))
+        """)
+        assert result.status == "sat"
+        assert result.model["s"] == "Z"
+
+
+class TestSemanticsAnnotations:
+    def test_strtol_accepts_whitespace_sign(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun n () Int)
+        (assert (= s " +42"))
+        (assert (= n (str.to_int.strtol s)))
+        """)
+        assert result.status == "sat"
+        assert result.model["n"] == 42
+
+    def test_base_rejects_whitespace_sign(self):
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun n () Int)
+        (assert (= s " +42"))
+        (assert (= n (str.to_int s)))
+        """)
+        assert result.status == "sat"
+        assert result.model["n"] == -1
+
+    def test_pg_int_synthesis(self):
+        # pg_int takes a sign but no whitespace: solver must find "-7".
+        result = _solve("""
+        (declare-fun s () String)
+        (declare-fun n () Int)
+        (assert (= n (str.to_int.pg_int s)))
+        (assert (= n (- 7)))
+        (assert (= (str.len s) 2))
+        """)
+        assert result.status == "sat"
+        assert result.model["s"] == "-7"
+
+    def test_unknown_semantics_is_loud(self):
+        with pytest.raises(UnsupportedConstraint):
+            load_problem("""
+            (declare-fun s () String)
+            (declare-fun n () Int)
+            (assert (= n (str.to_int.bogus s)))
+            """)
+
+
+class TestDistinctRegression:
+    """(distinct a b c) once silently dropped every operand past the
+    first two; these re-fire that bug for both sorts."""
+
+    THREE_STRINGS = """
+    (declare-fun a () String)
+    (declare-fun b () String)
+    (declare-fun c () String)
+    (assert (str.in_re a (re.union (str.to_re "x") (str.to_re "y"))))
+    (assert (str.in_re b (re.union (str.to_re "x") (str.to_re "y"))))
+    (assert (str.in_re c (re.union (str.to_re "x") (str.to_re "y"))))
+    (assert (distinct a b c))
+    """
+
+    def test_three_strings_two_letters_unsat(self):
+        # Pigeonhole: three pairwise-distinct words from a two-word
+        # language.  The buggy converter only produced a != b and
+        # reported SAT with c = a.
+        assert _solve(self.THREE_STRINGS).status == "unsat"
+
+    def test_three_strings_three_letters_sat(self):
+        text = self.THREE_STRINGS.replace(
+            '(str.to_re "x") (str.to_re "y")',
+            '(str.to_re "x") (str.to_re "y") (str.to_re "z")')
+        result = _solve(text)
+        assert result.status == "sat"
+        words = [result.model[v] for v in "abc"]
+        assert len(set(words)) == 3
+
+    def test_three_ints_unsat(self):
+        result = _solve("""
+        (declare-fun i () Int)
+        (declare-fun j () Int)
+        (declare-fun k () Int)
+        (assert (and (<= 0 i) (<= i 1)))
+        (assert (and (<= 0 j) (<= j 1)))
+        (assert (and (<= 0 k) (<= k 1)))
+        (assert (distinct i j k))
+        """)
+        assert result.status == "unsat"
+
+    def test_chained_equality_propagates(self):
+        # (= a b c) once ignored c entirely; with a = "x", c = "y" the
+        # chain must be UNSAT.
+        result = _solve("""
+        (declare-fun a () String)
+        (declare-fun b () String)
+        (declare-fun c () String)
+        (assert (= a "x"))
+        (assert (= c "y"))
+        (assert (= a b c))
+        """)
+        assert result.status == "unsat"
+
+    def test_chained_int_equality(self):
+        result = _solve("""
+        (declare-fun i () Int)
+        (declare-fun j () Int)
+        (declare-fun k () Int)
+        (assert (= i 3))
+        (assert (= i j k))
+        """)
+        assert result.status == "sat"
+        assert result.model["j"] == 3
+        assert result.model["k"] == 3
+
+
+class TestUndeclaredSymbols:
+    """_sort_of once guessed "Int" for any unknown symbol, silently
+    accepting mistyped scripts."""
+
+    def test_mistyped_int_symbol_is_loud(self):
+        with pytest.raises(UnsupportedConstraint):
+            load_problem("""
+            (declare-fun count () Int)
+            (assert (= cnt 5))
+            """)
+
+    def test_mistyped_string_symbol_is_loud(self):
+        with pytest.raises(UnsupportedConstraint):
+            load_problem("""
+            (declare-fun s () String)
+            (assert (= (str.len ss) 3))
+            """)
+
+    def test_declared_symbols_still_fine(self):
+        script = load_problem("""
+        (declare-fun count () Int)
+        (assert (= count 5))
+        """)
+        assert "count" in script.problem.int_vars()
+
+
+class TestRoundTripProperties:
+    """print -> parse reaches a printed fixpoint after one iteration and
+    preserves witnesses, across the widened generator."""
+
+    SEEDS = range(12)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_print_parse_fixpoint(self, seed):
+        generated = generate(random.Random("rt:%d" % seed), GenConfig())
+        out1 = problem_to_smtlib(generated.problem)
+        reparsed = load_problem(out1).problem
+        out2 = problem_to_smtlib(reparsed)
+        out3 = problem_to_smtlib(load_problem(out2).problem)
+        assert out2 == out3
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_witness_survives_roundtrip(self, seed):
+        generated = generate(random.Random("rt:%d" % seed), GenConfig())
+        if not generated.certified:
+            pytest.skip("generator emitted a lie for this seed")
+        assert check_model(generated.problem, generated.witness)
+        reparsed = load_problem(problem_to_smtlib(generated.problem)).problem
+        assert check_model(reparsed, generated.witness)

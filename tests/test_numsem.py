@@ -1,0 +1,134 @@
+"""Unit tests for real-parser conversion semantics (NumSemantics)."""
+
+import pytest
+
+from repro.errors import SolverError, UnsupportedConstraint
+from repro.strings.eval import to_num_value
+from repro.strings.numsem import (
+    PG_INT, SCI, STRTOL, NumSemantics, semantics_named, standard_semantics,
+)
+
+INT64_MAX = 2 ** 63 - 1
+INT64_MIN = -2 ** 63
+
+
+class TestBaseSemantics:
+    """Satellite: the paper's toNum must match SMT-LIB str.to_int."""
+
+    @pytest.mark.parametrize("text,expected", [
+        ("", -1),            # empty string is not a numeral
+        ("0", 0),
+        ("7", 7),
+        ("007", 7),          # leading zeros are plain digits
+        ("42", 42),
+        ("+5", -1),          # SMT-LIB: sign characters are not digits
+        ("-5", -1),
+        (" 5", -1),          # no whitespace skipping
+        ("5 ", -1),
+        ("5a", -1),          # trailing garbage
+        ("a5", -1),
+        ("1e2", -1),         # no exponent notation
+    ])
+    def test_to_num_value(self, text, expected):
+        assert to_num_value(text) == expected
+
+    def test_base_object_matches_to_num_value(self):
+        base = NumSemantics("base")
+        for text in ["", "0", "007", "+5", "-5", " 5", "5x", "123"]:
+            assert base.convert(text) == to_num_value(text)
+
+
+class TestStrtol:
+    def test_whitespace_and_sign(self):
+        assert STRTOL.convert("  +007") == 7
+        assert STRTOL.convert(" -42") == -42
+        assert STRTOL.convert("-0") == 0
+
+    def test_rejects(self):
+        assert STRTOL.convert("") == -1
+        assert STRTOL.convert("   ") == -1      # whitespace only
+        assert STRTOL.convert("+") == -1        # sign only
+        assert STRTOL.convert(" + 5") == -1     # space after sign
+        assert STRTOL.convert("5x") == -1
+
+    def test_saturates_at_int64(self):
+        assert STRTOL.convert("9" * 30) == INT64_MAX
+        assert STRTOL.convert("-" + "9" * 30) == INT64_MIN
+        assert STRTOL.convert(str(INT64_MAX)) == INT64_MAX
+        assert STRTOL.convert(str(INT64_MIN)) == INT64_MIN
+
+
+class TestPgInt:
+    def test_sign_no_whitespace(self):
+        assert PG_INT.convert("-5") == -5
+        assert PG_INT.convert("+5") == 5
+        assert PG_INT.convert(" 5") == -1
+
+    def test_overflow_is_error(self):
+        assert PG_INT.convert("9" * 30) == -1
+        assert PG_INT.convert(str(INT64_MAX)) == INT64_MAX
+        assert PG_INT.convert(str(INT64_MIN)) == INT64_MIN
+        assert PG_INT.convert(str(INT64_MAX + 1)) == -1
+
+
+class TestRadix:
+    def test_hex(self):
+        hexa = semantics_named("radix16")
+        assert hexa.convert("FF") == 255
+        assert hexa.convert("ff") == 255
+        assert hexa.convert("-10") == -16
+        assert hexa.convert("G") == -1
+
+    def test_binary(self):
+        assert semantics_named("radix2").convert("101") == 5
+        assert semantics_named("radix2").convert("2") == -1
+
+    def test_bad_names(self):
+        with pytest.raises(UnsupportedConstraint):
+            semantics_named("radix37")
+        with pytest.raises(UnsupportedConstraint):
+            semantics_named("nonsense")
+
+
+class TestSci:
+    def test_exponent(self):
+        assert SCI.convert("5e2") == 500
+        assert SCI.convert("-5E2") == -500
+        assert SCI.convert("5e0") == 5
+        assert SCI.convert("12e1") == 120
+
+    def test_exponent_rejects(self):
+        assert SCI.convert("5e") == -1       # dangling marker
+        assert SCI.convert("e5") == -1       # no mantissa
+        assert SCI.convert("5e+2") == -1     # signed exponents unsupported
+
+    def test_huge_exponent(self):
+        assert SCI.convert("0e999") == 0     # zero shortcut always exact
+        assert SCI.convert("5e999") == SCI.error_value
+
+
+class TestRegistry:
+    def test_standard_set_has_enough_variants(self):
+        sems = standard_semantics()
+        assert len(sems) >= 3
+        assert len({s.name for s in sems}) == len(sems)
+
+    def test_named_lookup_roundtrip(self):
+        for sem in standard_semantics():
+            assert semantics_named(sem.name) == sem
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            NumSemantics("bad", radix=1)
+        with pytest.raises(SolverError):
+            NumSemantics("bad", overflow="wrap")
+        with pytest.raises(SolverError):
+            NumSemantics("bad", radix=16, exponent=True)
+
+    def test_digit_segments_are_contiguous(self):
+        from repro.alphabet import DEFAULT_ALPHABET
+        for sem in standard_semantics():
+            for lo, hi, offset in sem.digit_segments(DEFAULT_ALPHABET):
+                for code in range(lo, hi + 1):
+                    ch = DEFAULT_ALPHABET.char(code)
+                    assert sem.digit_value(ch) == code + offset

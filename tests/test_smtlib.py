@@ -140,9 +140,11 @@ class TestConverter:
         with pytest.raises(UnsupportedConstraint):
             load_problem("(declare-fun f (Int) Int)")
         with pytest.raises(UnsupportedConstraint):
+            # str.replace is supported for literal needles only.
             load_problem("""
             (declare-fun x () String)
-            (assert (= x (str.replace x "a" "b")))
+            (declare-fun y () String)
+            (assert (= x (str.replace x y "b")))
             """)
 
 
